@@ -1,0 +1,22 @@
+//! # tl-baselines — comparison estimators
+//!
+//! Two baselines the paper positions TreeLattice against:
+//!
+//! * [`MarkovTable`] — the Lore / Markov-table family of *path* selectivity
+//!   estimators (order-m Markov model over root-to-node label paths).
+//!   TreeLattice provably subsumes it on path queries (Lemma 4), which the
+//!   integration tests verify numerically.
+//! * [`TreeSketch`] — a reconstruction of the TreeSketches graph synopsis
+//!   (Polyzotis, Garofalakis, Ioannidis): document nodes are clustered
+//!   (starting from label partitions, refined under a byte budget toward
+//!   count stability), and estimation multiplies *average* child
+//!   cardinalities along the query tree. The original executable is closed
+//!   source; this reconstruction reproduces its estimation mechanism and
+//!   its budgeted-clustering construction cost — the two properties the
+//!   paper's comparison turns on (see `DESIGN.md` §6).
+
+pub mod markov;
+pub mod treesketch;
+
+pub use markov::MarkovTable;
+pub use treesketch::{SketchConfig, TreeSketch};

@@ -1,0 +1,219 @@
+//! Order-m Markov table for XML path selectivity (Lore / Markov-table
+//! family, after McHugh & Widom and Aboulnaga et al.).
+//!
+//! The table stores the exact occurrence count of every downward label path
+//! of length ≤ m in the document. A longer path `l₁/…/lₙ` is estimated
+//! under the order-(m−1) Markov assumption:
+//!
+//! ```text
+//! ŝ = s(l₁…l_m) · Π_{i=2}^{n-m+1}  s(l_i…l_{i+m-1}) / s(l_i…l_{i+m-2})
+//! ```
+//!
+//! Lemma 4 of the paper shows both TreeLattice decomposition estimators
+//! reduce to exactly this formula on path queries when the lattice order
+//! equals `m`; the workspace integration tests check the equality
+//! numerically on mined documents.
+
+use tl_xml::{Document, FxHashMap, LabelId};
+
+/// Exact counts of all label paths up to a fixed length.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, ParseOptions};
+/// use tl_baselines::MarkovTable;
+///
+/// let doc = parse_document(b"<a><b><c/></b><b/></a>", ParseOptions::default()).unwrap();
+/// let table = MarkovTable::build(&doc, 2);
+/// let a = doc.labels().get("a").unwrap();
+/// let b = doc.labels().get("b").unwrap();
+/// let c = doc.labels().get("c").unwrap();
+/// assert_eq!(table.estimate_path(&[a, b]), 2.0);
+/// // a/b/c is length 3 > m: estimated as s(a/b)·s(b/c)/s(b) = 2·1/2 = 1.
+/// assert_eq!(table.estimate_path(&[a, b, c]), 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MarkovTable {
+    m: usize,
+    counts: FxHashMap<Box<[u32]>, u64>,
+}
+
+impl MarkovTable {
+    /// Builds the table of all paths of length 1..=m.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` (the Markov chain needs windows and overlaps).
+    pub fn build(doc: &Document, m: usize) -> Self {
+        assert!(m >= 2, "markov table order must be at least 2");
+        let mut counts: FxHashMap<Box<[u32]>, u64> = FxHashMap::default();
+        // For each node, record the label paths of length <= m that *end*
+        // at it, by walking up at most m-1 ancestors.
+        let mut window: Vec<u32> = Vec::with_capacity(m);
+        for v in doc.pre_order() {
+            window.clear();
+            window.push(doc.label(v).0);
+            let mut cur = v;
+            for _ in 1..m {
+                match doc.parent(cur) {
+                    Some(p) => {
+                        window.push(doc.label(p).0);
+                        cur = p;
+                    }
+                    None => break,
+                }
+            }
+            // `window` is node-to-ancestor; paths are recorded root-first.
+            for len in 1..=window.len() {
+                let path: Vec<u32> = window[..len].iter().rev().copied().collect();
+                *counts.entry(path.into_boxed_slice()).or_insert(0) += 1;
+            }
+        }
+        Self { m, counts }
+    }
+
+    /// The table order m.
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Approximate heap bytes (keys + counts).
+    pub fn heap_bytes(&self) -> usize {
+        self.counts
+            .keys()
+            .map(|k| k.len() * 4 + 8)
+            .sum()
+    }
+
+    /// The exact stored count of a path of length ≤ m, if present.
+    pub fn lookup(&self, path: &[LabelId]) -> Option<u64> {
+        if path.len() > self.m {
+            return None;
+        }
+        let key: Vec<u32> = path.iter().map(|l| l.0).collect();
+        self.counts.get(key.as_slice()).copied()
+    }
+
+    /// Estimates the selectivity of the downward path `labels`.
+    pub fn estimate_path(&self, labels: &[LabelId]) -> f64 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let key: Vec<u32> = labels.iter().map(|l| l.0).collect();
+        if labels.len() <= self.m {
+            return self.counts.get(key.as_slice()).copied().unwrap_or(0) as f64;
+        }
+        // Chain of m-windows over (m-1)-overlaps.
+        let m = self.m;
+        let first = self.counts.get(&key[..m]).copied().unwrap_or(0) as f64;
+        if first == 0.0 {
+            return 0.0;
+        }
+        let mut est = first;
+        for i in 1..=(key.len() - m) {
+            let window = self.counts.get(&key[i..i + m]).copied().unwrap_or(0) as f64;
+            if window == 0.0 {
+                return 0.0;
+            }
+            let overlap = self.counts.get(&key[i..i + m - 1]).copied().unwrap_or(0) as f64;
+            if overlap == 0.0 {
+                return 0.0;
+            }
+            est *= window / overlap;
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    fn ids(d: &Document, names: &[&str]) -> Vec<LabelId> {
+        names.iter().map(|n| d.labels().get(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn short_paths_are_exact() {
+        let d = doc("<a><b><c/><c/></b><b><c/></b></a>");
+        let t = MarkovTable::build(&d, 3);
+        assert_eq!(t.estimate_path(&ids(&d, &["a"])), 1.0);
+        assert_eq!(t.estimate_path(&ids(&d, &["b"])), 2.0);
+        assert_eq!(t.estimate_path(&ids(&d, &["a", "b"])), 2.0);
+        assert_eq!(t.estimate_path(&ids(&d, &["b", "c"])), 3.0);
+        assert_eq!(t.estimate_path(&ids(&d, &["a", "b", "c"])), 3.0);
+    }
+
+    #[test]
+    fn long_paths_use_markov_chain() {
+        // Chain of d's, depth 6, order 2:
+        // s(d/d) = 5, s(d) = 6 => s(d^4) = 5 * (5/6)^2.
+        let d = doc("<d><d><d><d><d><d/></d></d></d></d></d>");
+        let t = MarkovTable::build(&d, 2);
+        let dl = ids(&d, &["d"])[0];
+        let est = t.estimate_path(&[dl; 4]);
+        let expected = 5.0 * (5.0 / 6.0) * (5.0 / 6.0);
+        assert!((est - expected).abs() < 1e-9, "est {est} expected {expected}");
+    }
+
+    #[test]
+    fn missing_window_is_zero() {
+        let d = doc("<a><b/><c/></a>");
+        let t = MarkovTable::build(&d, 2);
+        assert_eq!(t.estimate_path(&ids(&d, &["b", "c"])), 0.0);
+        assert_eq!(t.estimate_path(&ids(&d, &["a", "b", "c"])), 0.0);
+    }
+
+    #[test]
+    fn order_bounds_storage() {
+        let d = doc("<a><b><c><d/></c></b></a>");
+        let t2 = MarkovTable::build(&d, 2);
+        let t3 = MarkovTable::build(&d, 3);
+        assert!(t3.len() > t2.len());
+        assert!(t2.lookup(&ids(&d, &["a", "b", "c"])).is_none());
+        assert_eq!(t3.lookup(&ids(&d, &["a", "b", "c"])), Some(1));
+    }
+
+    #[test]
+    fn markov_exactness_on_memoryless_data() {
+        // Every b has exactly 2 c's; every a exactly 3 b's: chain estimate
+        // of a/b/c is exact.
+        let mut s = String::from("<r>");
+        for _ in 0..4 {
+            s.push_str("<a>");
+            for _ in 0..3 {
+                s.push_str("<b><c/><c/></b>");
+            }
+            s.push_str("</a>");
+        }
+        s.push_str("</r>");
+        let d = doc(&s);
+        let t = MarkovTable::build(&d, 2);
+        let est = t.estimate_path(&ids(&d, &["r", "a", "b", "c"]));
+        assert!((est - 24.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn empty_path_is_zero() {
+        let d = doc("<a/>");
+        let t = MarkovTable::build(&d, 2);
+        assert_eq!(t.estimate_path(&[]), 0.0);
+    }
+}

@@ -1,0 +1,470 @@
+//! A TreeSketches-style graph synopsis (after Polyzotis, Garofalakis,
+//! Ioannidis, SIGMOD 2004).
+//!
+//! The synopsis partitions document nodes into clusters and keeps, per
+//! cluster pair, the *average* number of children a member of the source
+//! cluster has in the target cluster. Construction follows the original's
+//! bottom-up shape: first compute the **count-stable** partition (recursive
+//! bisimulation by child-cluster counts — one cluster per distinct subtree
+//! count-structure, a synopsis that reconstructs the document exactly),
+//! then repeatedly merge the two most count-similar same-label clusters
+//! (Ward-style distance over per-target average child counts) until the
+//! synopsis fits the byte budget. Coarsening granularity
+//! is therefore driven purely by the memory budget, as the paper describes
+//! ("clusters the similar fragments of XML data together...the granularity
+//! of the clustering depends on the memory budget"), and the construction
+//! pays the per-merge candidate evaluation cost that makes Table 3's
+//! TreeSketches column expensive.
+//!
+//! Estimation walks the query top-down: the expected number of matches of
+//! a query subtree per member of a cluster is the product over query
+//! children of the sum over outgoing edges (to clusters with the child's
+//! label) of `avg-count × per-member-expectation(child, target)`. Averaging
+//! across merged clusters is the variance blow-up §5.3 / Figure 11
+//! analyzes.
+
+use tl_twig::{Twig, TwigNodeId};
+use tl_xml::{Document, FxHashMap, FxHashSet, LabelId, NodeId};
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchConfig {
+    /// Byte budget for the synopsis; the paper's experiments allot 50 KB.
+    pub budget_bytes: usize,
+}
+
+impl Default for SketchConfig {
+    fn default() -> Self {
+        Self {
+            budget_bytes: 50 * 1024,
+        }
+    }
+}
+
+/// The built synopsis.
+#[derive(Clone, Debug)]
+pub struct TreeSketch {
+    /// Per-cluster label.
+    labels: Vec<LabelId>,
+    /// Per-cluster member count.
+    sizes: Vec<u64>,
+    /// Per-cluster outgoing edges `(target cluster, average child count)`.
+    edges: Vec<Vec<(u32, f64)>>,
+    /// Clusters grouped by label (indexed by `LabelId::index()`).
+    by_label: Vec<Vec<u32>>,
+}
+
+impl TreeSketch {
+    /// Builds the synopsis for `doc` under `config.budget_bytes`.
+    pub fn build(doc: &Document, config: SketchConfig) -> Self {
+        Agglomerator::new(doc).run(config.budget_bytes)
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Synopsis footprint in bytes: per cluster a label + count
+    /// (12 bytes), per edge a target + weight (12 bytes).
+    pub fn heap_bytes(&self) -> usize {
+        self.labels.len() * 12 + self.edges.iter().map(|e| e.len() * 12).sum::<usize>()
+    }
+
+    /// Estimates the selectivity of `twig`.
+    pub fn estimate(&self, twig: &Twig) -> f64 {
+        let root_label = twig.label(twig.root());
+        let Some(clusters) = self.by_label.get(root_label.index()) else {
+            return 0.0;
+        };
+        let mut memo: FxHashMap<(TwigNodeId, u32), f64> = FxHashMap::default();
+        clusters
+            .iter()
+            .map(|&c| {
+                self.sizes[c as usize] as f64 * self.per_member(twig, twig.root(), c, &mut memo)
+            })
+            .sum()
+    }
+
+    /// Expected matches of the subtree at `q` per member of cluster `c`
+    /// (the member plays the role of `q`'s image).
+    fn per_member(
+        &self,
+        twig: &Twig,
+        q: TwigNodeId,
+        c: u32,
+        memo: &mut FxHashMap<(TwigNodeId, u32), f64>,
+    ) -> f64 {
+        if twig.children(q).is_empty() {
+            return 1.0;
+        }
+        if let Some(&v) = memo.get(&(q, c)) {
+            return v;
+        }
+        let mut product = 1.0f64;
+        for &qc in twig.children(q) {
+            let want = twig.label(qc);
+            let mut sum = 0.0f64;
+            for &(target, avg) in &self.edges[c as usize] {
+                if self.labels[target as usize] == want {
+                    sum += avg * self.per_member(twig, qc, target, memo);
+                }
+            }
+            if sum == 0.0 {
+                memo.insert((q, c), 0.0);
+                return 0.0;
+            }
+            product *= sum;
+        }
+        memo.insert((q, c), product);
+        product
+    }
+}
+
+/// Bottom-up agglomerative construction state.
+struct Agglomerator {
+    /// Cluster label.
+    label_of: Vec<LabelId>,
+    /// Member count per cluster.
+    size: Vec<u64>,
+    /// Whether the cluster has not been merged away.
+    alive: Vec<bool>,
+    /// Total child-edge weight per (cluster, target cluster).
+    out: Vec<FxHashMap<u32, u64>>,
+    /// Source clusters with an edge into this cluster.
+    incoming: Vec<FxHashSet<u32>>,
+    /// Alive clusters per label, kept sorted by mean-fanout key.
+    groups: FxHashMap<u32, Vec<u32>>,
+}
+
+impl Agglomerator {
+    fn new(doc: &Document) -> Self {
+        // Count-stable initial partition: the cluster of a node is
+        // determined by its label and the *multiset of child clusters with
+        // counts*, computed in one bottom-up pass (children have larger
+        // arena indices, so a reverse pre-order scan sees them first).
+        let mut sig_ids: FxHashMap<(u32, Vec<(u32, u32)>), u32> = FxHashMap::default();
+        let mut assignment: Vec<u32> = vec![0; doc.len()];
+        let mut label_of: Vec<LabelId> = Vec::new();
+        let mut size: Vec<u64> = Vec::new();
+        for raw in (0..doc.len() as u32).rev() {
+            let v = NodeId(raw);
+            let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+            for u in doc.children(v) {
+                *counts.entry(assignment[u.index()]).or_insert(0) += 1;
+            }
+            let mut sig: Vec<(u32, u32)> = counts.into_iter().collect();
+            sig.sort_unstable();
+            let next = label_of.len() as u32;
+            let id = *sig_ids.entry((doc.label(v).0, sig)).or_insert(next);
+            if id == next {
+                label_of.push(doc.label(v));
+                size.push(0);
+            }
+            size[id as usize] += 1;
+            assignment[v.index()] = id;
+        }
+        let n = label_of.len();
+        let mut out: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); n];
+        let mut incoming: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+        for v in doc.pre_order() {
+            if let Some(p) = doc.parent(v) {
+                let from = assignment[p.index()];
+                let to = assignment[v.index()];
+                *out[from as usize].entry(to).or_insert(0) += 1;
+                incoming[to as usize].insert(from);
+            }
+        }
+        let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (c, l) in label_of.iter().enumerate() {
+            groups.entry(l.0).or_default().push(c as u32);
+        }
+        let mut this = Self {
+            label_of,
+            size,
+            alive: vec![true; n],
+            out,
+            incoming,
+            groups,
+        };
+        for ids in this.groups.clone().values() {
+            this.sort_group_of(ids[0]);
+        }
+        this
+    }
+
+    /// Mean total fanout of a cluster — the 1-D ordering key that limits
+    /// merge candidates to count-adjacent clusters.
+    fn key(&self, c: u32) -> f64 {
+        let total: u64 = self.out[c as usize].values().sum();
+        total as f64 / self.size[c as usize] as f64
+    }
+
+    fn sort_group_of(&mut self, member: u32) {
+        let label = self.label_of[member as usize].0;
+        let mut group = self.groups.remove(&label).unwrap_or_default();
+        group.retain(|&c| self.alive[c as usize]);
+        group.sort_by(|&a, &b| {
+            self.key(a)
+                .partial_cmp(&self.key(b))
+                .expect("keys are finite")
+                .then(a.cmp(&b))
+        });
+        self.groups.insert(label, group);
+    }
+
+    /// Ward-style distance between two same-label clusters over their
+    /// per-target average child counts.
+    fn distance(&self, a: u32, b: u32) -> f64 {
+        let (na, nb) = (self.size[a as usize] as f64, self.size[b as usize] as f64);
+        let oa = &self.out[a as usize];
+        let ob = &self.out[b as usize];
+        let mut sum = 0.0f64;
+        for (&t, &w) in oa {
+            let va = w as f64 / na;
+            let vb = ob.get(&t).copied().unwrap_or(0) as f64 / nb;
+            sum += (va - vb) * (va - vb);
+        }
+        for (&t, &w) in ob {
+            if !oa.contains_key(&t) {
+                let vb = w as f64 / nb;
+                sum += vb * vb;
+            }
+        }
+        (na * nb / (na + nb)) * sum
+    }
+
+    /// Current synopsis footprint under the 12-bytes-per-record model.
+    fn current_bytes(&self) -> usize {
+        let clusters = self.alive.iter().filter(|&&a| a).count();
+        let edges: usize = self
+            .out
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(o, _)| o.len())
+            .sum();
+        clusters * 12 + edges * 12
+    }
+
+    /// Merges cluster `b` into `a` (same label), rewiring edges.
+    fn merge(&mut self, a: u32, b: u32) {
+        debug_assert!(a != b && self.alive[a as usize] && self.alive[b as usize]);
+        self.size[a as usize] += self.size[b as usize];
+        // Outgoing edges of b move to a (b's self-loop becomes a's).
+        let b_out = std::mem::take(&mut self.out[b as usize]);
+        for (t, w) in b_out {
+            let t = if t == b { a } else { t };
+            *self.out[a as usize].entry(t).or_insert(0) += w;
+            self.incoming[t as usize].remove(&b);
+            self.incoming[t as usize].insert(a);
+        }
+        // Incoming edges of b re-point to a.
+        let b_in = std::mem::take(&mut self.incoming[b as usize]);
+        for s in b_in {
+            if s == b {
+                continue; // self-loop already handled above
+            }
+            if let Some(w) = self.out[s as usize].remove(&b) {
+                *self.out[s as usize].entry(a).or_insert(0) += w;
+            }
+            self.incoming[a as usize].insert(s);
+        }
+        self.incoming[a as usize].remove(&b);
+        self.alive[b as usize] = false;
+        self.sort_group_of(a);
+    }
+
+    /// The agglomeration loop: merge most-similar adjacent same-label pairs
+    /// until the byte budget is met or only one cluster per label remains.
+    fn run(mut self, budget_bytes: usize) -> TreeSketch {
+        while self.current_bytes() > budget_bytes {
+            // Scan adjacent pairs in every label group for the global best.
+            let mut best: Option<(f64, u32, u32)> = None;
+            for group in self.groups.values() {
+                for pair in group.windows(2) {
+                    let d = self.distance(pair[0], pair[1]);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, pair[0], pair[1]));
+                    }
+                }
+            }
+            match best {
+                Some((_, a, b)) => self.merge(a, b),
+                None => break, // One cluster per label: cannot coarsen further.
+            }
+        }
+        self.finish()
+    }
+
+    /// Reindexes alive clusters and converts edge totals into averages.
+    fn finish(self) -> TreeSketch {
+        let mut remap = vec![u32::MAX; self.label_of.len()];
+        let mut labels = Vec::new();
+        let mut sizes = Vec::new();
+        for (c, &alive) in self.alive.iter().enumerate() {
+            if alive {
+                remap[c] = labels.len() as u32;
+                labels.push(self.label_of[c]);
+                sizes.push(self.size[c]);
+            }
+        }
+        let mut edges: Vec<Vec<(u32, f64)>> = vec![Vec::new(); labels.len()];
+        for (c, o) in self.out.iter().enumerate() {
+            if !self.alive[c] {
+                continue;
+            }
+            let nc = remap[c] as usize;
+            let size = self.size[c] as f64;
+            let mut e: Vec<(u32, f64)> = o
+                .iter()
+                .map(|(&t, &w)| (remap[t as usize], w as f64 / size))
+                .collect();
+            debug_assert!(e.iter().all(|&(t, _)| t != u32::MAX));
+            e.sort_unstable_by_key(|&(t, _)| t);
+            edges[nc] = e;
+        }
+        let n_labels = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+        let mut by_label = vec![Vec::new(); n_labels];
+        for (c, l) in labels.iter().enumerate() {
+            by_label[l.index()].push(c as u32);
+        }
+        TreeSketch {
+            labels,
+            sizes,
+            edges,
+            by_label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_twig::parse_twig_in;
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    /// A synopsis merged all the way down to one cluster per label.
+    fn label_split(d: &Document) -> TreeSketch {
+        TreeSketch::build(d, SketchConfig { budget_bytes: 0 })
+    }
+
+    #[test]
+    fn figure11_average_overestimates() {
+        let d = tl_datagen::figure11_document();
+        let sk = label_split(&d);
+        let q = parse_twig_in("b[c][d]", d.labels()).unwrap();
+        let est = sk.estimate(&q);
+        // count(b)=3, avg c per b = 4/3, avg d per b = 2 => 8; true is 4.
+        assert!((est - 8.0).abs() < 1e-9, "est = {est}");
+    }
+
+    #[test]
+    fn paths_are_exact_with_label_clusters() {
+        // Per-edge averages telescope exactly on pure path counts.
+        let d = doc("<r><a><b/><b/></a><a><b/></a></r>");
+        let sk = label_split(&d);
+        let q = parse_twig_in("r/a/b", d.labels()).unwrap();
+        assert!((sk.estimate(&q) - 3.0).abs() < 1e-9);
+        let q2 = parse_twig_in("a/b", d.labels()).unwrap();
+        assert!((sk.estimate(&q2) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_edges_give_zero() {
+        let d = doc("<a><b/><c/></a>");
+        let sk = label_split(&d);
+        let q = parse_twig_in("b/c", d.labels()).unwrap();
+        assert_eq!(sk.estimate(&q), 0.0);
+        let q2 = parse_twig_in("a[b][c]", d.labels()).unwrap();
+        assert!(sk.estimate(&q2) > 0.0);
+    }
+
+    #[test]
+    fn generous_budget_keeps_the_exact_partition() {
+        // With budget for the exact signature partition, no merge happens
+        // and estimates of in-signature twigs are exact.
+        let d = tl_datagen::figure11_document();
+        let fine = TreeSketch::build(&d, SketchConfig { budget_bytes: 1 << 20 });
+        let coarse = label_split(&d);
+        assert!(fine.cluster_count() > coarse.cluster_count());
+        let q = parse_twig_in("b[c][d]", d.labels()).unwrap();
+        assert!((fine.estimate(&q) - 4.0).abs() < 1e-9, "exact partition is exact");
+    }
+
+    #[test]
+    fn budget_bounds_bytes() {
+        let d = tl_datagen::Dataset::Xmark.generate(tl_datagen::GenConfig {
+            seed: 8,
+            target_elements: 5_000,
+        });
+        let budget = 2_000;
+        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: budget });
+        assert!(sk.heap_bytes() <= budget, "bytes = {}", sk.heap_bytes());
+    }
+
+    #[test]
+    fn merging_is_monotone_in_budget() {
+        let d = tl_datagen::Dataset::Psd.generate(tl_datagen::GenConfig {
+            seed: 9,
+            target_elements: 4_000,
+        });
+        let small = TreeSketch::build(&d, SketchConfig { budget_bytes: 1_000 });
+        let large = TreeSketch::build(&d, SketchConfig { budget_bytes: 20_000 });
+        assert!(small.cluster_count() <= large.cluster_count());
+        assert!(small.heap_bytes() <= large.heap_bytes());
+    }
+
+    #[test]
+    fn single_node_queries_count_cluster_sizes() {
+        let d = doc("<a><b/><b/><b/></a>");
+        let sk = label_split(&d);
+        let q = parse_twig_in("b", d.labels()).unwrap();
+        assert_eq!(sk.estimate(&q), 3.0);
+    }
+
+    #[test]
+    fn fully_regular_data_has_tiny_exact_synopsis() {
+        // Identical records: one signature per label, zero merges needed,
+        // exact estimates.
+        let mut s = String::from("<r>");
+        for _ in 0..50 {
+            s.push_str("<a><b/><c/></a>");
+        }
+        s.push_str("</r>");
+        let d = doc(&s);
+        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: 1 << 20 });
+        assert_eq!(sk.cluster_count(), 4);
+        let q = parse_twig_in("a[b][c]", d.labels()).unwrap();
+        assert!((sk.estimate(&q) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recursive_labels_merge_safely() {
+        // Self-loop rewiring: nested same-label elements merged to one
+        // cluster keep the s->s edge.
+        let d = doc("<s><s><s/><s/></s><s/></s>");
+        let sk = label_split(&d);
+        assert_eq!(sk.cluster_count(), 1);
+        let q = parse_twig_in("s/s", d.labels()).unwrap();
+        // 5 nodes, 4 s->s edges; one cluster: 5 * (4/5) = 4 — exact here.
+        assert!((sk.estimate(&q) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimates_stay_finite_under_heavy_merging() {
+        let d = tl_datagen::Dataset::Imdb.generate(tl_datagen::GenConfig {
+            seed: 10,
+            target_elements: 4_000,
+        });
+        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: 1_500 });
+        let q = parse_twig_in("movie[title][year]", d.labels()).unwrap();
+        let est = sk.estimate(&q);
+        assert!(est.is_finite() && est >= 0.0);
+    }
+}

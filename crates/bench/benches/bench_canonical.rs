@@ -1,0 +1,41 @@
+//! Canonicalization and key hashing of twigs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::canonical::{canonicalize, key_of};
+use tl_workload::positive_workload;
+
+fn bench_canonical(c: &mut Criterion) {
+    let doc = Dataset::Imdb.generate(GenConfig {
+        seed: 6,
+        target_elements: 15_000,
+    });
+    let mut group = c.benchmark_group("canonical");
+    for size in [4usize, 8] {
+        let w = positive_workload(&doc, size, 30, 3);
+        let twigs: Vec<_> = w.cases.into_iter().map(|c| c.twig).collect();
+        assert!(!twigs.is_empty());
+        group.bench_function(format!("key_of_size{size}"), |b| {
+            b.iter(|| {
+                let mut bytes = 0usize;
+                for t in &twigs {
+                    bytes += key_of(t).as_bytes().len();
+                }
+                std::hint::black_box(bytes)
+            })
+        });
+        group.bench_function(format!("canonicalize_size{size}"), |b| {
+            b.iter(|| {
+                let mut nodes = 0usize;
+                for t in &twigs {
+                    nodes += canonicalize(t).len();
+                }
+                std::hint::black_box(nodes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Estimation latency: recursive / voting / fix-sized / synopsis
+//! (the microscopic counterpart of Figure 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tl_baselines::{SketchConfig, TreeSketch};
+use tl_datagen::{Dataset, GenConfig};
+use tl_workload::positive_workload;
+use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+
+fn bench_estimate(c: &mut Criterion) {
+    let doc = Dataset::Xmark.generate(GenConfig {
+        seed: 5,
+        target_elements: 20_000,
+    });
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    let sketch = TreeSketch::build(&doc, SketchConfig::default());
+    let opts = EstimateOptions::default();
+
+    let mut group = c.benchmark_group("estimate");
+    for size in [6usize, 8] {
+        let w = positive_workload(&doc, size, 15, 9);
+        assert!(!w.cases.is_empty());
+        for est in Estimator::ALL {
+            group.bench_function(format!("{}_size{size}", est.name()), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for case in &w.cases {
+                        acc += lattice.estimate_with(&case.twig, est, &opts);
+                    }
+                    std::hint::black_box(acc)
+                })
+            });
+        }
+        group.bench_function(format!("treesketch_size{size}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for case in &w.cases {
+                    acc += sketch.estimate(&case.twig);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate);
+criterion_main!(benches);

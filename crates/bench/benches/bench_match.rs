@@ -1,0 +1,32 @@
+//! Exact twig-match counting (ground-truth selectivity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::MatchCounter;
+use tl_workload::positive_workload;
+
+fn bench_match(c: &mut Criterion) {
+    let doc = Dataset::Xmark.generate(GenConfig {
+        seed: 3,
+        target_elements: 30_000,
+    });
+    let counter = MatchCounter::new(&doc);
+    let mut group = c.benchmark_group("exact_match");
+    for size in [3usize, 5, 8] {
+        let w = positive_workload(&doc, size, 10, 5);
+        assert!(!w.cases.is_empty());
+        group.bench_function(format!("xmark_size{size}"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for case in &w.cases {
+                    total = total.wrapping_add(counter.count(&case.twig));
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_match);
+criterion_main!(benches);

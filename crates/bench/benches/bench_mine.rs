@@ -1,0 +1,34 @@
+//! Lattice construction (mining) cost per lattice order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tl_datagen::{Dataset, GenConfig};
+use tl_miner::{mine, MineConfig};
+
+fn bench_mine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine");
+    group.sample_size(10);
+    for ds in [Dataset::Xmark, Dataset::Psd] {
+        let doc = ds.generate(GenConfig {
+            seed: 2,
+            target_elements: 20_000,
+        });
+        for k in [3usize, 4] {
+            group.bench_function(format!("{}_k{k}", ds.name()), |b| {
+                b.iter(|| {
+                    let report = mine(
+                        &doc,
+                        MineConfig {
+                            max_size: k,
+                            threads: 1,
+                        },
+                    );
+                    std::hint::black_box(report.lattice.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mine);
+criterion_main!(benches);

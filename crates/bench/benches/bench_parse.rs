@@ -1,0 +1,28 @@
+//! XML parsing throughput on serialized corpora.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tl_datagen::{Dataset, GenConfig};
+use tl_xml::{parse_document, writer::document_to_string, ParseOptions};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for ds in [Dataset::Xmark, Dataset::Nasa] {
+        let doc = ds.generate(GenConfig {
+            seed: 1,
+            target_elements: 20_000,
+        });
+        let text = document_to_string(&doc);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(ds.name(), |b| {
+            b.iter(|| {
+                let parsed =
+                    parse_document(text.as_bytes(), ParseOptions::default()).expect("parses");
+                std::hint::black_box(parsed.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Runs the complete evaluation suite (every table and figure) in order.
+
+fn main() {
+    let cfg = tl_bench::ExpConfig::from_args();
+    let start = std::time::Instant::now();
+    tl_bench::experiments::run_all(&cfg);
+    println!(
+        "all experiments finished in {:.1}s; CSVs are under results/",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,6 @@
+//! Experiment runner; see `tl_bench::experiments::fig10`.
+
+fn main() {
+    let cfg = tl_bench::ExpConfig::from_args();
+    tl_bench::experiments::fig10::run_d(&cfg);
+}

@@ -1,0 +1,138 @@
+//! Experiment configuration and command-line parsing.
+
+/// Shared experiment parameters.
+///
+/// Every experiment binary accepts:
+///
+/// ```text
+/// --scale N      target elements per dataset   (default 100000)
+/// --seed N       generator / workload seed     (default 42)
+/// --queries N    queries per workload size     (default 50)
+/// --k N          lattice order                 (default 4)
+/// --quick        8k elements, 20 queries — a fast smoke-run
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Target element count per generated dataset.
+    pub scale: usize,
+    /// Seed for generation and workload sampling.
+    pub seed: u64,
+    /// Queries per (dataset, size) workload cell.
+    pub queries: usize,
+    /// Lattice order for TreeLattice summaries.
+    pub k: usize,
+    /// TreeSketches byte budget (Table 3 uses 50 KB).
+    pub sketch_budget: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 100_000,
+            seed: 42,
+            queries: 50,
+            k: 4,
+            sketch_budget: 50 * 1024,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The reduced configuration used by `--quick`.
+    pub fn quick() -> Self {
+        Self {
+            scale: 8_000,
+            queries: 20,
+            ..Self::default()
+        }
+    }
+
+    /// Parses flags from `std::env::args`, exiting with a usage message on
+    /// malformed input.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|msg| {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: [--scale N] [--seed N] [--queries N] [--k N] \
+                 [--sketch-budget BYTES] [--quick]"
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an iterator of flags (separated from `from_args` for tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut numeric = |name: &str| -> Result<usize, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<usize>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match arg.as_str() {
+                "--quick" => {
+                    let seed = cfg.seed;
+                    cfg = Self::quick();
+                    cfg.seed = seed;
+                }
+                "--scale" => cfg.scale = numeric("--scale")?,
+                "--seed" => cfg.seed = numeric("--seed")? as u64,
+                "--queries" => cfg.queries = numeric("--queries")?,
+                "--k" => cfg.k = numeric("--k")?,
+                "--sketch-budget" => cfg.sketch_budget = numeric("--sketch-budget")?,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if cfg.k < 2 {
+            return Err("--k must be at least 2".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Workload query sizes used by Figures 7–9 (4 through 8).
+    pub fn query_sizes(&self) -> Vec<usize> {
+        (4..=8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpConfig, String> {
+        ExpConfig::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cfg = parse(&[]).unwrap();
+        assert_eq!(cfg.scale, 100_000);
+        assert_eq!(cfg.k, 4);
+    }
+
+    #[test]
+    fn flags_override() {
+        let cfg = parse(&["--scale", "1000", "--seed", "7", "--queries", "5", "--k", "3"]).unwrap();
+        assert_eq!(cfg.scale, 1000);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.queries, 5);
+        assert_eq!(cfg.k, 3);
+    }
+
+    #[test]
+    fn quick_mode() {
+        let cfg = parse(&["--seed", "9", "--quick"]).unwrap();
+        assert_eq!(cfg.scale, 8_000);
+        assert_eq!(cfg.seed, 9, "quick preserves an earlier seed");
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--k", "1"]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Dataset materialization shared by all experiments.
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_xml::Document;
+
+use crate::config::ExpConfig;
+
+/// Generates all four corpora at the configured scale.
+pub fn all_datasets(cfg: &ExpConfig) -> Vec<(Dataset, Document)> {
+    Dataset::ALL
+        .iter()
+        .map(|&ds| (ds, one_dataset(cfg, ds)))
+        .collect()
+}
+
+/// Generates one corpus.
+pub fn one_dataset(cfg: &ExpConfig, ds: Dataset) -> Document {
+    ds.generate(GenConfig {
+        seed: cfg.seed,
+        target_elements: cfg.scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_four() {
+        let cfg = ExpConfig {
+            scale: 500,
+            ..ExpConfig::default()
+        };
+        let ds = all_datasets(&cfg);
+        assert_eq!(ds.len(), 4);
+        for (d, doc) in ds {
+            assert!(doc.len() >= 400, "{d}: {} nodes", doc.len());
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Ablations beyond the paper's figures, for the design choices DESIGN.md
+//! calls out: voting width and lattice order.
+
+use std::time::Instant;
+
+use tl_datagen::Dataset;
+use tl_workload::{average_relative_error_pct, positive_workload};
+use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+
+use crate::data::one_dataset;
+use crate::report::{fmt_duration, fmt_f};
+use crate::{ExpConfig, Table};
+
+/// Voting-cap sweep: how many removable pairs per recursion node are worth
+/// averaging. Cap 1 is plain recursive decomposition; `usize::MAX` is full
+/// voting.
+pub fn build_voting(cfg: &ExpConfig) -> Table {
+    let doc = one_dataset(cfg, Dataset::Nasa);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
+    let size = 8usize;
+    let w = positive_workload(&doc, size, cfg.queries, cfg.seed);
+    let truths = w.true_counts();
+    let mut t = Table::new(
+        format!("Ablation: voting cap (Nasa, query size {size})"),
+        &["Cap", "Avg Error (%)", "Mean Latency"],
+    );
+    for cap in [1usize, 2, 4, 8, usize::MAX] {
+        let opts = EstimateOptions { voting_cap: cap };
+        let start = Instant::now();
+        let estimates: Vec<f64> = w
+            .cases
+            .iter()
+            .map(|c| lattice.estimate_with(&c.twig, Estimator::RecursiveVoting, &opts))
+            .collect();
+        let elapsed = start.elapsed() / w.cases.len().max(1) as u32;
+        t.row(vec![
+            if cap == usize::MAX {
+                "full".to_owned()
+            } else {
+                cap.to_string()
+            },
+            fmt_f(average_relative_error_pct(&truths, &estimates)),
+            fmt_duration(elapsed),
+        ]);
+    }
+    t
+}
+
+/// Runs the voting ablation.
+pub fn run_voting(cfg: &ExpConfig) -> Table {
+    let t = build_voting(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("ablation_voting") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+/// Lattice-order sweep: accuracy / size / construction time for k ∈ 2..=5.
+pub fn build_k(cfg: &ExpConfig) -> Table {
+    let doc = one_dataset(cfg, Dataset::Xmark);
+    let size = 7usize;
+    let w = positive_workload(&doc, size, cfg.queries, cfg.seed);
+    let truths = w.true_counts();
+    let mut t = Table::new(
+        format!("Ablation: lattice order k (XMark, query size {size})"),
+        &["k", "Avg Error (%)", "Summary KB", "Build Time"],
+    );
+    for k in 2..=5usize {
+        let start = Instant::now();
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(k));
+        let build_time = start.elapsed();
+        let estimates: Vec<f64> = w
+            .cases
+            .iter()
+            .map(|c| lattice.estimate(&c.twig, Estimator::RecursiveVoting))
+            .collect();
+        t.row(vec![
+            k.to_string(),
+            fmt_f(average_relative_error_pct(&truths, &estimates)),
+            format!("{:.1}", lattice.summary_bytes() as f64 / 1024.0),
+            fmt_duration(build_time),
+        ]);
+    }
+    t
+}
+
+/// Runs the lattice-order ablation.
+pub fn run_k(cfg: &ExpConfig) -> Table {
+    let t = build_k(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("ablation_k") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 1500,
+            queries: 6,
+            ..ExpConfig::default()
+        }
+    }
+
+    #[test]
+    fn voting_sweep_has_five_rows_and_cap_one_matches_plain() {
+        let t = build_voting(&tiny());
+        assert_eq!(t.rows().len(), 5);
+    }
+
+    #[test]
+    fn k_sweep_size_grows() {
+        let t = build_k(&tiny());
+        assert_eq!(t.rows().len(), 4);
+        let sizes: Vec<f64> = t.rows().iter().map(|r| r[2].parse().unwrap()).collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] >= pair[0], "summary must grow with k: {sizes:?}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Figure 10: δ-derivable pattern pruning experiments.
+//!
+//! * (a) 4-lattice summary size with vs without 0-derivable patterns, all
+//!   datasets;
+//! * (b) accuracy on NASA when the space freed by 0-pruning the 4-lattice
+//!   is reinvested in the non-derivable patterns of the 5-lattice ("OPT"),
+//!   vs plain voting and TreeSketches;
+//! * (c) summary size vs δ ∈ {0, 10, 20, 30}% on IMDB;
+//! * (d) estimation error vs δ on IMDB.
+
+use tl_baselines::{SketchConfig, TreeSketch};
+use tl_datagen::Dataset;
+use tl_workload::{average_relative_error_pct, positive_workload};
+use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+
+use crate::data::{all_datasets, one_dataset};
+use crate::report::fmt_f;
+use crate::{ExpConfig, Table};
+
+/// (a) — pruning savings per dataset.
+pub fn build_a(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Figure 10(a): 4-Lattice Summary Size (KB), with vs without 0-derivable patterns",
+        &["Dataset", "With (KB)", "Without (KB)", "Saved (%)", "Patterns Pruned"],
+    );
+    for (ds, doc) in all_datasets(cfg) {
+        let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
+        let before = lattice.summary_bytes();
+        let report = lattice.prune(0.0);
+        let after = lattice.summary_bytes();
+        t.row(vec![
+            ds.name().to_owned(),
+            format!("{:.1}", before as f64 / 1024.0),
+            format!("{:.1}", after as f64 / 1024.0),
+            format!("{:.1}", 100.0 * report.bytes_saved() as f64 / before.max(1) as f64),
+            format!("{}/{}", report.pruned, report.examined),
+        ]);
+    }
+    t
+}
+
+/// Runs (a), prints, writes CSV.
+pub fn run_a(cfg: &ExpConfig) -> Table {
+    let t = build_a(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("fig10a_pruning_savings") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+/// (b) — NASA accuracy: voting on the 4-lattice, voting on the 0-pruned
+/// 5-lattice (OPT), and TreeSketches, for query sizes 4..=9.
+pub fn build_b(cfg: &ExpConfig) -> Table {
+    let doc = one_dataset(cfg, Dataset::Nasa);
+    let base = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
+    // OPT: mine one level deeper and keep only non-derivable patterns —
+    // the paper shows this fits in the space of the plain 4-lattice.
+    let mut opt = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k + 1));
+    opt.prune(0.0);
+    let sketch = TreeSketch::build(
+        &doc,
+        SketchConfig {
+            budget_bytes: cfg.sketch_budget,
+        },
+    );
+    let opts = EstimateOptions::default();
+
+    let mut t = Table::new(
+        format!(
+            "Figure 10(b): Average Relative Error (%) on Nasa \
+             (OPT = pruned {}-lattice in {:.0} KB vs plain {}-lattice in {:.0} KB)",
+            cfg.k + 1,
+            opt.summary_bytes() as f64 / 1024.0,
+            cfg.k,
+            base.summary_bytes() as f64 / 1024.0,
+        ),
+        &["Query Size", "voting+OPT", "voting", "treesketch"],
+    );
+    for size in 4..=9 {
+        let w = positive_workload(&doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+        let truths = w.true_counts();
+        let est = |f: &dyn Fn(&tl_twig::Twig) -> f64| -> f64 {
+            let estimates: Vec<f64> = w.cases.iter().map(|c| f(&c.twig)).collect();
+            average_relative_error_pct(&truths, &estimates)
+        };
+        t.row(vec![
+            size.to_string(),
+            fmt_f(est(&|q| opt.estimate_with(q, Estimator::RecursiveVoting, &opts))),
+            fmt_f(est(&|q| base.estimate_with(q, Estimator::RecursiveVoting, &opts))),
+            fmt_f(est(&|q| sketch.estimate(q))),
+        ]);
+    }
+    t
+}
+
+/// Runs (b), prints, writes CSV.
+pub fn run_b(cfg: &ExpConfig) -> Table {
+    let t = build_b(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("fig10b_pruning_accuracy") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+/// The δ grid of Figures 10(c)/(d).
+pub const DELTAS: [f64; 4] = [0.0, 0.10, 0.20, 0.30];
+
+/// (c) — IMDB summary size vs δ.
+pub fn build_c(cfg: &ExpConfig) -> Table {
+    let doc = one_dataset(cfg, Dataset::Imdb);
+    let full = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
+    let mut t = Table::new(
+        "Figure 10(c): 4-Lattice Summary Size vs delta (IMDB)",
+        &["Delta(%)", "Size (KB)", "Patterns"],
+    );
+    t.row(vec![
+        "unpruned".into(),
+        format!("{:.1}", full.summary_bytes() as f64 / 1024.0),
+        full.summary().len().to_string(),
+    ]);
+    for &delta in &DELTAS {
+        let mut lat = full.clone();
+        lat.prune(delta);
+        t.row(vec![
+            format!("{:.0}", delta * 100.0),
+            format!("{:.1}", lat.summary_bytes() as f64 / 1024.0),
+            lat.summary().len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs (c), prints, writes CSV.
+pub fn run_c(cfg: &ExpConfig) -> Table {
+    let t = build_c(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("fig10c_delta_size") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+/// (d) — IMDB estimation error vs query size for each δ.
+pub fn build_d(cfg: &ExpConfig) -> Table {
+    let doc = one_dataset(cfg, Dataset::Imdb);
+    let full = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
+    let pruned: Vec<TreeLattice> = DELTAS
+        .iter()
+        .map(|&delta| {
+            let mut lat = full.clone();
+            lat.prune(delta);
+            lat
+        })
+        .collect();
+    let opts = EstimateOptions::default();
+    let mut t = Table::new(
+        "Figure 10(d): Average Relative Error (%) vs delta (IMDB)",
+        &["Query Size", "delta=0%", "delta=10%", "delta=20%", "delta=30%"],
+    );
+    for size in cfg.query_sizes() {
+        let w = positive_workload(&doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+        let truths = w.true_counts();
+        let mut row = vec![size.to_string()];
+        for lat in &pruned {
+            let estimates: Vec<f64> = w
+                .cases
+                .iter()
+                .map(|c| lat.estimate_with(&c.twig, Estimator::RecursiveVoting, &opts))
+                .collect();
+            row.push(fmt_f(average_relative_error_pct(&truths, &estimates)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs (d), prints, writes CSV.
+pub fn run_d(cfg: &ExpConfig) -> Table {
+    let t = build_d(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("fig10d_delta_accuracy") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            scale: 1200,
+            queries: 4,
+            ..ExpConfig::default()
+        }
+    }
+
+    #[test]
+    fn pruning_saves_space_on_every_dataset() {
+        let t = build_a(&tiny());
+        assert_eq!(t.rows().len(), 4);
+        for row in t.rows() {
+            let with: f64 = row[1].parse().unwrap();
+            let without: f64 = row[2].parse().unwrap();
+            assert!(without <= with, "{}: {without} > {with}", row[0]);
+        }
+    }
+
+    #[test]
+    fn delta_monotonically_shrinks_summary() {
+        let t = build_c(&tiny());
+        // Rows: unpruned, then one per delta.
+        let sizes: Vec<f64> = t.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9, "sizes not monotone: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn fig10b_produces_six_sizes() {
+        let t = build_b(&tiny());
+        assert_eq!(t.rows().len(), 6);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 7: average selectivity estimation error vs query size, per
+//! dataset, for all four methods.
+
+use tl_workload::average_relative_error_pct;
+
+use crate::data::all_datasets;
+use crate::experiments::harness::{sweep, DatasetSweep, Method};
+use crate::report::fmt_f;
+use crate::{ExpConfig, Table};
+
+/// Runs the sweep and projects Figure 7's series for one dataset.
+pub fn build_for(sweep_data: &DatasetSweep) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 7 ({}): Average Relative Error (%) vs Query Size",
+            sweep_data.dataset.name()
+        ),
+        &[
+            "Query Size",
+            Method::Recursive.short(),
+            Method::RecursiveVoting.short(),
+            Method::FixSized.short(),
+            Method::TreeSketches.short(),
+        ],
+    );
+    for cell in &sweep_data.per_size {
+        let mut row = vec![cell.size.to_string()];
+        for mi in 0..4 {
+            row.push(fmt_f(average_relative_error_pct(
+                &cell.truths,
+                &cell.estimates[mi],
+            )));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs, prints and writes one CSV per dataset.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (ds, doc) in all_datasets(cfg) {
+        let s = sweep(cfg, ds, &doc);
+        let t = build_for(&s);
+        t.print();
+        if let Err(e) = t.write_csv(&format!("fig7_accuracy_{}", ds.name())) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::one_dataset;
+    use tl_datagen::Dataset;
+
+    #[test]
+    fn errors_are_percentages() {
+        let cfg = ExpConfig {
+            scale: 1200,
+            queries: 5,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Xmark);
+        let s = sweep(&cfg, Dataset::Xmark, &doc);
+        let t = build_for(&s);
+        assert_eq!(t.rows().len(), cfg.query_sizes().len());
+        for row in t.rows() {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v >= 0.0 && v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn size_four_queries_have_zero_lattice_error() {
+        // With k = 4, size-4 positive queries are answered exactly.
+        let cfg = ExpConfig {
+            scale: 1500,
+            queries: 6,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Psd);
+        let s = sweep(&cfg, Dataset::Psd, &doc);
+        let first = &s.per_size[0];
+        assert_eq!(first.size, 4);
+        for mi in 0..3 {
+            let err = average_relative_error_pct(&first.truths, &first.estimates[mi]);
+            assert_eq!(err, 0.0, "method {mi} not exact on in-lattice queries");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 8: cumulative distribution of relative errors, per dataset.
+//!
+//! Errors from all query sizes are pooled (as in the paper, which plots
+//! one distribution per dataset), evaluated on the Figure 8 log grid
+//! from 0.1% to 10000%.
+
+use tl_workload::metrics::{error_cdf, fig8_grid, relative_error_pct, sanity_bound};
+
+use crate::data::all_datasets;
+use crate::experiments::harness::{sweep, DatasetSweep, Method};
+use crate::{ExpConfig, Table};
+
+/// Pools per-query errors per method across sizes.
+pub fn pooled_errors(sweep_data: &DatasetSweep) -> [Vec<f64>; 4] {
+    let mut pooled: [Vec<f64>; 4] = Default::default();
+    for cell in &sweep_data.per_size {
+        let bound = sanity_bound(&cell.truths);
+        for (pool, estimates) in pooled.iter_mut().zip(&cell.estimates) {
+            for (&s, &e) in cell.truths.iter().zip(estimates) {
+                pool.push(relative_error_pct(s, e, bound));
+            }
+        }
+    }
+    pooled
+}
+
+/// Builds the CDF table for one dataset.
+pub fn build_for(sweep_data: &DatasetSweep) -> Table {
+    let grid = fig8_grid();
+    let pooled = pooled_errors(sweep_data);
+    let cdfs: Vec<Vec<(f64, f64)>> = pooled.iter().map(|e| error_cdf(e, &grid)).collect();
+    let mut t = Table::new(
+        format!(
+            "Figure 8 ({}): Cumulative Error Distribution (%)",
+            sweep_data.dataset.name()
+        ),
+        &[
+            "Error<=(%)",
+            Method::Recursive.short(),
+            Method::RecursiveVoting.short(),
+            Method::FixSized.short(),
+            Method::TreeSketches.short(),
+        ],
+    );
+    for (gi, &x) in grid.iter().enumerate() {
+        t.row(vec![
+            format!("{x:.2}"),
+            format!("{:.1}", cdfs[0][gi].1),
+            format!("{:.1}", cdfs[1][gi].1),
+            format!("{:.1}", cdfs[2][gi].1),
+            format!("{:.1}", cdfs[3][gi].1),
+        ]);
+    }
+    t
+}
+
+/// Runs, prints and writes one CSV per dataset.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (ds, doc) in all_datasets(cfg) {
+        let s = sweep(cfg, ds, &doc);
+        let t = build_for(&s);
+        t.print();
+        if let Err(e) = t.write_csv(&format!("fig8_error_cdf_{}", ds.name())) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::one_dataset;
+    use tl_datagen::Dataset;
+
+    #[test]
+    fn cdf_columns_are_monotone() {
+        let cfg = ExpConfig {
+            scale: 1000,
+            queries: 4,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Nasa);
+        let s = sweep(&cfg, Dataset::Nasa, &doc);
+        let t = build_for(&s);
+        for col in 1..=4 {
+            let mut prev = -1.0f64;
+            for row in t.rows() {
+                let v: f64 = row[col].parse().unwrap();
+                assert!(v >= prev - 1e-9, "column {col} not monotone");
+                prev = v;
+            }
+            assert!((prev - 100.0).abs() < 1e-6, "column {col} must end at 100%");
+        }
+    }
+}

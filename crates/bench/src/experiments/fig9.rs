@@ -1,0 +1,70 @@
+//! Figure 9: average estimation response time (ms) vs query size.
+
+use crate::data::all_datasets;
+use crate::experiments::harness::{sweep, DatasetSweep, Method};
+use crate::{ExpConfig, Table};
+
+/// Builds the response-time table for one dataset.
+pub fn build_for(sweep_data: &DatasetSweep) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 9 ({}): Average Response Time (ms) vs Query Size",
+            sweep_data.dataset.name()
+        ),
+        &[
+            "Query Size",
+            Method::Recursive.short(),
+            Method::RecursiveVoting.short(),
+            Method::FixSized.short(),
+            Method::TreeSketches.short(),
+        ],
+    );
+    for cell in &sweep_data.per_size {
+        let mut row = vec![cell.size.to_string()];
+        for mi in 0..4 {
+            row.push(format!("{:.4}", cell.mean_latency_ms(mi)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs, prints and writes one CSV per dataset.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    for (ds, doc) in all_datasets(cfg) {
+        let s = sweep(cfg, ds, &doc);
+        let t = build_for(&s);
+        t.print();
+        if let Err(e) = t.write_csv(&format!("fig9_response_time_{}", ds.name())) {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::one_dataset;
+    use tl_datagen::Dataset;
+
+    #[test]
+    fn latencies_are_positive_and_small() {
+        let cfg = ExpConfig {
+            scale: 1000,
+            queries: 4,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Xmark);
+        let s = sweep(&cfg, Dataset::Xmark, &doc);
+        let t = build_for(&s);
+        for row in t.rows() {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..10_000.0).contains(&v));
+            }
+        }
+    }
+}

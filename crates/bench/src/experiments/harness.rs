@@ -1,0 +1,203 @@
+//! Shared estimation harness for the accuracy / response-time figures.
+//!
+//! Builds every estimator once per dataset, runs the per-size positive
+//! workloads through all of them, and records estimates and per-query
+//! latencies. Figures 7, 8 and 9 are different projections of this data.
+
+use std::time::{Duration, Instant};
+
+use tl_baselines::{SketchConfig, TreeSketch};
+use tl_datagen::Dataset;
+use tl_workload::{positive_workload, Workload};
+use tl_xml::Document;
+use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+
+use crate::ExpConfig;
+
+/// The four estimation methods compared in Figures 7–9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// TreeLattice, recursive decomposition.
+    Recursive,
+    /// TreeLattice, recursive decomposition with voting.
+    RecursiveVoting,
+    /// TreeLattice, fix-sized decomposition.
+    FixSized,
+    /// The TreeSketches-style synopsis baseline.
+    TreeSketches,
+}
+
+impl Method {
+    /// All methods in the paper's legend order.
+    pub const ALL: [Method; 4] = [
+        Method::Recursive,
+        Method::RecursiveVoting,
+        Method::FixSized,
+        Method::TreeSketches,
+    ];
+
+    /// Legend label (matches the paper's figure legends).
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Recursive => "Recursive Decomp Estimator",
+            Method::RecursiveVoting => "Recursive Decomp Estimator + Voting",
+            Method::FixSized => "Fix-sized Decomp Estimator",
+            Method::TreeSketches => "TreeSketches",
+        }
+    }
+
+    /// Short column label.
+    pub fn short(self) -> &'static str {
+        match self {
+            Method::Recursive => "recursive",
+            Method::RecursiveVoting => "rec+voting",
+            Method::FixSized => "fix-sized",
+            Method::TreeSketches => "treesketch",
+        }
+    }
+}
+
+/// All built estimators over one document.
+pub struct Estimators {
+    /// The TreeLattice summary (order `cfg.k`).
+    pub lattice: TreeLattice,
+    /// The synopsis baseline.
+    pub sketch: TreeSketch,
+}
+
+impl Estimators {
+    /// Builds both systems.
+    pub fn build(cfg: &ExpConfig, doc: &Document) -> Self {
+        Self {
+            lattice: TreeLattice::build(doc, &BuildConfig::with_k(cfg.k)),
+            sketch: TreeSketch::build(
+                doc,
+                SketchConfig {
+                    budget_bytes: cfg.sketch_budget,
+                },
+            ),
+        }
+    }
+
+    /// Runs one query through one method, returning (estimate, latency).
+    pub fn run(&self, method: Method, twig: &tl_twig::Twig) -> (f64, Duration) {
+        let opts = EstimateOptions::default();
+        let start = Instant::now();
+        let est = match method {
+            Method::Recursive => self.lattice.estimate_with(twig, Estimator::Recursive, &opts),
+            Method::RecursiveVoting => {
+                self.lattice
+                    .estimate_with(twig, Estimator::RecursiveVoting, &opts)
+            }
+            Method::FixSized => self.lattice.estimate_with(twig, Estimator::FixSized, &opts),
+            Method::TreeSketches => self.sketch.estimate(twig),
+        };
+        (est, start.elapsed())
+    }
+}
+
+/// Results of one (dataset, query-size) workload cell.
+pub struct SizeResult {
+    /// Query size.
+    pub size: usize,
+    /// Ground-truth selectivities.
+    pub truths: Vec<u64>,
+    /// Per-method estimates, indexed like [`Method::ALL`].
+    pub estimates: [Vec<f64>; 4],
+    /// Per-method total estimation time over the workload.
+    pub times: [Duration; 4],
+}
+
+impl SizeResult {
+    /// Mean per-query latency of one method, in milliseconds.
+    pub fn mean_latency_ms(&self, method_idx: usize) -> f64 {
+        if self.truths.is_empty() {
+            return 0.0;
+        }
+        self.times[method_idx].as_secs_f64() * 1e3 / self.truths.len() as f64
+    }
+}
+
+/// Full accuracy/latency sweep for one dataset.
+pub struct DatasetSweep {
+    /// Which corpus.
+    pub dataset: Dataset,
+    /// One entry per query size (cfg.query_sizes()).
+    pub per_size: Vec<SizeResult>,
+}
+
+/// Runs the positive-workload sweep for one dataset.
+pub fn sweep(cfg: &ExpConfig, dataset: Dataset, doc: &Document) -> DatasetSweep {
+    let est = Estimators::build(cfg, doc);
+    let per_size = cfg
+        .query_sizes()
+        .into_iter()
+        .map(|size| run_cell(cfg, &est, doc, size))
+        .collect();
+    DatasetSweep { dataset, per_size }
+}
+
+fn run_cell(cfg: &ExpConfig, est: &Estimators, doc: &Document, size: usize) -> SizeResult {
+    let workload: Workload =
+        positive_workload(doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+    let truths = workload.true_counts();
+    let mut estimates: [Vec<f64>; 4] = Default::default();
+    let mut times = [Duration::ZERO; 4];
+    for case in &workload.cases {
+        for (mi, &method) in Method::ALL.iter().enumerate() {
+            let (e, dt) = est.run(method, &case.twig);
+            estimates[mi].push(e);
+            times[mi] += dt;
+        }
+    }
+    SizeResult {
+        size,
+        truths,
+        estimates,
+        times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::one_dataset;
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let cfg = ExpConfig {
+            scale: 1500,
+            queries: 5,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Psd);
+        let s = sweep(&cfg, Dataset::Psd, &doc);
+        assert_eq!(s.per_size.len(), cfg.query_sizes().len());
+        for cell in &s.per_size {
+            assert_eq!(cell.truths.len(), cell.estimates[0].len());
+            for est_set in &cell.estimates {
+                for &e in est_set {
+                    assert!(e.is_finite() && e >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_in_lattice_queries_are_exact_for_all_lattice_methods() {
+        let cfg = ExpConfig {
+            scale: 1200,
+            queries: 8,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Nasa);
+        let est = Estimators::build(&cfg, &doc);
+        let w = positive_workload(&doc, 4, 8, 3);
+        for case in &w.cases {
+            for method in [Method::Recursive, Method::RecursiveVoting, Method::FixSized] {
+                let (e, _) = est.run(method, &case.twig);
+                assert_eq!(e, case.true_count as f64, "{method:?}");
+            }
+        }
+    }
+}

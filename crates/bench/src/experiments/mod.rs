@@ -1,0 +1,37 @@
+//! Experiment implementations, one module per table/figure.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod harness;
+pub mod negative;
+pub mod scale_sweep;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod values;
+
+use crate::ExpConfig;
+
+/// Runs the full evaluation suite in paper order.
+pub fn run_all(cfg: &ExpConfig) {
+    table1::run(cfg);
+    table2::run(cfg);
+    table3::run(cfg);
+    fig7::run(cfg);
+    fig8::run(cfg);
+    fig9::run(cfg);
+    fig10::run_a(cfg);
+    fig10::run_b(cfg);
+    fig10::run_c(cfg);
+    fig10::run_d(cfg);
+    fig11::run(cfg);
+    negative::run(cfg);
+    ablation::run_voting(cfg);
+    ablation::run_k(cfg);
+    values::run(cfg);
+    scale_sweep::run(cfg);
+}

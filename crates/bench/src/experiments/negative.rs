@@ -1,0 +1,108 @@
+//! §5.1 negative workloads: zero-selectivity queries.
+//!
+//! The paper reports TreeLattice answers > 90% of negative queries with an
+//! exact 0 (an error requires every sub-twig of the query to occur while
+//! the query itself does not), and TreeSketches answers 100% by design.
+//! This experiment measures the exact-zero rate per dataset and method.
+
+use tl_workload::negative_workload;
+use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+
+use crate::data::all_datasets;
+use crate::experiments::harness::Estimators;
+use crate::{ExpConfig, Table};
+
+/// Builds the zero-answer-rate table.
+pub fn build(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Negative workloads: % of zero-selectivity queries answered exactly 0",
+        &["Dataset", "Queries", "recursive", "rec+voting", "fix-sized", "treesketch"],
+    );
+    for (ds, doc) in all_datasets(cfg) {
+        let est = Estimators::build(cfg, &doc);
+        let mut cases = Vec::new();
+        for size in cfg.query_sizes() {
+            let w = negative_workload(&doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+            cases.extend(w.cases);
+        }
+        if cases.is_empty() {
+            continue;
+        }
+        let opts = EstimateOptions::default();
+        let zero_rate = |f: &dyn Fn(&tl_twig::Twig) -> f64| -> f64 {
+            let zeros = cases.iter().filter(|c| f(&c.twig) == 0.0).count();
+            100.0 * zeros as f64 / cases.len() as f64
+        };
+        t.row(vec![
+            ds.name().to_owned(),
+            cases.len().to_string(),
+            format!(
+                "{:.1}",
+                zero_rate(&|q| est.lattice.estimate_with(q, Estimator::Recursive, &opts))
+            ),
+            format!(
+                "{:.1}",
+                zero_rate(&|q| est
+                    .lattice
+                    .estimate_with(q, Estimator::RecursiveVoting, &opts))
+            ),
+            format!(
+                "{:.1}",
+                zero_rate(&|q| est.lattice.estimate_with(q, Estimator::FixSized, &opts))
+            ),
+            format!("{:.1}", zero_rate(&|q| est.sketch.estimate(q))),
+        ]);
+    }
+    t
+}
+
+/// Runs, prints, writes CSV.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let t = build(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("negative_workload") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+/// Convenience used by the integration tests: the zero rate of the plain
+/// recursive estimator on one document.
+pub fn zero_rate_recursive(cfg: &ExpConfig, doc: &tl_xml::Document) -> f64 {
+    let lattice = TreeLattice::build(doc, &BuildConfig::with_k(cfg.k));
+    let mut total = 0usize;
+    let mut zeros = 0usize;
+    for size in cfg.query_sizes() {
+        let w = negative_workload(doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+        for case in &w.cases {
+            total += 1;
+            if lattice.estimate(&case.twig, Estimator::Recursive) == 0.0 {
+                zeros += 1;
+            }
+        }
+    }
+    if total == 0 {
+        100.0
+    } else {
+        100.0 * zeros as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::one_dataset;
+    use tl_datagen::Dataset;
+
+    #[test]
+    fn most_negative_queries_answer_zero() {
+        let cfg = ExpConfig {
+            scale: 2500,
+            queries: 8,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Nasa);
+        let rate = zero_rate_recursive(&cfg, &doc);
+        assert!(rate >= 80.0, "zero rate {rate}% below the paper's ballpark");
+    }
+}

@@ -1,0 +1,100 @@
+//! Construction-cost scale sweep: the Table 3 trend.
+//!
+//! The paper's construction-time gap between TreeLattice mining and the
+//! TreeSketches clustering synopsis is a scale phenomenon: mining is
+//! near-linear in document size while budgeted agglomeration grows
+//! superlinearly in the count-stable partition size. This sweep measures
+//! both across corpus scales so the trend (not just one point) is on
+//! record.
+
+use std::time::Instant;
+
+use tl_baselines::{SketchConfig, TreeSketch};
+use tl_datagen::{Dataset, GenConfig};
+use tl_miner::{mine, MineConfig};
+
+use crate::report::fmt_duration;
+use crate::{ExpConfig, Table};
+
+/// Scales measured, as fractions of `cfg.scale`.
+const FACTORS: [f64; 4] = [0.25, 0.5, 1.0, 1.5];
+
+/// Builds the sweep table for one dataset.
+pub fn build_for(cfg: &ExpConfig, dataset: Dataset) -> Table {
+    let mut t = Table::new(
+        format!("Scale sweep ({}): construction time vs corpus size", dataset.name()),
+        &["Elements", "TreeLattice", "TreeSketches", "Ratio"],
+    );
+    for factor in FACTORS {
+        let scale = ((cfg.scale as f64) * factor) as usize;
+        let doc = dataset.generate(GenConfig {
+            seed: cfg.seed,
+            target_elements: scale,
+        });
+        let t0 = Instant::now();
+        let report = mine(
+            &doc,
+            MineConfig {
+                max_size: cfg.k,
+                threads: 0,
+            },
+        );
+        let lattice_time = t0.elapsed();
+        std::hint::black_box(report.lattice.len());
+        let t1 = Instant::now();
+        let sketch = TreeSketch::build(
+            &doc,
+            SketchConfig {
+                budget_bytes: cfg.sketch_budget,
+            },
+        );
+        let sketch_time = t1.elapsed();
+        std::hint::black_box(sketch.cluster_count());
+        t.row(vec![
+            doc.len().to_string(),
+            fmt_duration(lattice_time),
+            fmt_duration(sketch_time),
+            format!(
+                "{:.1}x",
+                sketch_time.as_secs_f64() / lattice_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    t
+}
+
+/// Runs the sweep for every dataset, printing and writing CSVs.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    Dataset::ALL
+        .iter()
+        .map(|&ds| {
+            let t = build_for(cfg, ds);
+            t.print();
+            if let Err(e) = t.write_csv(&format!("scale_sweep_{}", ds.name())) {
+                eprintln!("warning: could not write CSV: {e}");
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_rows() {
+        let cfg = ExpConfig {
+            scale: 2_000,
+            sketch_budget: 4 * 1024,
+            ..ExpConfig::default()
+        };
+        let t = build_for(&cfg, Dataset::Xmark);
+        assert_eq!(t.rows().len(), FACTORS.len());
+        // Element counts grow across the sweep.
+        let sizes: Vec<usize> = t.rows().iter().map(|r| r[0].parse().unwrap()).collect();
+        for pair in sizes.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 1: dataset characteristics.
+
+use tl_xml::DocStats;
+
+use crate::data::all_datasets;
+use crate::report::fmt_f;
+use crate::{ExpConfig, Table};
+
+/// Builds the table without printing (used by tests).
+pub fn build(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Table 1: Dataset Characteristics",
+        &[
+            "Dataset",
+            "Elements",
+            "File Size(MB)",
+            "Labels",
+            "Max Depth",
+            "Mean Fanout",
+            "Fanout Var",
+        ],
+    );
+    for (ds, doc) in all_datasets(cfg) {
+        let s = DocStats::compute(&doc);
+        t.row(vec![
+            ds.name().to_owned(),
+            s.elements.to_string(),
+            format!("{:.2}", s.serialized_mb()),
+            s.distinct_labels.to_string(),
+            s.max_depth.to_string(),
+            fmt_f(s.mean_fanout),
+            fmt_f(s.fanout_variance),
+        ]);
+    }
+    t
+}
+
+/// Runs, prints, and writes `results/table1_datasets.csv`.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let t = build(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("table1_datasets") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_with_plausible_values() {
+        let cfg = ExpConfig {
+            scale: 1000,
+            ..ExpConfig::default()
+        };
+        let t = build(&cfg);
+        assert_eq!(t.rows().len(), 4);
+        for row in t.rows() {
+            let elements: usize = row[1].parse().unwrap();
+            assert!(elements >= 800);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Value-predicate estimation accuracy vs bucket width (extension
+//! experiment for the §6 value-predicate future work).
+//!
+//! Ground truth comes from the exact (`AsLabels`) value encoding; each
+//! bucketed lattice answers the same equality-predicate workload and we
+//! report the average relative error per bucket width. Narrow bucket
+//! widths merge distinct values and overestimate.
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::{count_matches, parse_twig_valued};
+use tl_xml::ValueMode;
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+use crate::report::fmt_f;
+use crate::{ExpConfig, Table};
+
+/// Bucket widths evaluated.
+const WIDTHS: [u32; 4] = [16, 64, 256, 4096];
+
+/// Builds the value-accuracy table (XMark stand-in, which carries values).
+pub fn build(cfg: &ExpConfig) -> Table {
+    let gen_cfg = GenConfig {
+        seed: cfg.seed,
+        target_elements: cfg.scale,
+    };
+    let exact_doc = Dataset::Xmark.generate_valued(gen_cfg, ValueMode::AsLabels);
+    let mut exact_labels = exact_doc.labels().clone();
+
+    // Equality-predicate workload over the category domain (Zipf-ish).
+    let queries: Vec<String> = (0..15)
+        .map(|i| format!("item[incategory=\"category{i}\"]"))
+        .chain((0..5).map(|i| {
+            format!("item[name][incategory=\"category{i}\"]")
+        }))
+        .collect();
+    let truths: Vec<u64> = queries
+        .iter()
+        .map(|q| {
+            let twig = parse_twig_valued(q, &mut exact_labels, ValueMode::AsLabels)
+                .expect("workload query parses");
+            count_matches(&exact_doc, &twig)
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Value predicates: average relative error (%) vs bucket width (XMark)",
+        &["Encoding", "Labels", "Summary KB", "Avg Error (%)"],
+    );
+    let mut eval = |mode: ValueMode, name: &str| {
+        let doc = Dataset::Xmark.generate_valued(gen_cfg, mode);
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k.min(3)));
+        let estimates: Vec<f64> = queries
+            .iter()
+            .map(|q| {
+                lattice
+                    .estimate_query_valued(q, mode, Estimator::RecursiveVoting)
+                    .expect("workload query parses")
+            })
+            .collect();
+        let err = tl_workload::average_relative_error_pct(&truths, &estimates);
+        t.row(vec![
+            name.to_owned(),
+            doc.labels().len().to_string(),
+            format!("{:.1}", lattice.summary_bytes() as f64 / 1024.0),
+            fmt_f(err),
+        ]);
+    };
+    eval(ValueMode::AsLabels, "exact");
+    for width in WIDTHS {
+        eval(ValueMode::Bucketed(width), &format!("buckets={width}"));
+    }
+    t
+}
+
+/// Runs, prints, writes CSV.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let t = build(cfg);
+    t.print();
+    if let Err(e) = t.write_csv("values_accuracy") {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_encoding_has_zero_error_and_wider_buckets_help() {
+        let cfg = ExpConfig {
+            scale: 4_000,
+            ..ExpConfig::default()
+        };
+        let t = build(&cfg);
+        assert_eq!(t.rows().len(), 1 + WIDTHS.len());
+        let exact_err: f64 = t.rows()[0][3].parse().unwrap();
+        assert_eq!(exact_err, 0.0, "size-3 valued twigs are stored exactly");
+        let narrow: f64 = t.rows()[1][3].parse().unwrap();
+        let wide: f64 = t.rows()[t.rows().len() - 1][3].parse().unwrap();
+        assert!(
+            wide <= narrow,
+            "wider buckets must not be less accurate: {narrow} -> {wide}"
+        );
+    }
+}

@@ -1,0 +1,659 @@
+//! # tl-cli — the `treelattice` command-line tool
+//!
+//! A thin, dependency-free front end over the workspace:
+//!
+//! ```text
+//! treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
+//! treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE]
+//! treelattice explain <summary.tlat> <query>
+//! treelattice truth <input.xml> <query> [--values MODE]
+//! treelattice inspect <summary.tlat>
+//! treelattice prune <summary.tlat> -o <out.tlat> --delta D
+//! treelattice gen <nasa|imdb|psd|xmark> -o <out.xml> [--scale N] [--seed N] [--values MODE]
+//! ```
+//!
+//! `MODE` is `ignore` (default), `exact`, or `bucket:<N>`; pass the same
+//! mode to `build`, `estimate`, and `truth` so value predicates
+//! (`item[incategory="category3"]`) resolve to the labels the summary was
+//! built with.
+//!
+//! All command logic lives in [`run`], which writes to an injected sink so
+//! the test suite can drive the full tool without spawning processes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::{count_matches, parse_twig};
+use tl_xml::{parse_document, ParseOptions, ValueMode};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime failure).
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The tool's usage text.
+pub const USAGE: &str = "\
+treelattice — twig selectivity estimation over XML documents
+
+USAGE:
+  treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
+  treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE]
+  treelattice explain <summary.tlat> <query>
+  treelattice truth <input.xml> <query> [--values MODE]
+  treelattice inspect <summary.tlat>
+  treelattice prune <summary.tlat> -o <out.tlat> --delta D
+  treelattice gen <nasa|imdb|psd|xmark> -o <out.xml> [--scale N] [--seed N] [--values MODE]
+
+Queries use the twig syntax: a/b/c, //laptop[brand][price], a[b[d]][c/e];
+with --values, equality predicates like item[incategory=\"category3\"].
+MODE is ignore (default), exact, or bucket:<N>.
+";
+
+/// Runs one invocation; `args` excludes the program name.
+pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "build" => cmd_build(rest, out),
+        "estimate" => cmd_estimate(rest, out),
+        "explain" => cmd_explain(rest, out),
+        "truth" => cmd_truth(rest, out),
+        "inspect" => cmd_inspect(rest, out),
+        "prune" => cmd_prune(rest, out),
+        "gen" => cmd_gen(rest, out),
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(())
+        }
+        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Minimal flag cursor: positionals in order, flags anywhere.
+struct Args<'a> {
+    items: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Self {
+            items,
+            used: vec![false; items.len()],
+        }
+    }
+
+    fn flag_value(&mut self, name: &str) -> Result<Option<&'a str>, CliError> {
+        for i in 0..self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                self.used[i] = true;
+                let v = self
+                    .items
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::usage(format!("{name} needs a value")))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn numeric<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flag_value(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| CliError::usage(format!("{name}: {e}"))),
+        }
+    }
+
+    fn positional(&mut self, what: &str) -> Result<&'a str, CliError> {
+        for i in 0..self.items.len() {
+            if !self.used[i] && !self.items[i].starts_with("--") && self.items[i] != "-o" {
+                self.used[i] = true;
+                return Ok(&self.items[i]);
+            }
+        }
+        Err(CliError::usage(format!("missing <{what}>")))
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(CliError::usage(format!(
+                    "unexpected argument `{}`",
+                    self.items[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        }
+    }
+    std::fs::write(path, bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn load_document_with(path: &str, values: ValueMode) -> Result<tl_xml::Document, CliError> {
+    let bytes = read_file(path)?;
+    parse_document(
+        &bytes,
+        ParseOptions {
+            values,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| CliError::runtime(format!("{path}: XML parse error at {e}")))
+}
+
+fn load_summary(path: &str) -> Result<TreeLattice, CliError> {
+    let bytes = read_file(path)?;
+    TreeLattice::from_bytes(&bytes)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))
+}
+
+fn parse_value_mode(name: Option<&str>) -> Result<ValueMode, CliError> {
+    match name.unwrap_or("ignore") {
+        "ignore" => Ok(ValueMode::Ignore),
+        "exact" => Ok(ValueMode::AsLabels),
+        other => {
+            if let Some(n) = other.strip_prefix("bucket:") {
+                let buckets: u32 = n
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--values bucket: {e}")))?;
+                Ok(ValueMode::Bucketed(buckets))
+            } else {
+                Err(CliError::usage(format!(
+                    "unknown value mode `{other}` (expected ignore|exact|bucket:<N>)"
+                )))
+            }
+        }
+    }
+}
+
+fn parse_estimator(name: Option<&str>) -> Result<Estimator, CliError> {
+    match name.unwrap_or("voting") {
+        "recursive" | "rec" => Ok(Estimator::Recursive),
+        "voting" | "vote" => Ok(Estimator::RecursiveVoting),
+        "fixed" | "fix" | "fix-sized" => Ok(Estimator::FixSized),
+        other => Err(CliError::usage(format!(
+            "unknown estimator `{other}` (expected recursive|voting|fixed)"
+        ))),
+    }
+}
+
+fn cmd_build(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("build needs -o <summary.tlat>"))?
+        .to_owned();
+    let k: usize = args.numeric("--k")?.unwrap_or(4);
+    let delta: Option<f64> = args.numeric("--delta")?;
+    let threads: usize = args.numeric("--threads")?.unwrap_or(0);
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let input = args.positional("input.xml")?.to_owned();
+    args.finish()?;
+    if k < 2 {
+        return Err(CliError::usage("--k must be at least 2"));
+    }
+
+    let doc = load_document_with(&input, values)?;
+    let start = std::time::Instant::now();
+    let lattice = TreeLattice::build(
+        &doc,
+        &BuildConfig {
+            k,
+            threads,
+            prune_delta: delta,
+        },
+    );
+    let elapsed = start.elapsed();
+    write_file(&output, &lattice.to_bytes())?;
+    let _ = writeln!(
+        out,
+        "built {k}-lattice over {} elements in {:.2?}: {} patterns, {} bytes -> {output}",
+        doc.len(),
+        elapsed,
+        lattice.summary().len(),
+        lattice.summary_bytes(),
+    );
+    Ok(())
+}
+
+fn cmd_estimate(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let estimator = {
+        let value = args.flag_value("--estimator")?.map(str::to_owned);
+        parse_estimator(value.as_deref())?
+    };
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let summary_path = args.positional("summary.tlat")?.to_owned();
+    let query = args.positional("query")?.to_owned();
+    args.finish()?;
+
+    let lattice = load_summary(&summary_path)?;
+    let est = match values {
+        ValueMode::Ignore => lattice.estimate_query(&query, estimator),
+        mode => lattice.estimate_query_valued(&query, mode, estimator),
+    }
+    .map_err(|e| CliError::usage(format!("query: {e}")))?;
+    let _ = writeln!(out, "{est:.3}");
+    Ok(())
+}
+
+fn cmd_explain(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let summary_path = args.positional("summary.tlat")?.to_owned();
+    let query = args.positional("query")?.to_owned();
+    args.finish()?;
+    let lattice = load_summary(&summary_path)?;
+    let text = lattice
+        .explain_query(&query)
+        .map_err(|e| CliError::usage(format!("query: {e}")))?;
+    out.push_str(&text);
+    Ok(())
+}
+
+fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let input = args.positional("input.xml")?.to_owned();
+    let query = args.positional("query")?.to_owned();
+    args.finish()?;
+
+    let doc = load_document_with(&input, values)?;
+    let mut labels = doc.labels().clone();
+    let twig = match values {
+        ValueMode::Ignore => parse_twig(&query, &mut labels),
+        mode => tl_twig::parse_twig_valued(&query, &mut labels, mode),
+    }
+    .map_err(|e| CliError::usage(format!("query: {e}")))?;
+    // The exact counter's injective subset-DP is exponential in the largest
+    // same-label sibling group; reject hostile queries instead of panicking.
+    for n in twig.nodes() {
+        let mut by_label: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for &c in twig.children(n) {
+            *by_label.entry(twig.label(c)).or_insert(0) += 1;
+        }
+        if let Some((_, &g)) = by_label.iter().max_by_key(|(_, &g)| g) {
+            if g > tl_twig::matcher::MAX_SIBLING_GROUP {
+                return Err(CliError::usage(format!(
+                    "query has {g} same-label sibling steps; exact counting supports at most {}",
+                    tl_twig::matcher::MAX_SIBLING_GROUP
+                )));
+            }
+        }
+    }
+    // Labels unknown to the document cannot match.
+    let count = if twig.nodes().any(|n| twig.label(n).index() >= doc.labels().len()) {
+        0
+    } else {
+        count_matches(&doc, &twig)
+    };
+    let _ = writeln!(out, "{count}");
+    Ok(())
+}
+
+fn cmd_inspect(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let summary_path = args.positional("summary.tlat")?.to_owned();
+    args.finish()?;
+
+    let lattice = load_summary(&summary_path)?;
+    let _ = writeln!(
+        out,
+        "k = {}, labels = {}, patterns = {}, bytes = {}",
+        lattice.k(),
+        lattice.labels().len(),
+        lattice.summary().len(),
+        lattice.summary_bytes()
+    );
+    for (size, (stored, pruned)) in lattice.summary().level_info().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  level {}: {} patterns{}",
+            size + 1,
+            stored,
+            if *pruned { " (pruned)" } else { "" }
+        );
+    }
+    // The five highest-count patterns, as queries.
+    let mut top: Vec<(u64, String)> = lattice
+        .summary()
+        .iter()
+        .map(|(key, count)| (count, key.decode().to_query_string(lattice.labels())))
+        .collect();
+    top.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let _ = writeln!(out, "top patterns:");
+    for (count, query) in top.into_iter().take(5) {
+        let _ = writeln!(out, "  {count:>10}  {query}");
+    }
+    Ok(())
+}
+
+fn cmd_prune(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("prune needs -o <out.tlat>"))?
+        .to_owned();
+    let delta: f64 = args
+        .numeric("--delta")?
+        .ok_or_else(|| CliError::usage("prune needs --delta D"))?;
+    let summary_path = args.positional("summary.tlat")?.to_owned();
+    args.finish()?;
+    if !(0.0..=1.0).contains(&delta) {
+        return Err(CliError::usage("--delta must be in [0, 1]"));
+    }
+
+    let mut lattice = load_summary(&summary_path)?;
+    let report = lattice.prune(delta);
+    write_file(&output, &lattice.to_bytes())?;
+    let _ = writeln!(
+        out,
+        "pruned {}/{} patterns ({} -> {} bytes) -> {output}",
+        report.pruned, report.examined, report.bytes_before, report.bytes_after
+    );
+    Ok(())
+}
+
+fn cmd_gen(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("gen needs -o <out.xml>"))?
+        .to_owned();
+    let scale: usize = args.numeric("--scale")?.unwrap_or(50_000);
+    let seed: u64 = args.numeric("--seed")?.unwrap_or(42);
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let name = args.positional("dataset")?.to_owned();
+    args.finish()?;
+
+    let dataset: Dataset = name.parse().map_err(CliError::usage)?;
+    let doc = dataset.generate_valued(
+        GenConfig {
+            seed,
+            target_elements: scale,
+        },
+        values,
+    );
+    let mut buf = Vec::new();
+    tl_xml::write_document(&doc, &mut buf)
+        .map_err(|e| CliError::runtime(format!("serialize: {e}")))?;
+    write_file(&output, &buf)?;
+    let _ = writeln!(
+        out,
+        "generated {} ({} elements, {} labels) -> {output}",
+        dataset,
+        doc.len(),
+        doc.labels().len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        run(&owned, &mut out)?;
+        Ok(out)
+    }
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tl-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = call(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn full_pipeline_gen_build_estimate_truth() {
+        let dir = tempdir();
+        let xml = dir.join("corpus.xml");
+        let tlat = dir.join("corpus.tlat");
+        let out = call(&[
+            "gen", "xmark", "-o", xml.to_str().unwrap(), "--scale", "2000", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("generated xmark"));
+
+        let out = call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("built 3-lattice"), "{out}");
+
+        let est: f64 = call(&[
+            "estimate",
+            tlat.to_str().unwrap(),
+            "item/mailbox",
+            "--estimator",
+            "recursive",
+        ])
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+        let truth: f64 = call(&["truth", xml.to_str().unwrap(), "item/mailbox"])
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(est, truth, "size-2 query is exact");
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn inspect_reports_levels() {
+        let dir = tempdir();
+        let xml = dir.join("c.xml");
+        let tlat = dir.join("c.tlat");
+        std::fs::write(&xml, "<a><b><c/></b><b/></a>").unwrap();
+        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "3"]).unwrap();
+        let out = call(&["inspect", tlat.to_str().unwrap()]).unwrap();
+        assert!(out.contains("k = 3"), "{out}");
+        assert!(out.contains("level 1: 3 patterns"), "{out}");
+        assert!(out.contains("top patterns:"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prune_shrinks_summary() {
+        let dir = tempdir();
+        let xml = dir.join("p.xml");
+        let tlat = dir.join("p.tlat");
+        let pruned = dir.join("p0.tlat");
+        let mut body = String::from("<r>");
+        for _ in 0..10 {
+            body.push_str("<a><b/><c/></a>");
+        }
+        body.push_str("</r>");
+        std::fs::write(&xml, body).unwrap();
+        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "3"]).unwrap();
+        let out = call(&[
+            "prune",
+            tlat.to_str().unwrap(),
+            "-o",
+            pruned.to_str().unwrap(),
+            "--delta",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("pruned"), "{out}");
+        assert!(
+            std::fs::metadata(&pruned).unwrap().len() < std::fs::metadata(&tlat).unwrap().len()
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn explain_shows_trace() {
+        let dir = tempdir();
+        let xml = dir.join("e.xml");
+        let tlat = dir.join("e.tlat");
+        std::fs::write(&xml, "<r><a><b/><c/></a><a><b/></a><a><b/><c/></a></r>").unwrap();
+        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "2"]).unwrap();
+        let out = call(&["explain", tlat.to_str().unwrap(), "a[b][c]"]).unwrap();
+        assert!(out.contains("recursive = "), "{out}");
+        assert!(out.contains("s(T1)*s(T2)/s(T12)"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_estimator() {
+        let err = call(&["estimate", "x.tlat", "a/b", "--estimator", "wild"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown estimator"));
+    }
+
+    #[test]
+    fn missing_files_are_runtime_errors() {
+        let err = call(&["inspect", "/nonexistent/summary.tlat"]).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+
+    #[test]
+    fn build_rejects_k1() {
+        let err = call(&["build", "in.xml", "-o", "out.tlat", "--k", "1"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn unexpected_arguments_rejected() {
+        let err = call(&["truth", "a.xml", "a/b", "extra"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unexpected argument"));
+    }
+
+    #[test]
+    fn valued_pipeline_end_to_end() {
+        let dir = tempdir();
+        let xml = dir.join("v.xml");
+        let tlat = dir.join("v.tlat");
+        call(&[
+            "gen", "xmark", "-o", xml.to_str().unwrap(),
+            "--scale", "3000", "--seed", "5", "--values", "exact",
+        ])
+        .unwrap();
+        let content = std::fs::read_to_string(&xml).unwrap();
+        assert!(content.contains("category"), "values serialized as text");
+        call(&[
+            "build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(),
+            "--k", "3", "--values", "exact",
+        ])
+        .unwrap();
+        let q = "item[incategory=\"category0\"]";
+        let est: f64 = call(&[
+            "estimate", tlat.to_str().unwrap(), q, "--values", "exact",
+            "--estimator", "recursive",
+        ])
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+        let truth: f64 = call(&["truth", xml.to_str().unwrap(), q, "--values", "exact"])
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(truth > 0.0);
+        assert_eq!(est, truth, "in-lattice valued query is exact");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_value_mode_rejected() {
+        let err = call(&["estimate", "x.tlat", "a", "--values", "fuzzy"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("value mode"));
+    }
+
+    #[test]
+    fn gen_rejects_unknown_dataset() {
+        let err = call(&["gen", "unknown", "-o", "x.xml"]).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+}

@@ -1,0 +1,13 @@
+//! Binary entry point; all logic lives in [`tl_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match tl_cli::run(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! # treelattice — decomposition-based twig selectivity estimation
+//!
+//! A reproduction of *"A Decomposition-Based Probabilistic Framework for
+//! Estimating the Selectivity of XML Twig Queries"* (Wang, Jin,
+//! Parthasarathy). The system summarizes an XML document by the exact
+//! occurrence counts of all small twig patterns (the *lattice summary*,
+//! built by [`tl_miner`]) and estimates the selectivity of larger twig
+//! queries by probabilistic decomposition under a conditional-independence
+//! assumption (Theorem 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tl_xml::{parse_document, ParseOptions};
+//! use treelattice::{BuildConfig, Estimator, TreeLattice};
+//!
+//! let doc = parse_document(
+//!     b"<computer><laptops>\
+//!         <laptop><brand/><price/></laptop>\
+//!         <laptop><brand/><price/></laptop>\
+//!       </laptops><desktops/></computer>",
+//!     ParseOptions::default(),
+//! ).unwrap();
+//!
+//! // Build a 3-lattice summary and estimate Figure 1's query.
+//! let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+//! let est = lattice
+//!     .estimate_query("//laptop[brand][price]", Estimator::RecursiveVoting)
+//!     .unwrap();
+//! assert_eq!(est, 2.0); // small twigs are answered exactly
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`summary`] — the lattice summary with complete/pruned level semantics;
+//! * [`estimator`] — recursive decomposition (± voting) and fix-sized
+//!   covering estimators;
+//! * [`pruning`] — δ-derivable pattern pruning (Definition 2 / Figure 6);
+//! * [`online`] — workload-aware on-line tuning (the paper's §6 future
+//!   work): feed executed queries' true counts back into the summary;
+//! * [`interval`] — decomposition-disagreement error bars (the §6 "error
+//!   bound" direction);
+//! * [`mod@explain`] — human-readable decomposition traces (EXPLAIN for the
+//!   estimator);
+//! * [`serialize`] — versioned binary persistence of summaries;
+//! * [`trie`] — a prefix-tree summary store kept for the §4.2 ablation.
+
+pub mod estimator;
+pub mod explain;
+pub mod interval;
+pub mod online;
+pub mod pruning;
+pub mod serialize;
+pub mod summary;
+pub mod trie;
+
+use tl_miner::{mine, MineConfig};
+use tl_twig::{parse_twig, Twig, TwigParseError};
+use tl_xml::{Document, LabelInterner};
+
+pub use estimator::{estimate, EstimateOptions, Estimator};
+pub use explain::explain;
+pub use interval::{estimate_interval, IntervalEstimate};
+pub use online::{TunedLattice, TunerStats};
+pub use pruning::{prune_derivable, PruneReport};
+pub use serialize::ReadError;
+pub use summary::{Lookup, Summary};
+
+/// Configuration for [`TreeLattice::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct BuildConfig {
+    /// Lattice order: the largest pattern size stored (the paper's default
+    /// evaluation uses 4).
+    pub k: usize,
+    /// Mining worker threads (`0` = available parallelism).
+    pub threads: usize,
+    /// Prune δ-derivable patterns right after mining when set.
+    pub prune_delta: Option<f64>,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            threads: 0,
+            prune_delta: None,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// A configuration with lattice order `k` and defaults otherwise.
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+/// The TreeLattice selectivity estimator: a label table plus the lattice
+/// summary mined from one document.
+#[derive(Clone, Debug)]
+pub struct TreeLattice {
+    labels: LabelInterner,
+    summary: Summary,
+}
+
+impl TreeLattice {
+    /// Mines `doc` and builds the summary.
+    pub fn build(doc: &Document, config: &BuildConfig) -> Self {
+        let report = mine(
+            doc,
+            MineConfig {
+                max_size: config.k,
+                threads: config.threads,
+            },
+        );
+        let mut summary = Summary::from_mined(report.lattice);
+        if let Some(delta) = config.prune_delta {
+            let (pruned, _) = prune_derivable(&summary, delta);
+            summary = pruned;
+        }
+        Self {
+            labels: doc.labels().clone(),
+            summary,
+        }
+    }
+
+    /// Assembles a lattice from pre-built parts (deserialization, tests).
+    pub fn from_parts(labels: LabelInterner, summary: Summary) -> Self {
+        Self { labels, summary }
+    }
+
+    /// The lattice order `k`.
+    pub fn k(&self) -> usize {
+        self.summary.max_size()
+    }
+
+    /// The label table the summary is keyed against.
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// The underlying summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Summary memory footprint in bytes.
+    pub fn summary_bytes(&self) -> usize {
+        self.summary.heap_bytes()
+    }
+
+    /// Estimates the selectivity of a twig with default options.
+    pub fn estimate(&self, twig: &Twig, estimator: Estimator) -> f64 {
+        self.estimate_with(twig, estimator, &EstimateOptions::default())
+    }
+
+    /// Estimates the selectivity of a twig with explicit options.
+    pub fn estimate_with(
+        &self,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> f64 {
+        // A label the document never contained cannot match anything.
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= self.labels.len())
+        {
+            return 0.0;
+        }
+        estimate(&self.summary, twig, estimator, opts)
+    }
+
+    /// Parses a query in the twig surface syntax and estimates it.
+    ///
+    /// Labels that never occurred in the document yield an estimate of `0.0`
+    /// (they cannot match), not a parse error.
+    pub fn estimate_query(&self, query: &str, estimator: Estimator) -> Result<f64, TwigParseError> {
+        let mut scratch = self.labels.clone();
+        let twig = parse_twig(query, &mut scratch)?;
+        Ok(self.estimate(&twig, estimator))
+    }
+
+    /// Parses a query against this lattice's label table (new labels are
+    /// allowed and mapped to fresh ids, which estimate to zero).
+    pub fn parse_query(&self, query: &str) -> Result<Twig, TwigParseError> {
+        let mut scratch = self.labels.clone();
+        parse_twig(query, &mut scratch)
+    }
+
+    /// Renders a decomposition trace for a query (EXPLAIN); see
+    /// [`explain::explain`].
+    pub fn explain_query(&self, query: &str) -> Result<String, TwigParseError> {
+        let mut scratch = self.labels.clone();
+        let twig = parse_twig(query, &mut scratch)?;
+        Ok(explain::explain(&self.summary, &scratch, &twig))
+    }
+
+    /// Estimates a query with value predicates (`laptop[brand="Dell"]`).
+    /// The `mode` must match the [`tl_xml::ValueMode`] the document was
+    /// parsed with; see `tl_twig::parse_twig_valued`.
+    pub fn estimate_query_valued(
+        &self,
+        query: &str,
+        mode: tl_xml::ValueMode,
+        estimator: Estimator,
+    ) -> Result<f64, TwigParseError> {
+        let mut scratch = self.labels.clone();
+        let twig = tl_twig::parse_twig_valued(query, &mut scratch, mode)?;
+        Ok(self.estimate(&twig, estimator))
+    }
+
+    /// Incrementally refreshes the summary after a document edit
+    /// (`tl_xml::append_subtree` / `remove_subtree`): patterns containing
+    /// none of the edit's `touched` labels keep their counts; the rest are
+    /// recounted against `doc_new`. Equivalent to a full rebuild, usually
+    /// much cheaper (paper §2.2's "incremental by design").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary has pruned levels (prune *after* updates).
+    pub fn update_after_edit(
+        &mut self,
+        doc_new: &Document,
+        touched: &[tl_xml::LabelId],
+    ) -> tl_miner::UpdateReport {
+        let k = self.summary.max_size();
+        let mut levels = Vec::with_capacity(k);
+        for size in 1..=k {
+            assert!(
+                !self.summary.is_pruned(size),
+                "update_after_edit requires an unpruned summary"
+            );
+            let map: tl_xml::FxHashMap<_, _> = self
+                .summary
+                .iter_level(size)
+                .map(|(key, c)| (key.clone(), c))
+                .collect();
+            levels.push(map);
+        }
+        let prev = tl_miner::MinedLattice::from_levels(levels);
+        let (updated, report) = tl_miner::update_mined(
+            doc_new,
+            &prev,
+            touched,
+            tl_miner::MineConfig {
+                max_size: k,
+                threads: 1,
+            },
+        );
+        self.labels = doc_new.labels().clone();
+        self.summary = Summary::from_mined(updated);
+        report
+    }
+
+    /// Prunes δ-derivable patterns in place; returns the report.
+    pub fn prune(&mut self, delta: f64) -> PruneReport {
+        let (kept, report) = prune_derivable(&self.summary, delta);
+        self.summary = kept;
+        report
+    }
+
+    /// Replaces the summary (used by experiments that splice levels, e.g.
+    /// Figure 10(b)'s pruned-4-lattice + level-5 non-derivables).
+    pub fn set_summary(&mut self, summary: Summary) {
+        self.summary = summary;
+    }
+
+    /// Serializes to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serialize::to_bytes(self)
+    }
+
+    /// Parses the versioned binary format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ReadError> {
+        serialize::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn small_queries_are_exact() {
+        let d = doc(
+            "<computer><laptops>\
+               <laptop><brand/><price/></laptop>\
+               <laptop><brand/><price/></laptop>\
+             </laptops><desktops/></computer>",
+        );
+        let lat = TreeLattice::build(&d, &BuildConfig::with_k(3));
+        for e in Estimator::ALL {
+            assert_eq!(
+                lat.estimate_query("//laptop[brand][price]", e).unwrap(),
+                2.0,
+                "{e}"
+            );
+            assert_eq!(lat.estimate_query("laptop", e).unwrap(), 2.0, "{e}");
+        }
+    }
+
+    #[test]
+    fn unknown_labels_estimate_zero() {
+        let d = doc("<a><b/></a>");
+        let lat = TreeLattice::build(&d, &BuildConfig::with_k(2));
+        for e in Estimator::ALL {
+            assert_eq!(lat.estimate_query("nosuchtag", e).unwrap(), 0.0);
+            assert_eq!(lat.estimate_query("a/nosuchtag", e).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn big_query_estimates_are_positive_for_occurring_twigs() {
+        // A regular document where conditional independence holds exactly.
+        let mut s = String::from("<r>");
+        for _ in 0..10 {
+            s.push_str("<a><b><c/><d/></b><e/></a>");
+        }
+        s.push_str("</r>");
+        let d = doc(&s);
+        let lat = TreeLattice::build(&d, &BuildConfig::with_k(3));
+        // Query size 5 > k: must decompose. True count = 10.
+        for e in Estimator::ALL {
+            let est = lat.estimate_query("a[b[c][d]][e]", e).unwrap();
+            assert!(
+                (est - 10.0).abs() < 1e-6,
+                "{e}: est = {est}, expected 10 on perfectly regular data"
+            );
+        }
+    }
+
+    #[test]
+    fn figure11_small_twig_is_exact_from_lattice() {
+        let d = tl_datagen::figure11_document();
+        let lat = TreeLattice::build(&d, &BuildConfig::with_k(3));
+        let est = lat
+            .estimate_query("b[c][d]", Estimator::Recursive)
+            .unwrap();
+        assert_eq!(est, 4.0, "the lattice answers the Figure 11 twig exactly");
+    }
+
+    #[test]
+    fn build_with_pruning_keeps_estimates() {
+        let mut s = String::from("<r>");
+        for _ in 0..7 {
+            s.push_str("<a><b><c/></b><d/></a>");
+        }
+        s.push_str("</r>");
+        let d = doc(&s);
+        let full = TreeLattice::build(&d, &BuildConfig::with_k(4));
+        let pruned = TreeLattice::build(
+            &d,
+            &BuildConfig {
+                k: 4,
+                threads: 0,
+                prune_delta: Some(0.0),
+            },
+        );
+        assert!(pruned.summary_bytes() <= full.summary_bytes());
+        for q in ["a[b[c]][d]", "a/b/c", "r/a/b", "a[b][d]"] {
+            let e1 = full.estimate_query(q, Estimator::Recursive).unwrap();
+            let e2 = pruned.estimate_query(q, Estimator::Recursive).unwrap();
+            assert!((e1 - e2).abs() < 1e-6, "{q}: {e1} vs {e2}");
+        }
+    }
+
+    #[test]
+    fn estimate_options_voting_cap() {
+        let d = doc("<r><a><b/><c/><d/></a><a><b/></a></r>");
+        let lat = TreeLattice::build(&d, &BuildConfig::with_k(2));
+        let mut q = lat.parse_query("a[b][c][d]").unwrap();
+        let full = lat.estimate_with(&q, Estimator::RecursiveVoting, &EstimateOptions::default());
+        let capped = lat.estimate_with(
+            &q,
+            Estimator::RecursiveVoting,
+            &EstimateOptions { voting_cap: 1 },
+        );
+        let plain = lat.estimate(&q, Estimator::Recursive);
+        assert!((capped - plain).abs() < 1e-12);
+        assert!(full.is_finite());
+        // Exercise parse_query mutability path too.
+        q = lat.parse_query("a[b][c]").unwrap();
+        assert!(lat.estimate(&q, Estimator::FixSized) >= 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Binary (de)serialization of a [`TreeLattice`] summary.
+//!
+//! The summary is the artifact a query optimizer ships and loads at startup,
+//! so it has a compact, versioned, self-describing binary format:
+//!
+//! ```text
+//! magic "TLAT" | u8 version | u32 label-count | labels (u16 len + utf8)*
+//! | u8 k | per level: u8 pruned-flag, u32 entry-count,
+//!   entries (u16 key-len, key bytes, u64 count)*
+//! ```
+//!
+//! All integers are little-endian. Deserialization validates the magic,
+//! version, label references, key sizes, and level placement, and fails
+//! with a typed error rather than panicking on corrupt input.
+
+use bytes::{Buf, BufMut};
+use tl_twig::TwigKey;
+use tl_xml::{FxHashMap, LabelInterner};
+
+use crate::summary::Summary;
+use crate::TreeLattice;
+
+const MAGIC: &[u8; 4] = b"TLAT";
+const VERSION: u8 = 1;
+
+/// Deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// Input does not start with the format magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Input ended before a field was complete.
+    Truncated(&'static str),
+    /// A label string was not valid UTF-8.
+    BadLabel,
+    /// A pattern key was structurally invalid or on the wrong level.
+    BadKey,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::BadMagic => write!(f, "not a TreeLattice summary (bad magic)"),
+            ReadError::BadVersion(v) => write!(f, "unsupported summary version {v}"),
+            ReadError::Truncated(what) => write!(f, "truncated input while reading {what}"),
+            ReadError::BadLabel => write!(f, "label is not valid UTF-8"),
+            ReadError::BadKey => write!(f, "corrupt pattern key"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Serializes `lattice` into a byte vector.
+pub fn to_bytes(lattice: &TreeLattice) -> Vec<u8> {
+    let summary = lattice.summary();
+    let labels = lattice.labels();
+    let mut out = Vec::with_capacity(summary.heap_bytes() + labels.len() * 12 + 64);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(labels.len() as u32);
+    for (_, name) in labels.iter() {
+        // The parser bounds names at tl_xml::parser::MAX_NAME_BYTES, far
+        // below u16::MAX; a longer label here means a caller bypassed the
+        // parser, and truncating would corrupt the file.
+        assert!(name.len() <= u16::MAX as usize, "label too long to serialize");
+        out.put_u16_le(name.len() as u16);
+        out.put_slice(name.as_bytes());
+    }
+    let k = summary.max_size();
+    debug_assert!(k <= u8::MAX as usize);
+    out.put_u8(k as u8);
+    for size in 1..=k {
+        out.put_u8(u8::from(summary.is_pruned(size)));
+        let entries: Vec<(&TwigKey, u64)> = summary.iter_level(size).collect();
+        out.put_u32_le(entries.len() as u32);
+        for (key, count) in entries {
+            let bytes = key.as_bytes();
+            debug_assert!(bytes.len() <= u16::MAX as usize);
+            out.put_u16_le(bytes.len() as u16);
+            out.put_slice(bytes);
+            out.put_u64_le(count);
+        }
+    }
+    out
+}
+
+/// Parses a serialized lattice.
+pub fn from_bytes(mut input: &[u8]) -> Result<TreeLattice, ReadError> {
+    let buf = &mut input;
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    if buf.remaining() < 1 {
+        return Err(ReadError::Truncated("version"));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(ReadError::BadVersion(version));
+    }
+    if buf.remaining() < 4 {
+        return Err(ReadError::Truncated("label count"));
+    }
+    let n_labels = buf.get_u32_le() as usize;
+    let mut labels = LabelInterner::new();
+    for _ in 0..n_labels {
+        if buf.remaining() < 2 {
+            return Err(ReadError::Truncated("label length"));
+        }
+        let len = buf.get_u16_le() as usize;
+        if buf.remaining() < len {
+            return Err(ReadError::Truncated("label bytes"));
+        }
+        let bytes = buf.copy_to_bytes(len);
+        let name = std::str::from_utf8(&bytes).map_err(|_| ReadError::BadLabel)?;
+        labels.intern(name);
+    }
+    if buf.remaining() < 1 {
+        return Err(ReadError::Truncated("summary order"));
+    }
+    let k = buf.get_u8() as usize;
+    let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(k);
+    let mut pruned: Vec<bool> = Vec::with_capacity(k);
+    for size in 1..=k {
+        if buf.remaining() < 5 {
+            return Err(ReadError::Truncated("level header"));
+        }
+        pruned.push(buf.get_u8() != 0);
+        let n = buf.get_u32_le() as usize;
+        let mut level = FxHashMap::default();
+        for _ in 0..n {
+            if buf.remaining() < 2 {
+                return Err(ReadError::Truncated("key length"));
+            }
+            let len = buf.get_u16_le() as usize;
+            if buf.remaining() < len + 8 {
+                return Err(ReadError::Truncated("key bytes"));
+            }
+            let key_bytes = buf.copy_to_bytes(len).to_vec();
+            let count = buf.get_u64_le();
+            let key = validate_key(&key_bytes, size, labels.len())?;
+            level.insert(key, count);
+        }
+        levels.push(level);
+    }
+    Ok(TreeLattice::from_parts(
+        labels,
+        Summary::from_parts(levels, pruned),
+    ))
+}
+
+/// Validates raw key bytes: decodable, right node count, known labels.
+fn validate_key(bytes: &[u8], expected_size: usize, n_labels: usize) -> Result<TwigKey, ReadError> {
+    if bytes.len() != expected_size * 6 {
+        return Err(ReadError::BadKey);
+    }
+    let key = TwigKey::from_raw(bytes.to_vec().into_boxed_slice());
+    let twig = key.try_decode().ok_or(ReadError::BadKey)?;
+    if twig.len() != expected_size {
+        return Err(ReadError::BadKey);
+    }
+    if twig.nodes().any(|n| twig.label(n).index() >= n_labels) {
+        return Err(ReadError::BadKey);
+    }
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, ParseOptions};
+
+    use crate::{BuildConfig, TreeLattice};
+
+    use super::*;
+
+    fn sample_lattice() -> TreeLattice {
+        let doc = parse_document(
+            b"<r><a><b/><c/></a><a><b/></a><d><a><c/></a></d></r>",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        TreeLattice::build(&doc, &BuildConfig::with_k(3))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let lat = sample_lattice();
+        let bytes = to_bytes(&lat);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.k(), lat.k());
+        assert_eq!(back.summary().len(), lat.summary().len());
+        for (key, count) in lat.summary().iter() {
+            assert_eq!(back.summary().stored(key), Some(count));
+        }
+        for (id, name) in lat.labels().iter() {
+            assert_eq!(back.labels().get(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_pruned_flags() {
+        let mut lat = sample_lattice();
+        lat.prune(0.0);
+        let back = from_bytes(&to_bytes(&lat)).unwrap();
+        for size in 1..=lat.k() {
+            assert_eq!(back.summary().is_pruned(size), lat.summary().is_pruned(size));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(from_bytes(b"NOPE.....").unwrap_err(), ReadError::BadMagic);
+        assert_eq!(from_bytes(b"").unwrap_err(), ReadError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = to_bytes(&sample_lattice());
+        bytes[4] = 99;
+        assert_eq!(from_bytes(&bytes).unwrap_err(), ReadError::BadVersion(99));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let bytes = to_bytes(&sample_lattice());
+        for cut in 0..bytes.len() {
+            let res = from_bytes(&bytes[..cut]);
+            assert!(res.is_err(), "prefix of {cut} bytes must not parse");
+        }
+        assert!(from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn corrupt_key_rejected() {
+        let lat = sample_lattice();
+        let mut bytes = to_bytes(&lat);
+        // Flip a byte inside the first stored key region (after labels).
+        // Locate the first level's first entry: search for the first
+        // u16 key length == 6 (level-1 keys are 6 bytes).
+        let mut idx = 4 + 1 + 4;
+        for _ in 0..lat.labels().len() {
+            let len = u16::from_le_bytes([bytes[idx], bytes[idx + 1]]) as usize;
+            idx += 2 + len;
+        }
+        idx += 1; // k
+        idx += 1 + 4; // level 1 header
+        idx += 2; // key length
+        // Corrupt the structural sentinel of the key.
+        bytes[idx + 4] = 0xEE;
+        assert_eq!(from_bytes(&bytes).unwrap_err(), ReadError::BadKey);
+    }
+
+    #[test]
+    fn estimates_survive_round_trip() {
+        let lat = sample_lattice();
+        let back = from_bytes(&to_bytes(&lat)).unwrap();
+        let est1 = lat.estimate_query("a[b][c]", crate::Estimator::RecursiveVoting);
+        let est2 = back.estimate_query("a[b][c]", crate::Estimator::RecursiveVoting);
+        assert_eq!(est1.unwrap(), est2.unwrap());
+    }
+}

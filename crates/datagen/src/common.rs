@@ -1,0 +1,221 @@
+//! Shared generator machinery: configuration, budgeted emission, and the
+//! fan-out distributions the four dataset stand-ins draw from.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tl_xml::{Document, DocumentBuilder, ValueMode};
+
+/// Configuration shared by every dataset generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds produce identical documents.
+    pub seed: u64,
+    /// Approximate number of element nodes to emit. Generators finish the
+    /// record in flight when the budget runs out, so actual sizes land
+    /// within a few percent of the target.
+    pub target_elements: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            target_elements: 50_000,
+        }
+    }
+}
+
+/// Budgeted document emitter wrapped around [`DocumentBuilder`].
+///
+/// Record generators call [`Gen::begin`]/[`Gen::end`] freely and consult
+/// [`Gen::budget_left`] between records; the emitter never truncates a
+/// subtree mid-record, keeping every record well-formed.
+pub struct Gen {
+    rng: StdRng,
+    builder: DocumentBuilder,
+    emitted: usize,
+    target: usize,
+    values: ValueMode,
+}
+
+impl Gen {
+    /// Creates an emitter for the given configuration.
+    pub fn new(config: GenConfig) -> Self {
+        Self::with_values(config, ValueMode::Ignore)
+    }
+
+    /// Creates an emitter that also materializes element values under the
+    /// given [`ValueMode`] (as the synthetic leaf children the XML parser
+    /// would produce).
+    pub fn with_values(config: GenConfig, values: ValueMode) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(config.seed),
+            builder: DocumentBuilder::with_capacity(config.target_elements + 64),
+            emitted: 0,
+            target: config.target_elements,
+            values,
+        }
+    }
+
+    /// Opens an element.
+    pub fn begin(&mut self, name: &str) {
+        self.builder.begin(name);
+        self.emitted += 1;
+    }
+
+    /// Closes the innermost open element.
+    pub fn end(&mut self) {
+        self.builder.end();
+    }
+
+    /// Emits a childless element.
+    pub fn leaf(&mut self, name: &str) {
+        self.begin(name);
+        self.end();
+    }
+
+    /// Emits `n` copies of a childless element.
+    pub fn leaves(&mut self, name: &str, n: usize) {
+        for _ in 0..n {
+            self.leaf(name);
+        }
+    }
+
+    /// Emits a childless element carrying a text value; under a value-aware
+    /// mode the value becomes a synthetic leaf child, matching what
+    /// [`tl_xml::parse_document`] produces for `<name>value</name>`.
+    pub fn leaf_with_value(&mut self, name: &str, value: &str) {
+        self.begin(name);
+        if let Some(label) = self.values.value_label(value) {
+            self.begin(&label);
+            self.end();
+        }
+        self.end();
+    }
+
+    /// Emits a uniform-random number of childless elements in `[lo, hi]`.
+    pub fn leaves_range(&mut self, name: &str, lo: usize, hi: usize) {
+        let n = self.range(lo, hi);
+        self.leaves(name, n);
+    }
+
+    /// Whether the element budget still has room for another record.
+    pub fn budget_left(&self) -> bool {
+        self.emitted < self.target
+    }
+
+    /// Elements emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The RNG (deterministic per seed).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Geometric-ish count: number of successes before failure, capped.
+    /// `p` is the continuation probability; expectation ≈ `p / (1 - p)`.
+    pub fn geometric(&mut self, p: f64, cap: usize) -> usize {
+        let mut n = 0;
+        while n < cap && self.rng.gen_bool(p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Heavy-tailed count in `[lo, hi]`: usually near `lo`, occasionally
+    /// near `hi`. This is the fan-out skew that defeats average-based
+    /// synopses (used aggressively by the XMark stand-in).
+    pub fn skewed(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        // Inverse-power sample: u^3 concentrates near 0.
+        let u: f64 = self.rng.gen();
+        let frac = u * u * u;
+        lo + ((hi - lo) as f64 * frac).round() as usize
+    }
+
+    /// Picks an index in `0..weights.len()` proportionally to `weights`.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        debug_assert!(total > 0.0);
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> Document {
+        self.builder
+            .finish()
+            .expect("generators emit well-formed documents")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_counts_elements() {
+        let mut g = Gen::new(GenConfig {
+            seed: 1,
+            target_elements: 10,
+        });
+        g.begin("r");
+        g.leaves("x", 8);
+        assert!(g.budget_left());
+        g.leaf("x");
+        assert!(!g.budget_left());
+        g.end();
+        let d = g.finish();
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn geometric_respects_cap() {
+        let mut g = Gen::new(GenConfig::default());
+        for _ in 0..100 {
+            assert!(g.geometric(0.95, 7) <= 7);
+        }
+    }
+
+    #[test]
+    fn skewed_stays_in_range_and_skews_low() {
+        let mut g = Gen::new(GenConfig::default());
+        let draws: Vec<usize> = (0..2000).map(|_| g.skewed(1, 100)).collect();
+        assert!(draws.iter().all(|&d| (1..=100).contains(&d)));
+        let mean = draws.iter().sum::<usize>() as f64 / draws.len() as f64;
+        assert!(mean < 40.0, "mean {mean} should be well below the midpoint");
+        assert!(
+            draws.iter().any(|&d| d > 60),
+            "tail draws should occasionally be large"
+        );
+    }
+
+    #[test]
+    fn weighted_hits_every_bucket() {
+        let mut g = Gen::new(GenConfig::default());
+        let mut seen = [false; 3];
+        for _ in 0..500 {
+            seen[g.weighted(&[1.0, 2.0, 3.0])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

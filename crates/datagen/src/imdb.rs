@@ -1,0 +1,314 @@
+//! IMDB stand-in: the Internet Movie Database.
+//!
+//! Calibration targets: ~88 distinct labels, a combinatorially exploding
+//! pattern inventory at higher lattice levels (Table 2: 88 / 120 / 877 /
+//! 9839 / 97780), and — critically — *correlated* substructure. Each movie
+//! record draws a latent kind (feature film, TV series, documentary, short)
+//! that jointly determines which sections appear, and feature films carry
+//! all-or-none bundles (`trivia`/`goofs`/`quotes`). Joint presence breaks
+//! the conditional-independence assumption, which is why TreeLattice loses
+//! some accuracy to TreeSketches on IMDB in the paper (Figure 7(b)) and why
+//! 0-derivable pruning saves little space there (Figure 10(a)).
+
+use tl_xml::Document;
+
+use crate::common::{Gen, GenConfig};
+
+/// The pool of miscellaneous per-movie info sections; random subsets of
+/// these create the higher-level pattern explosion.
+const INFO_LABELS: [&str; 40] = [
+    "akas",
+    "alternate_versions",
+    "camera",
+    "color_info",
+    "connections",
+    "crazy_credits",
+    "distributor",
+    "dvd",
+    "filming_dates",
+    "filming_locations",
+    "genre_tags",
+    "laboratory",
+    "literature",
+    "merchandise",
+    "mix",
+    "mpaa",
+    "negative_format",
+    "novel",
+    "official_sites",
+    "plot_outline",
+    "printed_format",
+    "process",
+    "production_dates",
+    "release_dates",
+    "screenplay",
+    "sound_crew",
+    "soundtrack",
+    "special_effects",
+    "stunts",
+    "taglines",
+    "tech_info",
+    "thanks",
+    "trailers",
+    "versions",
+    "video",
+    "vfx_company",
+    "weekend_gross",
+    "copyright",
+    "certificates",
+    "spoken_languages",
+];
+
+/// Generates the movie corpus.
+pub fn generate(config: GenConfig) -> Document {
+    let mut g = Gen::new(config);
+    g.begin("imdb");
+    while g.budget_left() {
+        movie(&mut g);
+    }
+    g.end();
+    g.finish()
+}
+
+fn movie(g: &mut Gen) {
+    g.begin("movie");
+    g.leaf("title");
+    g.leaf("year");
+    // The latent kind correlates every optional section below.
+    match g.weighted(&[0.5, 0.2, 0.15, 0.15]) {
+        0 => feature_film(g),
+        1 => tv_series(g),
+        2 => documentary(g),
+        _ => short_film(g),
+    }
+    info_sections(g);
+    g.end();
+}
+
+fn feature_film(g: &mut Gen) {
+    genres(g);
+    cast(g, true);
+    crew(g);
+    g.begin("business");
+    g.leaf("budget");
+    g.leaves_range("gross", 1, 3);
+    g.end();
+    g.begin("release");
+    g.leaf("country");
+    g.leaf("date");
+    g.end();
+    ratings(g);
+    // Awards appear only on well-rated features, and when they do, a
+    // festival list comes with them: strong joint presence.
+    if g.chance(0.3) {
+        g.begin("awards");
+        let n = g.range(1, 4);
+        for _ in 0..n {
+            g.begin("award");
+            g.leaf("category");
+            g.leaf("result");
+            g.end();
+        }
+        g.end();
+        g.begin("festivals");
+        g.leaves_range("festival", 1, 3);
+        g.end();
+    }
+    // All-or-none bundle: trivia, goofs and quotes travel together.
+    if g.chance(0.45) {
+        g.begin("trivia");
+        g.leaves_range("fact", 1, 4);
+        g.end();
+        g.begin("goofs");
+        g.leaves_range("goof", 1, 3);
+        g.end();
+        g.begin("quotes");
+        g.leaves_range("quote", 1, 3);
+        g.end();
+    }
+}
+
+fn tv_series(g: &mut Gen) {
+    genres(g);
+    cast(g, false);
+    g.leaf("network");
+    g.begin("seasons");
+    let seasons = g.range(1, 5);
+    for _ in 0..seasons {
+        g.begin("season");
+        let eps = g.range(2, 8);
+        for _ in 0..eps {
+            g.begin("episode");
+            g.leaf("eptitle");
+            g.leaf("airdate");
+            if g.chance(0.3) {
+                g.leaf("guest");
+            }
+            g.end();
+        }
+        g.end();
+    }
+    g.end();
+    ratings(g);
+}
+
+fn documentary(g: &mut Gen) {
+    g.leaves_range("subject", 1, 3);
+    g.begin("narrator");
+    g.leaf("name");
+    g.end();
+    g.begin("production");
+    g.leaf("company");
+    if g.chance(0.5) {
+        g.leaf("sponsor");
+    }
+    g.end();
+    if g.chance(0.6) {
+        ratings(g);
+    }
+}
+
+fn short_film(g: &mut Gen) {
+    g.leaf("runtime");
+    if g.chance(0.5) {
+        genres(g);
+    }
+    if g.chance(0.4) {
+        g.begin("crew");
+        g.begin("director");
+        g.leaf("name");
+        g.end();
+        g.end();
+    }
+}
+
+fn genres(g: &mut Gen) {
+    g.begin("genres");
+    g.leaves_range("genre", 1, 4);
+    g.end();
+}
+
+fn cast(g: &mut Gen, big: bool) {
+    g.begin("cast");
+    let actors = if big { g.range(2, 8) } else { g.range(1, 4) };
+    for _ in 0..actors {
+        let tag = if g.chance(0.5) { "actor" } else { "actress" };
+        g.begin(tag);
+        g.leaf("name");
+        g.leaf("role");
+        if g.chance(0.2) {
+            g.leaf("billing");
+        }
+        g.end();
+    }
+    g.end();
+}
+
+fn crew(g: &mut Gen) {
+    g.begin("crew");
+    g.begin("director");
+    g.leaf("name");
+    g.end();
+    let producers = g.range(1, 3);
+    for _ in 0..producers {
+        g.begin("producer");
+        g.leaf("name");
+        g.end();
+    }
+    if g.chance(0.8) {
+        g.begin("writer");
+        g.leaf("name");
+        g.end();
+    }
+    if g.chance(0.5) {
+        g.begin("composer");
+        g.leaf("name");
+        g.end();
+    }
+    g.end();
+}
+
+fn ratings(g: &mut Gen) {
+    g.begin("ratings");
+    g.leaf("rating");
+    g.leaf("votes");
+    g.end();
+}
+
+fn info_sections(g: &mut Gen) {
+    // A random, movie-specific subset of the info pool; subset diversity is
+    // what multiplies distinct level-4/5 patterns under <movie>.
+    g.begin("info");
+    let picks = g.range(2, 7);
+    let mut chosen = [false; INFO_LABELS.len()];
+    for _ in 0..picks {
+        let i = g.range(0, INFO_LABELS.len() - 1);
+        if !chosen[i] {
+            chosen[i] = true;
+            g.leaf(INFO_LABELS[i]);
+        }
+    }
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_children_are_jointly_present() {
+        let d = generate(GenConfig {
+            seed: 1,
+            target_elements: 30_000,
+        });
+        let movie = d.labels().get("movie").unwrap();
+        let trivia = d.labels().get("trivia").unwrap();
+        let goofs = d.labels().get("goofs").unwrap();
+        let quotes = d.labels().get("quotes").unwrap();
+        let mut with_trivia = 0usize;
+        let mut with_all = 0usize;
+        for n in d.pre_order().filter(|&n| d.label(n) == movie) {
+            let has = |l| d.children(n).any(|c| d.label(c) == l);
+            if has(trivia) {
+                with_trivia += 1;
+                if has(goofs) && has(quotes) {
+                    with_all += 1;
+                }
+            }
+        }
+        assert!(with_trivia > 0);
+        assert_eq!(with_trivia, with_all, "trivia implies goofs and quotes");
+    }
+
+    #[test]
+    fn kinds_are_mutually_exclusive() {
+        let d = generate(GenConfig {
+            seed: 2,
+            target_elements: 30_000,
+        });
+        let movie = d.labels().get("movie").unwrap();
+        let seasons = d.labels().get("seasons").unwrap();
+        let business = d.labels().get("business").unwrap();
+        for n in d.pre_order().filter(|&n| d.label(n) == movie) {
+            let has_seasons = d.children(n).any(|c| d.label(c) == seasons);
+            let has_business = d.children(n).any(|c| d.label(c) == business);
+            assert!(
+                !(has_seasons && has_business),
+                "a record cannot be both a feature film and a TV series"
+            );
+        }
+    }
+
+    #[test]
+    fn big_label_inventory() {
+        let d = generate(GenConfig {
+            seed: 3,
+            target_elements: 40_000,
+        });
+        assert!(
+            d.labels().len() >= 80,
+            "imdb stand-in needs a large label pool, got {}",
+            d.labels().len()
+        );
+    }
+}

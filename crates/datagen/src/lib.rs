@@ -1,0 +1,202 @@
+//! # tl-datagen — seeded synthetic XML corpora
+//!
+//! The paper evaluates on four corpora: NASA (astronomy records), IMDB
+//! (movies), PSD (protein sequences), and XMark (auction site). The real
+//! files are not redistributable with this repository, so this crate
+//! generates structural stand-ins calibrated to the published
+//! characteristics that drive estimation quality:
+//!
+//! * label-set sizes near the paper's Table 2 level-1 counts
+//!   (NASA ≈ 61, IMDB ≈ 88, PSD ≈ 64, XMark ≈ 27);
+//! * per-level pattern-count growth shape (IMDB explodes combinatorially,
+//!   XMark stays small);
+//! * the structural property each dataset is used to demonstrate —
+//!   the IMDB stand-in has strongly *correlated* optional children (so the
+//!   conditional-independence assumption fails, §5.2), while the XMark
+//!   stand-in has high-variance fan-out (so average-based synopses
+//!   overestimate, §5.3).
+//!
+//! All generators are deterministic given a seed. See `DESIGN.md` §6 for
+//! the substitution rationale.
+
+pub mod common;
+pub mod fig11;
+pub mod imdb;
+pub mod nasa;
+pub mod psd;
+pub mod xmark;
+
+use tl_xml::Document;
+
+pub use common::GenConfig;
+pub use fig11::figure11_document;
+
+/// The four benchmark datasets of the paper's evaluation (§5.1, Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Astronomy records; regular structure, conditional independence holds.
+    Nasa,
+    /// Movie records; correlated optional substructure.
+    Imdb,
+    /// Protein sequence records; regular and shallow.
+    Psd,
+    /// Auction site; small label set, highly skewed fan-out.
+    Xmark,
+}
+
+impl Dataset {
+    /// All four datasets, in the paper's reporting order.
+    pub const ALL: [Dataset; 4] = [Dataset::Nasa, Dataset::Imdb, Dataset::Psd, Dataset::Xmark];
+
+    /// Lower-case name used in output tables and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Nasa => "nasa",
+            Dataset::Imdb => "imdb",
+            Dataset::Psd => "psd",
+            Dataset::Xmark => "xmark",
+        }
+    }
+
+    /// Generates the stand-in corpus for this dataset.
+    pub fn generate(self, config: GenConfig) -> Document {
+        match self {
+            Dataset::Nasa => nasa::generate(config),
+            Dataset::Imdb => imdb::generate(config),
+            Dataset::Psd => psd::generate(config),
+            Dataset::Xmark => xmark::generate(config),
+        }
+    }
+
+    /// Generates the corpus with element values materialized under `mode`
+    /// (currently XMark carries values: category names and price points;
+    /// other datasets generate their plain structure).
+    pub fn generate_valued(self, config: GenConfig, mode: tl_xml::ValueMode) -> Document {
+        match self {
+            Dataset::Xmark => xmark::generate_valued(config, mode),
+            other => other.generate(config),
+        }
+    }
+}
+
+impl std::str::FromStr for Dataset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "nasa" => Ok(Dataset::Nasa),
+            "imdb" => Ok(Dataset::Imdb),
+            "psd" => Ok(Dataset::Psd),
+            "xmark" => Ok(Dataset::Xmark),
+            other => Err(format!("unknown dataset `{other}` (expected nasa|imdb|psd|xmark)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::DocStats;
+
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_deterministically() {
+        for ds in Dataset::ALL {
+            let cfg = GenConfig {
+                seed: 7,
+                target_elements: 2000,
+            };
+            let d1 = ds.generate(cfg);
+            let d2 = ds.generate(cfg);
+            assert_eq!(d1.len(), d2.len(), "{ds}: deterministic size");
+            for (a, b) in d1.pre_order().zip(d2.pre_order()) {
+                assert_eq!(
+                    d1.label_name(d1.label(a)),
+                    d2.label_name(d2.label(b)),
+                    "{ds}: deterministic labels"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::Xmark.generate(GenConfig {
+            seed: 1,
+            target_elements: 3000,
+        });
+        let b = Dataset::Xmark.generate(GenConfig {
+            seed: 2,
+            target_elements: 3000,
+        });
+        // Sizes are near the target but the exact structure differs.
+        let same = a.len() == b.len()
+            && a.pre_order()
+                .zip(b.pre_order())
+                .all(|(x, y)| a.label_name(a.label(x)) == b.label_name(b.label(y)));
+        assert!(!same, "different seeds should not be structurally identical");
+    }
+
+    #[test]
+    fn sizes_land_near_target() {
+        for ds in Dataset::ALL {
+            let doc = ds.generate(GenConfig {
+                seed: 3,
+                target_elements: 10_000,
+            });
+            let n = doc.len();
+            assert!(
+                (8_000..=13_000).contains(&n),
+                "{ds}: generated {n} elements for a 10k target"
+            );
+        }
+    }
+
+    #[test]
+    fn label_inventories_match_paper_scale() {
+        // Table 2 level-1 counts: Nasa 61, IMDB 88, PSD 64, XMark 27.
+        let expected = [
+            (Dataset::Nasa, 55, 67),
+            (Dataset::Imdb, 80, 96),
+            (Dataset::Psd, 58, 70),
+            (Dataset::Xmark, 24, 30),
+        ];
+        for (ds, lo, hi) in expected {
+            let doc = ds.generate(GenConfig {
+                seed: 11,
+                target_elements: 30_000,
+            });
+            let n = doc.labels().len();
+            assert!(
+                n >= lo && n <= hi,
+                "{ds}: {n} distinct labels, expected in [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn xmark_has_high_fanout_variance() {
+        let xmark = Dataset::Xmark.generate(GenConfig {
+            seed: 5,
+            target_elements: 20_000,
+        });
+        let psd = Dataset::Psd.generate(GenConfig {
+            seed: 5,
+            target_elements: 20_000,
+        });
+        let sx = DocStats::compute(&xmark);
+        let sp = DocStats::compute(&psd);
+        assert!(
+            sx.fanout_variance > sp.fanout_variance,
+            "xmark variance {} should exceed psd variance {}",
+            sx.fanout_variance,
+            sp.fanout_variance
+        );
+    }
+}

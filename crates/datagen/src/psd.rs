@@ -1,0 +1,267 @@
+//! PSD stand-in: the Protein Sequence Database.
+//!
+//! Calibration targets: ~64 distinct labels, shallow and regular records.
+//! Like NASA, the structure is regular enough for conditional independence
+//! to hold broadly, but references and features introduce moderate
+//! per-record variation so higher lattice levels still grow (Table 2: 64 /
+//! 78 / 289 / 1313 / 6870).
+
+use tl_xml::Document;
+
+use crate::common::{Gen, GenConfig};
+
+/// Generates the protein-database corpus.
+pub fn generate(config: GenConfig) -> Document {
+    let mut g = Gen::new(config);
+    g.begin("ProteinDatabase");
+    while g.budget_left() {
+        protein_entry(&mut g);
+    }
+    g.end();
+    g.finish()
+}
+
+fn protein_entry(g: &mut Gen) {
+    g.begin("ProteinEntry");
+    header(g);
+    protein(g);
+    organism(g);
+    if g.chance(0.6) {
+        genetics(g);
+    }
+    references(g);
+    if g.chance(0.5) {
+        classification(g);
+    }
+    if g.chance(0.35) {
+        function(g);
+    }
+    if g.chance(0.25) {
+        complex(g);
+    }
+    if g.chance(0.3) {
+        secondary_structure(g);
+    }
+    features(g);
+    summary(g);
+    g.leaf("sequence");
+    g.end();
+}
+
+fn header(g: &mut Gen) {
+    g.begin("header");
+    g.leaf("uid");
+    g.leaves_range("accession", 1, 3);
+    g.leaf("created_date");
+    if g.chance(0.8) {
+        g.leaf("seq-rev");
+    }
+    g.end();
+}
+
+fn protein(g: &mut Gen) {
+    g.begin("protein");
+    g.leaf("name");
+    if g.chance(0.4) {
+        g.begin("alt-name");
+        g.leaf("name");
+        g.end();
+    }
+    if g.chance(0.3) {
+        g.leaf("contains");
+    }
+    g.end();
+}
+
+fn organism(g: &mut Gen) {
+    g.begin("organism");
+    g.leaf("source");
+    if g.chance(0.7) {
+        g.leaf("common");
+    }
+    g.leaf("formal");
+    if g.chance(0.2) {
+        g.leaf("variety");
+    }
+    g.end();
+}
+
+fn genetics(g: &mut Gen) {
+    g.begin("genetics");
+    let genes = g.range(1, 2);
+    for _ in 0..genes {
+        g.begin("gene");
+        g.leaf("name");
+        g.end();
+    }
+    if g.chance(0.4) {
+        g.leaf("gene-map");
+    }
+    if g.chance(0.3) {
+        g.leaf("genome");
+    }
+    if g.chance(0.3) {
+        g.begin("codon-usage");
+        g.leaf("cai");
+        g.end();
+    }
+    g.end();
+}
+
+fn references(g: &mut Gen) {
+    let refs = g.range(1, 4);
+    for _ in 0..refs {
+        g.begin("reference");
+        g.begin("refinfo");
+        g.begin("authors");
+        let authors = g.range(1, 6);
+        for _ in 0..authors {
+            g.leaf("author");
+        }
+        g.end();
+        g.leaf("citation");
+        g.leaf("title");
+        g.leaf("year");
+        if g.chance(0.7) {
+            g.leaf("volume");
+        }
+        if g.chance(0.7) {
+            g.leaf("pages");
+        }
+        if g.chance(0.3) {
+            g.begin("xrefs");
+            g.begin("xref");
+            g.leaf("db");
+            g.leaf("uid");
+            g.end();
+            g.end();
+        }
+        g.end(); // refinfo
+        g.begin("accinfo");
+        g.leaf("accession");
+        if g.chance(0.5) {
+            g.leaf("mol-type");
+        }
+        if g.chance(0.4) {
+            g.leaf("seq-spec");
+        }
+        g.end();
+        g.end(); // reference
+    }
+}
+
+fn classification(g: &mut Gen) {
+    g.begin("classification");
+    g.leaves_range("superfamily", 1, 2);
+    if g.chance(0.5) {
+        g.leaves_range("keyword", 1, 4);
+    }
+    g.end();
+}
+
+fn features(g: &mut Gen) {
+    let n = g.geometric(0.55, 5);
+    for _ in 0..n {
+        g.begin("feature");
+        g.leaf("seq-spec");
+        g.begin("feature-type");
+        match g.range(0, 3) {
+            0 => g.leaf("active-site"),
+            1 => g.leaf("binding-site"),
+            2 => g.leaf("modified-site"),
+            _ => g.leaf("disulfide-bond"),
+        }
+        g.end();
+        if g.chance(0.6) {
+            g.leaf("description");
+        }
+        if g.chance(0.3) {
+            g.leaf("status");
+        }
+        g.end();
+    }
+}
+
+fn function(g: &mut Gen) {
+    g.begin("function");
+    g.leaf("description");
+    if g.chance(0.5) {
+        g.leaf("pathway");
+    }
+    if g.chance(0.5) {
+        g.leaf("activity");
+    }
+    g.end();
+}
+
+fn complex(g: &mut Gen) {
+    g.begin("complex");
+    g.leaves_range("subunit", 1, 3);
+    g.end();
+}
+
+fn secondary_structure(g: &mut Gen) {
+    g.begin("secondary-structure");
+    if g.chance(0.7) {
+        g.leaves_range("helix", 1, 3);
+    }
+    if g.chance(0.6) {
+        g.leaves_range("strand", 1, 3);
+    }
+    if g.chance(0.4) {
+        g.leaves_range("turn", 1, 2);
+    }
+    g.end();
+}
+
+fn summary(g: &mut Gen) {
+    g.begin("summary");
+    g.leaf("length");
+    g.leaf("type");
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_complete() {
+        let d = generate(GenConfig {
+            seed: 1,
+            target_elements: 15_000,
+        });
+        let entry = d.labels().get("ProteinEntry").unwrap();
+        let seq = d.labels().get("sequence").unwrap();
+        for n in d.pre_order().filter(|&n| d.label(n) == entry) {
+            assert!(
+                d.children(n).any(|c| d.label(c) == seq),
+                "every entry carries a sequence"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_shallow() {
+        let d = generate(GenConfig {
+            seed: 2,
+            target_elements: 10_000,
+        });
+        let s = tl_xml::DocStats::compute(&d);
+        assert!(s.max_depth <= 6, "max depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn fanout_is_low_variance_relative_to_mean() {
+        let d = generate(GenConfig {
+            seed: 3,
+            target_elements: 20_000,
+        });
+        let s = tl_xml::DocStats::compute(&d);
+        assert!(
+            s.fanout_variance < 25.0,
+            "psd should be regular; variance {}",
+            s.fanout_variance
+        );
+    }
+}

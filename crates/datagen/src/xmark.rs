@@ -1,0 +1,228 @@
+//! XMark stand-in: an on-line auction site.
+//!
+//! Calibration targets: ~27 distinct labels (Table 2 level-1 = 27), a small
+//! level-2 inventory, and — the property §5.3 turns on — *highly skewed
+//! fan-out*: the number of items per region, mails per mailbox, and bidders
+//! per auction all follow heavy-tailed draws, plus a recursive
+//! `description/parlist/listitem` markup structure. Average-fanout synopses
+//! (the TreeSketches-style baseline) grossly overestimate branching twigs on
+//! this data, reproducing the paper's Figure 7(d) blow-up.
+
+use tl_xml::{Document, ValueMode};
+
+use crate::common::{Gen, GenConfig};
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generates the auction-site corpus.
+pub fn generate(config: GenConfig) -> Document {
+    generate_valued(config, ValueMode::Ignore)
+}
+
+/// Generates the auction-site corpus with element values (category names,
+/// price points) materialized under `mode` — the substrate for the
+/// value-predicate experiments.
+pub fn generate_valued(config: GenConfig, mode: ValueMode) -> Document {
+    let mut g = Gen::with_values(config, mode);
+    g.begin("site");
+
+    // Interleave region items and auctions until the budget is exhausted;
+    // both sections stay open so records can keep arriving.
+    g.begin("regions");
+    // Region skew: namerica/europe carry most items.
+    let region_weights = [0.04, 0.10, 0.03, 0.28, 0.45, 0.10];
+    let mut open_region: Option<usize> = None;
+    let mut region_opened = [false; 6];
+    // First pass: emit items grouped per region, one region at a time, with
+    // heavy-tailed items-per-region batches.
+    let item_budget = (config.target_elements as f64 * 0.55) as usize;
+    while g.budget_left() && g.emitted() < item_budget {
+        let r = g.weighted(&region_weights);
+        match open_region {
+            Some(cur) if cur == r => {}
+            Some(_) => {
+                g.end();
+                open_region = Some(r);
+                if region_opened[r] {
+                    // Regions are single sections in real XMark; emitting a
+                    // fresh element with the same label keeps label counts
+                    // right and fan-out skewed.
+                }
+                region_opened[r] = true;
+                g.begin(REGIONS[r]);
+            }
+            None => {
+                open_region = Some(r);
+                region_opened[r] = true;
+                g.begin(REGIONS[r]);
+            }
+        }
+        let burst = g.skewed(1, 14).max(1);
+        for _ in 0..burst {
+            item(&mut g);
+        }
+    }
+    if open_region.is_some() {
+        g.end();
+    }
+    g.end(); // regions
+
+    g.begin("open_auctions");
+    while g.budget_left() {
+        open_auction(&mut g);
+    }
+    g.end(); // open_auctions
+
+    g.end(); // site
+    g.finish()
+}
+
+fn item(g: &mut Gen) {
+    g.begin("item");
+    g.leaf("name");
+    let categories = g.skewed(1, 8).max(1);
+    for _ in 0..categories {
+        // Zipf-ish category popularity: low ids dominate.
+        let cat = g.skewed(0, 19);
+        g.leaf_with_value("incategory", &format!("category{cat}"));
+    }
+    // Mailbox size is the canonical XMark skew: most items have no mail,
+    // a few have dozens.
+    let mails = if g.chance(0.35) { g.skewed(1, 24) } else { 0 };
+    g.begin("mailbox");
+    for _ in 0..mails {
+        g.begin("mail");
+        g.leaf("from");
+        g.leaf("to");
+        g.end();
+    }
+    g.end();
+    if g.chance(0.7) {
+        description(g, 0);
+    }
+    g.end();
+}
+
+fn description(g: &mut Gen, depth: usize) {
+    g.begin("description");
+    parlist(g, depth);
+    g.end();
+}
+
+fn parlist(g: &mut Gen, depth: usize) {
+    g.begin("parlist");
+    let items = g.skewed(1, 6).max(1);
+    for _ in 0..items {
+        g.begin("listitem");
+        // Recursive markup, bounded: listitem may nest another parlist.
+        if depth < 2 && g.chance(0.25) {
+            parlist(g, depth + 1);
+        }
+        g.end();
+    }
+    g.end();
+}
+
+fn open_auction(g: &mut Gen) {
+    g.begin("open_auction");
+    g.leaf("itemref");
+    g.leaf("seller");
+    let start = g.skewed(1, 40) * 25;
+    g.leaf_with_value("initial", &start.to_string());
+    if g.chance(0.8) {
+        let bid = start + g.range(0, 500);
+        g.leaf_with_value("current", &bid.to_string());
+    }
+    let bidders = g.skewed(0, 18);
+    for _ in 0..bidders {
+        g.begin("bidder");
+        g.leaf("increase");
+        g.end();
+    }
+    if g.chance(0.5) {
+        g.begin("annotation");
+        description(g, 1);
+        g.end();
+    }
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::DocStats;
+
+    use super::*;
+
+    #[test]
+    fn label_inventory_is_compact() {
+        let d = generate(GenConfig {
+            seed: 1,
+            target_elements: 20_000,
+        });
+        // site, regions, 6 regions, item, name, incategory, mailbox, mail,
+        // from, to, description, parlist, listitem, open_auctions,
+        // open_auction, itemref, seller, initial, current, bidder,
+        // increase, annotation = 27.
+        assert!(d.labels().len() <= 27, "labels = {}", d.labels().len());
+        assert!(d.labels().len() >= 24);
+    }
+
+    #[test]
+    fn mailbox_fanout_is_heavy_tailed() {
+        let d = generate(GenConfig {
+            seed: 2,
+            target_elements: 30_000,
+        });
+        let mailbox = d.labels().get("mailbox").unwrap();
+        let counts: Vec<usize> = d
+            .pre_order()
+            .filter(|&n| d.label(n) == mailbox)
+            .map(|n| d.child_count(n))
+            .collect();
+        let empty = counts.iter().filter(|&&c| c == 0).count();
+        let big = counts.iter().filter(|&&c| c >= 10).count();
+        assert!(empty * 2 > counts.len(), "most mailboxes are empty");
+        assert!(big > 0, "some mailboxes are very large");
+    }
+
+    #[test]
+    fn recursion_bounded() {
+        let d = generate(GenConfig {
+            seed: 3,
+            target_elements: 20_000,
+        });
+        let s = DocStats::compute(&d);
+        assert!(s.max_depth <= 16, "max depth {}", s.max_depth);
+    }
+
+    #[test]
+    fn valued_generation_adds_value_leaves() {
+        let cfg = GenConfig {
+            seed: 6,
+            target_elements: 8_000,
+        };
+        let plain = generate(cfg);
+        let valued = generate_valued(cfg, ValueMode::AsLabels);
+        assert!(valued.labels().len() > plain.labels().len());
+        assert!(
+            valued.labels().get("=category0").is_some(),
+            "popular category value should occur"
+        );
+        // Value leaves hang under incategory elements only.
+        let cat_value = valued.labels().get("=category0").unwrap();
+        for n in valued.pre_order().filter(|&n| valued.label(n) == cat_value) {
+            let p = valued.parent(n).unwrap();
+            assert_eq!(valued.label_name(valued.label(p)), "incategory");
+        }
+    }
+
+    #[test]
+    fn auctions_present() {
+        let d = generate(GenConfig {
+            seed: 4,
+            target_elements: 20_000,
+        });
+        assert!(d.labels().get("open_auction").is_some());
+        assert!(d.labels().get("bidder").is_some());
+    }
+}

@@ -1,0 +1,136 @@
+//! The mined pattern lattice: counts of every occurred twig of size ≤ k.
+
+use tl_twig::canonical::key_of;
+use tl_twig::{Twig, TwigKey};
+use tl_xml::FxHashMap;
+
+/// All occurred twig patterns of a document up to a size bound, with exact
+/// selectivities, organized by level (pattern size).
+///
+/// This is the raw statistic behind the paper's "k-lattice"; the
+/// `treelattice` crate wraps it with pruning, budgets, and estimation.
+#[derive(Clone, Debug, Default)]
+pub struct MinedLattice {
+    /// `levels[i]` holds patterns of size `i + 1`.
+    levels: Vec<FxHashMap<TwigKey, u64>>,
+}
+
+impl MinedLattice {
+    /// Creates a lattice from per-level maps (`levels[i]` = size `i + 1`).
+    pub fn from_levels(levels: Vec<FxHashMap<TwigKey, u64>>) -> Self {
+        Self { levels }
+    }
+
+    /// The maximum pattern size stored (the `k` of a k-lattice).
+    pub fn max_size(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Looks up the exact count of a canonical pattern key.
+    pub fn get(&self, key: &TwigKey) -> Option<u64> {
+        let level = key.node_count();
+        if level == 0 || level > self.levels.len() {
+            return None;
+        }
+        self.levels[level - 1].get(key).copied()
+    }
+
+    /// Looks up a twig (canonicalizing it first).
+    pub fn get_twig(&self, twig: &Twig) -> Option<u64> {
+        self.get(&key_of(twig))
+    }
+
+    /// Number of patterns at `size` (1-based level).
+    pub fn patterns_at(&self, size: usize) -> usize {
+        if size == 0 || size > self.levels.len() {
+            0
+        } else {
+            self.levels[size - 1].len()
+        }
+    }
+
+    /// Total number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Whether no pattern is stored.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(FxHashMap::is_empty)
+    }
+
+    /// Iterates over `(key, count)` pairs at a given pattern size.
+    pub fn iter_level(&self, size: usize) -> impl Iterator<Item = (&TwigKey, u64)> {
+        self.levels
+            .get(size.wrapping_sub(1))
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, &c)| (k, c)))
+    }
+
+    /// Iterates over all `(key, count)` pairs, smallest patterns first.
+    pub fn iter(&self) -> impl Iterator<Item = (&TwigKey, u64)> {
+        self.levels
+            .iter()
+            .flat_map(|m| m.iter().map(|(k, &c)| (k, c)))
+    }
+
+    /// Approximate heap footprint in bytes: each entry is its encoded key
+    /// plus an 8-byte count (the accounting used for Table 3 / Fig. 10).
+    pub fn heap_bytes(&self) -> usize {
+        self.iter().map(|(k, _)| k.heap_bytes()).sum()
+    }
+
+    /// The per-level map (for the summary layer); `size` is 1-based.
+    pub fn level_map(&self, size: usize) -> Option<&FxHashMap<TwigKey, u64>> {
+        self.levels.get(size.wrapping_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::LabelInterner;
+
+    use super::*;
+
+    fn lattice_with(patterns: &[(&str, u64)]) -> (MinedLattice, LabelInterner) {
+        let mut it = LabelInterner::new();
+        let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::new();
+        for (q, c) in patterns {
+            let t = tl_twig::parse_twig(q, &mut it).unwrap();
+            let key = key_of(&t);
+            let lvl = t.len();
+            while levels.len() < lvl {
+                levels.push(FxHashMap::default());
+            }
+            levels[lvl - 1].insert(key, *c);
+        }
+        (MinedLattice::from_levels(levels), it)
+    }
+
+    #[test]
+    fn lookup_by_key_and_twig() {
+        let (lat, mut it) = lattice_with(&[("a", 10), ("a/b", 4), ("a[b][c]", 2)]);
+        let t = tl_twig::parse_twig("a[c][b]", &mut it).unwrap();
+        assert_eq!(lat.get_twig(&t), Some(2), "lookup is isomorphism-safe");
+        assert_eq!(lat.max_size(), 3);
+        assert_eq!(lat.len(), 3);
+        assert_eq!(lat.patterns_at(1), 1);
+        assert_eq!(lat.patterns_at(9), 0);
+    }
+
+    #[test]
+    fn missing_patterns_are_none() {
+        let (lat, mut it) = lattice_with(&[("a", 1)]);
+        let t = tl_twig::parse_twig("z", &mut it).unwrap();
+        assert_eq!(lat.get_twig(&t), None);
+        let big = tl_twig::parse_twig("a/b/c/d/e/f", &mut it).unwrap();
+        assert_eq!(lat.get_twig(&big), None, "beyond max_size is None");
+    }
+
+    #[test]
+    fn heap_bytes_counts_entries() {
+        let (lat, _) = lattice_with(&[("a", 1), ("a/b", 1)]);
+        // Keys are 6 bytes per node + 8-byte count.
+        assert_eq!(lat.heap_bytes(), (6 + 8) + (12 + 8));
+    }
+}

@@ -1,0 +1,498 @@
+//! The mining algorithm: candidate generation + root-map counting.
+
+use tl_twig::canonical::{key_of, key_of_subtree};
+use tl_twig::{Twig, TwigKey};
+use tl_xml::{Document, FxHashMap, FxHashSet, NodeId};
+
+/// Map from document node id to the number of matches of a pattern rooted
+/// at that node (only nodes with a positive count are stored).
+type RootMap = FxHashMap<u32, u64>;
+
+/// Configuration for [`mine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MineConfig {
+    /// Largest pattern size to enumerate (the `k` of the k-lattice).
+    pub max_size: usize,
+    /// Worker threads for candidate counting. `0` means "use available
+    /// parallelism"; `1` runs fully serial.
+    pub threads: usize,
+}
+
+impl Default for MineConfig {
+    fn default() -> Self {
+        Self {
+            max_size: 4,
+            threads: 0,
+        }
+    }
+}
+
+impl MineConfig {
+    /// A serial configuration with the given lattice order.
+    pub fn with_max_size(max_size: usize) -> Self {
+        Self {
+            max_size,
+            ..Self::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// The result of a mining run.
+#[derive(Clone, Debug)]
+pub struct MineReport {
+    /// The mined pattern counts.
+    pub lattice: super::MinedLattice,
+    /// Candidate patterns generated per level (before counting filtered the
+    /// non-occurring ones) — levels are 1-based sizes, index 0 = size 1.
+    pub candidates_per_level: Vec<usize>,
+}
+
+/// Mines all occurred twig patterns of `doc` up to `config.max_size` nodes,
+/// with exact selectivities.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, ParseOptions};
+/// use tl_miner::{mine, MineConfig};
+/// use tl_twig::parse_twig_in;
+///
+/// let doc = parse_document(b"<a><b><c/></b><b/></a>", ParseOptions::default()).unwrap();
+/// let report = mine(&doc, MineConfig { max_size: 3, threads: 1 });
+/// let q = parse_twig_in("a/b", doc.labels()).unwrap();
+/// assert_eq!(report.lattice.get_twig(&q), Some(2));
+/// let q3 = parse_twig_in("a[b[c]][b]", doc.labels());
+/// assert!(q3.is_ok());
+/// ```
+pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
+    assert!(config.max_size >= 1, "max_size must be at least 1");
+    let by_label = doc.nodes_by_label();
+    let child_labels = child_label_index(doc);
+
+    let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(config.max_size);
+    let mut candidates_per_level: Vec<usize> = Vec::with_capacity(config.max_size);
+
+    // Level 1: one pattern per occurring label.
+    let mut level1 = FxHashMap::default();
+    for (label_idx, nodes) in by_label.iter().enumerate() {
+        if !nodes.is_empty() {
+            let t = Twig::single(tl_xml::LabelId(label_idx as u32));
+            level1.insert(key_of(&t), nodes.len() as u64);
+        }
+    }
+    candidates_per_level.push(level1.len());
+    levels.push(level1);
+
+    // Root-map cache for patterns that may appear as subtrees of later
+    // candidates (sizes 2 ..= max_size - 1). Size-1 subtrees are implicit.
+    let mut cache: FxHashMap<TwigKey, RootMap> = FxHashMap::default();
+
+    for size in 2..=config.max_size {
+        let candidates = generate_candidates(&levels[size - 2], &child_labels);
+        candidates_per_level.push(candidates.len());
+        let keep_maps = size < config.max_size;
+        let counted = count_candidates(
+            doc,
+            &by_label,
+            &cache,
+            candidates,
+            config.effective_threads(),
+            keep_maps,
+        );
+        let mut level = FxHashMap::default();
+        for (key, count, map) in counted {
+            if count == 0 {
+                continue;
+            }
+            if keep_maps {
+                cache.insert(key.clone(), map.expect("map kept when requested"));
+            }
+            level.insert(key, count);
+        }
+        let empty = level.is_empty();
+        levels.push(level);
+        if empty {
+            break; // No pattern of this size occurs; larger ones cannot either.
+        }
+    }
+
+    MineReport {
+        lattice: super::MinedLattice::from_levels(levels),
+        candidates_per_level,
+    }
+}
+
+/// Distinct child labels per parent label, from the document's edges.
+fn child_label_index(doc: &Document) -> Vec<FxHashSet<u32>> {
+    let mut index = vec![FxHashSet::default(); doc.labels().len()];
+    for v in doc.pre_order() {
+        if let Some(p) = doc.parent(v) {
+            index[doc.label(p).index()].insert(doc.label(v).0);
+        }
+    }
+    index
+}
+
+/// Extends every level-(n−1) pattern by one child edge, deduplicates by
+/// canonical key, and Apriori-prunes candidates with a non-occurring
+/// sub-pattern. Returns canonical twigs sorted by key for determinism.
+fn generate_candidates(
+    prev: &FxHashMap<TwigKey, u64>,
+    child_labels: &[FxHashSet<u32>],
+) -> Vec<(TwigKey, Twig)> {
+    let mut seen: FxHashSet<TwigKey> = FxHashSet::default();
+    let mut out: Vec<(TwigKey, Twig)> = Vec::new();
+    for key in prev.keys() {
+        let base = key.decode();
+        for q in base.nodes() {
+            let parent_label = base.label(q);
+            let Some(labels) = child_labels.get(parent_label.index()) else {
+                continue;
+            };
+            for &l in labels {
+                let mut ext = base.clone();
+                ext.add_child(q, tl_xml::LabelId(l));
+                let ext_key = key_of(&ext);
+                if !seen.insert(ext_key.clone()) {
+                    continue;
+                }
+                // Apriori: every one-smaller sub-pattern must occur.
+                let ok = ext
+                    .removable_nodes()
+                    .into_iter()
+                    .all(|r| prev.contains_key(&key_of(&ext.remove_node(r))));
+                if ok {
+                    out.push((ext_key, ext));
+                }
+            }
+        }
+    }
+    out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Counts each candidate; optionally returns its root map for the cache.
+fn count_candidates(
+    doc: &Document,
+    by_label: &[Vec<NodeId>],
+    cache: &FxHashMap<TwigKey, RootMap>,
+    candidates: Vec<(TwigKey, Twig)>,
+    threads: usize,
+    keep_maps: bool,
+) -> Vec<(TwigKey, u64, Option<RootMap>)> {
+    if threads <= 1 || candidates.len() < 64 {
+        return candidates
+            .into_iter()
+            .map(|(key, twig)| {
+                let (count, map) = count_one(doc, by_label, cache, &twig, keep_maps);
+                (key, count, map)
+            })
+            .collect();
+    }
+    let chunk = candidates.len().div_ceil(threads);
+    let mut results: Vec<Vec<(TwigKey, u64, Option<RootMap>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|(key, twig)| {
+                            let (count, map) = count_one(doc, by_label, cache, twig, keep_maps);
+                            (key.clone(), count, map)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("mining worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// Counts one candidate using the cached root maps of its child subtrees.
+fn count_one(
+    doc: &Document,
+    by_label: &[Vec<NodeId>],
+    cache: &FxHashMap<TwigKey, RootMap>,
+    twig: &Twig,
+    keep_map: bool,
+) -> (u64, Option<RootMap>) {
+    let root = twig.root();
+    // Child subtrees: label, size, and (for size > 1) cached root map.
+    struct Child<'c> {
+        label: tl_xml::LabelId,
+        map: Option<&'c RootMap>, // None = leaf (size 1)
+    }
+    let mut children: Vec<Child<'_>> = Vec::with_capacity(twig.children(root).len());
+    for &c in twig.children(root) {
+        let map = if twig.children(c).is_empty() {
+            None
+        } else {
+            let key = key_of_subtree(twig, c);
+            match cache.get(&key) {
+                Some(m) => Some(m),
+                // Subtree does not occur => the candidate cannot occur.
+                None => return (0, keep_map.then(RootMap::default)),
+            }
+        };
+        children.push(Child {
+            label: twig.label(c),
+            map,
+        });
+    }
+    // Group child indices by label.
+    let mut groups: Vec<(tl_xml::LabelId, Vec<usize>)> = Vec::new();
+    for (i, ch) in children.iter().enumerate() {
+        match groups.iter_mut().find(|(l, _)| *l == ch.label) {
+            Some((_, v)) => v.push(i),
+            None => groups.push((ch.label, vec![i])),
+        }
+    }
+
+    let child_m = |i: usize, u: NodeId| -> u64 {
+        let ch = &children[i];
+        match ch.map {
+            None => 1, // label already checked by the caller of child_m
+            Some(m) => m.get(&u.0).copied().unwrap_or(0),
+        }
+    };
+
+    let candidates = by_label
+        .get(twig.label(root).index())
+        .map(Vec::as_slice)
+        .unwrap_or(&[]);
+    let mut total: u64 = 0;
+    let mut map = RootMap::default();
+    let mut doc_children: Vec<NodeId> = Vec::new();
+    for &v in candidates {
+        doc_children.clear();
+        doc_children.extend(doc.children(v));
+        let mut m_v: u64 = 1;
+        for (label, members) in &groups {
+            let f = if members.len() == 1 {
+                let i = members[0];
+                let mut sum = 0u64;
+                for &u in &doc_children {
+                    if doc.label(u) == *label {
+                        sum = sum.saturating_add(child_m(i, u));
+                    }
+                }
+                sum
+            } else {
+                // Injective subset DP over the same-label group.
+                let g = members.len();
+                let full = (1usize << g) - 1;
+                let mut f = vec![0u64; full + 1];
+                f[0] = 1;
+                let mut w = vec![0u64; g];
+                for &u in &doc_children {
+                    if doc.label(u) != *label {
+                        continue;
+                    }
+                    let mut any = false;
+                    for (slot, &i) in members.iter().enumerate() {
+                        w[slot] = child_m(i, u);
+                        any |= w[slot] != 0;
+                    }
+                    if !any {
+                        continue;
+                    }
+                    for mask in (1..=full).rev() {
+                        let mut add = 0u64;
+                        let mut bits = mask;
+                        while bits != 0 {
+                            let s = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            if w[s] != 0 {
+                                add = add.saturating_add(f[mask ^ (1 << s)].saturating_mul(w[s]));
+                            }
+                        }
+                        f[mask] = f[mask].saturating_add(add);
+                    }
+                }
+                f[full]
+            };
+            if f == 0 {
+                m_v = 0;
+                break;
+            }
+            m_v = m_v.saturating_mul(f);
+        }
+        if m_v > 0 {
+            total = total.saturating_add(m_v);
+            if keep_map {
+                map.insert(v.0, m_v);
+            }
+        }
+    }
+    (total, keep_map.then_some(map))
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_datagen::{Dataset, GenConfig};
+    use tl_twig::{count_matches, parse_twig_in};
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn level1_counts_labels() {
+        let d = doc("<a><b/><b/><c/></a>");
+        let r = mine(&d, MineConfig::with_max_size(1));
+        assert_eq!(r.lattice.max_size(), 1);
+        assert_eq!(r.lattice.patterns_at(1), 3);
+        let b = parse_twig_in("b", d.labels()).unwrap();
+        assert_eq!(r.lattice.get_twig(&b), Some(2));
+    }
+
+    #[test]
+    fn level2_counts_edges() {
+        let d = doc("<a><b><c/></b><b/></a>");
+        let r = mine(&d, MineConfig::with_max_size(2));
+        let ab = parse_twig_in("a/b", d.labels()).unwrap();
+        let bc = parse_twig_in("b/c", d.labels()).unwrap();
+        assert_eq!(r.lattice.get_twig(&ab), Some(2));
+        assert_eq!(r.lattice.get_twig(&bc), Some(1));
+        let ac = parse_twig_in("a/c", d.labels()).unwrap();
+        assert_eq!(r.lattice.get_twig(&ac), None, "a/c does not occur");
+    }
+
+    #[test]
+    fn figure1_lattice() {
+        let d = doc(
+            "<computer><laptops>\
+               <laptop><brand/><price/></laptop>\
+               <laptop><brand/><price/></laptop>\
+             </laptops><desktops/></computer>",
+        );
+        let r = mine(&d, MineConfig::with_max_size(3));
+        let q = parse_twig_in("laptop[brand][price]", d.labels()).unwrap();
+        assert_eq!(r.lattice.get_twig(&q), Some(2));
+    }
+
+    /// Brute-force check: every mined count equals the exact matcher's
+    /// count, and every occurring pattern is present.
+    #[test]
+    fn mined_counts_agree_with_exact_matcher() {
+        let d = Dataset::Psd.generate(GenConfig {
+            seed: 9,
+            target_elements: 800,
+        });
+        let r = mine(&d, MineConfig { max_size: 4, threads: 1 });
+        let counter = tl_twig::MatchCounter::new(&d);
+        let mut checked = 0;
+        for size in 1..=4 {
+            for (key, count) in r.lattice.iter_level(size) {
+                let twig = key.decode();
+                assert_eq!(
+                    counter.count(&twig),
+                    count,
+                    "mined count mismatch for {:?}",
+                    twig.to_query_string(d.labels())
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "only {checked} patterns checked");
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let d = Dataset::Xmark.generate(GenConfig {
+            seed: 4,
+            target_elements: 3000,
+        });
+        let serial = mine(&d, MineConfig { max_size: 4, threads: 1 });
+        let parallel = mine(&d, MineConfig { max_size: 4, threads: 4 });
+        assert_eq!(serial.lattice.len(), parallel.lattice.len());
+        for (key, count) in serial.lattice.iter() {
+            assert_eq!(parallel.lattice.get(key), Some(count));
+        }
+    }
+
+    #[test]
+    fn all_subpatterns_of_stored_patterns_are_stored() {
+        // Downward closure: the lattice is closed under leaf removal.
+        let d = Dataset::Nasa.generate(GenConfig {
+            seed: 2,
+            target_elements: 1500,
+        });
+        let r = mine(&d, MineConfig { max_size: 4, threads: 1 });
+        for size in 2..=4 {
+            for (key, _) in r.lattice.iter_level(size) {
+                let twig = key.decode();
+                for rnode in twig.removable_nodes() {
+                    let sub = twig.remove_node(rnode);
+                    assert!(
+                        r.lattice.get_twig(&sub).is_some(),
+                        "missing sub-pattern of a stored pattern"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_sibling_patterns_counted_injectively() {
+        let d = doc("<a><b/><b/><b/></a>");
+        let r = mine(&d, MineConfig::with_max_size(3));
+        // Pattern a[b][b]: 3 * 2 = 6 ordered injective pairs.
+        let labels = d.labels().clone();
+        let (a, b) = (labels.get("a").unwrap(), labels.get("b").unwrap());
+        let mut q = Twig::single(a);
+        q.add_child(q.root(), b);
+        q.add_child(q.root(), b);
+        assert_eq!(r.lattice.get_twig(&q), Some(6));
+        assert_eq!(count_matches(&d, &q), 6);
+    }
+
+    #[test]
+    fn mining_stops_when_a_level_is_empty() {
+        let d = doc("<a><b/></a>");
+        let r = mine(&d, MineConfig::with_max_size(6));
+        // Only patterns: a, b, a/b — levels 3.. are empty.
+        assert_eq!(r.lattice.len(), 3);
+    }
+
+    #[test]
+    fn candidates_reported_per_level() {
+        let d = doc("<a><b><c/></b></a>");
+        let r = mine(&d, MineConfig::with_max_size(3));
+        assert_eq!(r.candidates_per_level.len(), 3);
+        assert_eq!(r.candidates_per_level[0], 3);
+        assert!(r.candidates_per_level[1] >= 2);
+    }
+
+    #[test]
+    fn recursive_structure_patterns() {
+        let d = doc("<s><s><s/><s/></s></s>");
+        let r = mine(&d, MineConfig::with_max_size(3));
+        let labels = d.labels().clone();
+        let s = labels.get("s").unwrap();
+        // s/s edges: (1,2),(2,3),(2,4) = 3.
+        assert_eq!(r.lattice.get_twig(&Twig::path(&[s, s])), Some(3));
+        // s/s/s chains: (1,2,3),(1,2,4) = 2.
+        assert_eq!(r.lattice.get_twig(&Twig::path(&[s, s, s])), Some(2));
+        // s[s][s]: node 2 has two s children: 2 ordered pairs.
+        let mut q = Twig::single(s);
+        q.add_child(q.root(), s);
+        q.add_child(q.root(), s);
+        assert_eq!(r.lattice.get_twig(&q), Some(2));
+    }
+}

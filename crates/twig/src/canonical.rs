@@ -1,0 +1,358 @@
+//! Canonical encoding of unordered labeled twigs.
+//!
+//! Definition 1's match semantics are unordered: sibling order in the query
+//! does not affect selectivity. The lattice summary must therefore key
+//! patterns by their isomorphism class. We use the classic recursive
+//! canonical form: the encoding of a node is its label followed by the
+//! lexicographically *sorted* encodings of its children, wrapped in
+//! open/close sentinels. Two twigs are isomorphic iff their encodings are
+//! byte-equal.
+//!
+//! Labels are written as fixed-width big-endian `u32`s, so label bytes can
+//! never be confused with the sentinels (`0x01` open, `0x02` close are legal
+//! label bytes but appear at fixed offsets within each node record).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tl_xml::LabelId;
+
+use crate::twig::{Twig, TwigNodeId};
+
+/// A canonical key for a twig: byte-equal exactly for isomorphic twigs.
+///
+/// `TwigKey` is the hash key of the lattice summary. It also orders twigs
+/// (lexicographically by encoding), which gives mining a deterministic
+/// candidate order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TwigKey(Box<[u8]>);
+
+impl TwigKey {
+    /// The raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of nodes in the encoded twig (each node contributes exactly
+    /// 6 bytes: 4 label bytes + open + close).
+    pub fn node_count(&self) -> usize {
+        self.0.len() / 6
+    }
+
+    /// The label of the encoded twig's root.
+    pub fn root_label(&self) -> LabelId {
+        debug_assert!(self.0.len() >= 6);
+        LabelId(u32::from_be_bytes([self.0[0], self.0[1], self.0[2], self.0[3]]))
+    }
+
+    /// In-memory footprint in bytes (encoding plus the count it maps to),
+    /// used for the summary size accounting of Table 3 / Fig. 10.
+    pub fn heap_bytes(&self) -> usize {
+        self.0.len() + std::mem::size_of::<u64>()
+    }
+
+    /// Wraps raw bytes as a key without validation. Intended for
+    /// deserialization paths, which should call [`TwigKey::try_decode`] to
+    /// validate before trusting the key.
+    pub fn from_raw(bytes: Box<[u8]>) -> TwigKey {
+        TwigKey(bytes)
+    }
+
+    /// Non-panicking decode: returns `None` if the bytes are not a valid
+    /// canonical encoding (wrong framing, unbalanced sentinels, or more
+    /// than [`crate::twig::MAX_TWIG_NODES`] nodes).
+    pub fn try_decode(&self) -> Option<Twig> {
+        let b = &self.0;
+        if b.len() < 6 || !b.len().is_multiple_of(6) || b.len() / 6 > crate::twig::MAX_TWIG_NODES {
+            return None;
+        }
+        let mut pos = 0usize;
+        let root_label = read_label(b, &mut pos);
+        if b.get(pos) != Some(&OPEN) {
+            return None;
+        }
+        pos += 1;
+        let mut t = Twig::single(root_label);
+        let mut stack: Vec<TwigNodeId> = vec![0];
+        while !stack.is_empty() {
+            match b.get(pos)? {
+                &CLOSE => {
+                    pos += 1;
+                    stack.pop();
+                }
+                _ => {
+                    if pos + 5 > b.len() {
+                        return None;
+                    }
+                    let label = read_label(b, &mut pos);
+                    if b.get(pos) != Some(&OPEN) {
+                        return None;
+                    }
+                    pos += 1;
+                    let parent = *stack.last().expect("stack non-empty in loop");
+                    let id = t.add_child(parent, label);
+                    stack.push(id);
+                }
+            }
+        }
+        (pos == b.len()).then_some(t)
+    }
+
+    /// Decodes the key back into a twig (children in canonical order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes are not a valid encoding (cannot happen for keys
+    /// produced by [`key_of`]).
+    pub fn decode(&self) -> Twig {
+        let b = &self.0;
+        assert!(b.len() >= 6 && b.len().is_multiple_of(6), "corrupt twig key");
+        let mut pos = 0usize;
+        let root_label = read_label(b, &mut pos);
+        assert_eq!(b[pos], OPEN, "corrupt twig key");
+        pos += 1;
+        let mut t = Twig::single(root_label);
+        decode_children(b, &mut pos, &mut t, 0);
+        assert_eq!(b[pos], CLOSE, "corrupt twig key");
+        pos += 1;
+        assert_eq!(pos, b.len(), "trailing bytes in twig key");
+        t
+    }
+}
+
+fn read_label(b: &[u8], pos: &mut usize) -> LabelId {
+    let l = LabelId(u32::from_be_bytes([b[*pos], b[*pos + 1], b[*pos + 2], b[*pos + 3]]));
+    *pos += 4;
+    l
+}
+
+fn decode_children(b: &[u8], pos: &mut usize, t: &mut Twig, parent: TwigNodeId) {
+    while *pos < b.len() && b[*pos] != CLOSE {
+        let label = read_label(b, pos);
+        assert_eq!(b[*pos], OPEN, "corrupt twig key");
+        *pos += 1;
+        let id = t.add_child(parent, label);
+        decode_children(b, pos, t, id);
+        assert_eq!(b[*pos], CLOSE, "corrupt twig key");
+        *pos += 1;
+    }
+}
+
+impl fmt::Debug for TwigKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TwigKey({} nodes)", self.node_count())
+    }
+}
+
+const OPEN: u8 = 0x01;
+const CLOSE: u8 = 0x02;
+
+/// Computes the canonical key of `twig`.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::LabelInterner;
+/// use tl_twig::{canonical::key_of, Twig};
+///
+/// let mut it = LabelInterner::new();
+/// let (a, b, c) = (it.intern("a"), it.intern("b"), it.intern("c"));
+/// // a[b][c] and a[c][b] are isomorphic.
+/// let mut t1 = Twig::single(a);
+/// t1.add_child(t1.root(), b);
+/// t1.add_child(t1.root(), c);
+/// let mut t2 = Twig::single(a);
+/// t2.add_child(t2.root(), c);
+/// t2.add_child(t2.root(), b);
+/// assert_eq!(key_of(&t1), key_of(&t2));
+/// ```
+pub fn key_of(twig: &Twig) -> TwigKey {
+    TwigKey(encode_node(twig, twig.root()).into_boxed_slice())
+}
+
+/// Canonical key of the subtree of `twig` rooted at `node`.
+pub fn key_of_subtree(twig: &Twig, node: TwigNodeId) -> TwigKey {
+    TwigKey(encode_node(twig, node).into_boxed_slice())
+}
+
+fn encode_node(t: &Twig, n: TwigNodeId) -> Vec<u8> {
+    let mut child_encodings: Vec<Vec<u8>> =
+        t.children(n).iter().map(|&c| encode_node(t, c)).collect();
+    child_encodings.sort_unstable();
+    let total: usize = 6 + child_encodings.iter().map(Vec::len).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&t.label(n).0.to_be_bytes());
+    out.push(OPEN);
+    for ce in child_encodings {
+        out.extend_from_slice(&ce);
+    }
+    out.push(CLOSE);
+    out
+}
+
+/// Returns a structurally canonical copy of `twig`: same isomorphism class,
+/// children everywhere in canonical (sorted-encoding) order, nodes numbered
+/// in pre-order. Canonical twigs of isomorphic inputs are identical values.
+pub fn canonicalize(twig: &Twig) -> Twig {
+    key_of(twig).decode()
+}
+
+/// Whether two twigs are isomorphic as unordered labeled trees.
+pub fn isomorphic(a: &Twig, b: &Twig) -> bool {
+    a.len() == b.len() && key_of(a) == key_of(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::LabelInterner;
+
+    use super::*;
+
+    fn labels(n: usize) -> Vec<LabelId> {
+        let mut it = LabelInterner::new();
+        (0..n).map(|i| it.intern(&format!("l{i}"))).collect()
+    }
+
+    #[test]
+    fn sibling_order_is_ignored() {
+        let l = labels(3);
+        let mut t1 = Twig::single(l[0]);
+        t1.add_child(t1.root(), l[1]);
+        t1.add_child(t1.root(), l[2]);
+        let mut t2 = Twig::single(l[0]);
+        t2.add_child(t2.root(), l[2]);
+        t2.add_child(t2.root(), l[1]);
+        assert!(isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn deep_reordering_is_ignored() {
+        let l = labels(4);
+        // a[b[c][d]] vs a[b[d][c]]
+        let mut t1 = Twig::single(l[0]);
+        let b1 = t1.add_child(t1.root(), l[1]);
+        t1.add_child(b1, l[2]);
+        t1.add_child(b1, l[3]);
+        let mut t2 = Twig::single(l[0]);
+        let b2 = t2.add_child(t2.root(), l[1]);
+        t2.add_child(b2, l[3]);
+        t2.add_child(b2, l[2]);
+        assert_eq!(key_of(&t1), key_of(&t2));
+    }
+
+    #[test]
+    fn different_structures_differ() {
+        let l = labels(3);
+        // a[b[c]] vs a[b][c]
+        let mut t1 = Twig::single(l[0]);
+        let b = t1.add_child(t1.root(), l[1]);
+        t1.add_child(b, l[2]);
+        let mut t2 = Twig::single(l[0]);
+        t2.add_child(t2.root(), l[1]);
+        t2.add_child(t2.root(), l[2]);
+        assert_ne!(key_of(&t1), key_of(&t2));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let l = labels(3);
+        let t1 = Twig::path(&[l[0], l[1]]);
+        let t2 = Twig::path(&[l[0], l[2]]);
+        assert_ne!(key_of(&t1), key_of(&t2));
+    }
+
+    #[test]
+    fn node_count_from_key() {
+        let l = labels(3);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[1]);
+        t.add_child(b, l[2]);
+        t.add_child(t.root(), l[2]);
+        assert_eq!(key_of(&t).node_count(), 4);
+        assert_eq!(key_of(&t).root_label(), l[0]);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let l = labels(5);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[4]);
+        t.add_child(b, l[2]);
+        t.add_child(b, l[1]);
+        t.add_child(t.root(), l[3]);
+        let key = key_of(&t);
+        let decoded = key.decode();
+        assert_eq!(decoded.len(), t.len());
+        assert_eq!(key_of(&decoded), key);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_deterministic() {
+        let l = labels(4);
+        let mut t1 = Twig::single(l[0]);
+        t1.add_child(t1.root(), l[3]);
+        let b1 = t1.add_child(t1.root(), l[1]);
+        t1.add_child(b1, l[2]);
+        let mut t2 = Twig::single(l[0]);
+        let b2 = t2.add_child(t2.root(), l[1]);
+        t2.add_child(b2, l[2]);
+        t2.add_child(t2.root(), l[3]);
+        let c1 = canonicalize(&t1);
+        let c2 = canonicalize(&t2);
+        assert_eq!(c1, c2, "canonical copies of isomorphic twigs are equal values");
+        assert_eq!(canonicalize(&c1), c1, "idempotent");
+    }
+
+    #[test]
+    fn identical_sibling_subtrees_allowed() {
+        let l = labels(2);
+        let mut t = Twig::single(l[0]);
+        t.add_child(t.root(), l[1]);
+        t.add_child(t.root(), l[1]);
+        let key = key_of(&t);
+        assert_eq!(key.node_count(), 3);
+        assert_eq!(key_of(&key.decode()), key);
+    }
+
+    #[test]
+    fn subtree_key_matches_extracted_subtwig() {
+        let l = labels(4);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[1]);
+        t.add_child(b, l[3]);
+        t.add_child(b, l[2]);
+        let sub = t.subtwig(&[b, t.children(b)[0], t.children(b)[1]]);
+        assert_eq!(key_of_subtree(&t, b), key_of(&sub));
+    }
+
+    #[test]
+    fn try_decode_accepts_valid_and_rejects_corrupt() {
+        let l = labels(3);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[1]);
+        t.add_child(b, l[2]);
+        let key = key_of(&t);
+        let ok = key.try_decode().unwrap();
+        assert_eq!(key_of(&ok), key);
+
+        // Corrupt framing variants.
+        let raw = key.as_bytes().to_vec();
+        assert!(TwigKey::from_raw(raw[..raw.len() - 1].into()).try_decode().is_none());
+        let mut flipped = raw.clone();
+        flipped[4] = 0x07; // clobber the root OPEN sentinel
+        assert!(TwigKey::from_raw(flipped.into()).try_decode().is_none());
+        let mut unbalanced = raw;
+        let last = unbalanced.len() - 1;
+        unbalanced[last] = 0x01; // CLOSE -> OPEN
+        assert!(TwigKey::from_raw(unbalanced.into()).try_decode().is_none());
+        assert!(TwigKey::from_raw(Box::from(&b""[..])).try_decode().is_none());
+    }
+
+    #[test]
+    fn key_ordering_is_total_and_stable() {
+        let l = labels(3);
+        let k1 = key_of(&Twig::path(&[l[0], l[1]]));
+        let k2 = key_of(&Twig::path(&[l[0], l[2]]));
+        assert!(k1 < k2 || k2 < k1);
+    }
+}

@@ -1,0 +1,516 @@
+//! Exact twig selectivity: counting Definition 1 matches.
+//!
+//! A match of twig `Q` in document `T` is a 1-1 mapping `f: V_Q -> V_T`
+//! preserving labels and parent-child edges. The count is computed bottom-up:
+//! for each query node `q` and each document node `v` with the same label,
+//! `m(q, v)` is the number of matches of the subtree of `Q` rooted at `q`
+//! whose root maps to `v`. For the children of `q`:
+//!
+//! * query children with **pairwise-distinct labels** can never collide on a
+//!   document child, so their contributions multiply
+//!   (`Π_i Σ_u m(c_i, u)`) — this is the paper's "all children distinct"
+//!   simplification, here a provably-exact fast path;
+//! * query children **sharing a label** must be assigned to *distinct*
+//!   document children (injectivity). We count those assignments exactly
+//!   with a subset dynamic program over the group — the permanent of the
+//!   group's `m(c_i, u_j)` matrix — in `O(|u| · 2^g · g)` for group size
+//!   `g`.
+//!
+//! Two sibling subtrees mapped to distinct document children occupy disjoint
+//! document subtrees, so per-level injectivity implies global injectivity;
+//! the group-wise product is exact for all twigs, not an approximation.
+//!
+//! Counts use saturating `u64` arithmetic: a query whose true count exceeds
+//! `u64::MAX` (possible only on adversarial inputs) reports `u64::MAX`
+//! rather than wrapping.
+
+use tl_xml::{Document, FxHashMap, LabelId, NodeId};
+
+use crate::twig::{Twig, TwigNodeId};
+
+/// Maximum number of same-label sibling query nodes the injective counter
+/// accepts (the subset DP is `2^g`).
+pub const MAX_SIBLING_GROUP: usize = 20;
+
+/// Reusable exact match counter over one document.
+///
+/// Construction builds the label→nodes index once (`O(|T|)`); each
+/// [`count`](MatchCounter::count) then touches only document nodes whose
+/// label occurs in the query.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, ParseOptions};
+/// use tl_twig::{parse_twig_in, MatchCounter};
+///
+/// // Figure 1: two <laptop> elements, each with <brand> and <price>.
+/// let doc = parse_document(
+///     b"<computer><laptops>\
+///         <laptop><brand/><price/></laptop>\
+///         <laptop><brand/><price/></laptop>\
+///       </laptops><desktops/></computer>",
+///     ParseOptions::default(),
+/// ).unwrap();
+/// let counter = MatchCounter::new(&doc);
+/// let q = parse_twig_in("//laptop[brand][price]", doc.labels()).unwrap();
+/// assert_eq!(counter.count(&q), 2);
+/// ```
+pub struct MatchCounter<'d> {
+    doc: &'d Document,
+    by_label: Vec<Vec<NodeId>>,
+}
+
+impl<'d> MatchCounter<'d> {
+    /// Builds the counter (indexes the document by label).
+    pub fn new(doc: &'d Document) -> Self {
+        Self {
+            doc,
+            by_label: doc.nodes_by_label(),
+        }
+    }
+
+    /// The document this counter indexes.
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Number of document nodes labeled `label`.
+    pub fn label_count(&self, label: LabelId) -> u64 {
+        self.by_label
+            .get(label.index())
+            .map_or(0, |v| v.len() as u64)
+    }
+
+    /// Per-root match counts: each `(v, m)` pair is a document node `v`
+    /// that can host the twig's root, with `m ≥ 1` matches rooted there.
+    /// The sum of all `m` equals [`count`](MatchCounter::count). This is
+    /// the executor-facing API: an approximate-answering layer can return
+    /// the actual anchor nodes, not just the aggregate.
+    pub fn count_by_root(&self, twig: &Twig) -> Vec<(NodeId, u64)> {
+        let mut out = Vec::new();
+        self.count_inner(twig, Some(&mut out));
+        out
+    }
+
+    /// Exact selectivity of `twig` in the document.
+    pub fn count(&self, twig: &Twig) -> u64 {
+        self.count_inner(twig, None)
+    }
+
+    fn count_inner(&self, twig: &Twig, mut roots: Option<&mut Vec<(NodeId, u64)>>) -> u64 {
+        // Any label absent from the document zeroes the count immediately.
+        for n in twig.nodes() {
+            if self.label_count(twig.label(n)) == 0 {
+                return 0;
+            }
+        }
+        if twig.len() == 1 {
+            if let Some(roots) = roots.as_deref_mut() {
+                roots.extend(
+                    self.by_label[twig.label(twig.root()).index()]
+                        .iter()
+                        .map(|&v| (v, 1)),
+                );
+            }
+            return self.label_count(twig.label(twig.root()));
+        }
+
+        // Children of each query node, grouped by label; groups with one
+        // member take the product fast path.
+        let groups = child_groups(twig);
+
+        // m(q, v) for already-processed query nodes, sparse per query node.
+        let mut maps: Vec<FxHashMap<u32, u64>> =
+            vec![FxHashMap::default(); twig.len()];
+
+        // Process query nodes children-first (reverse pre-order works:
+        // pre-order emits parents before children).
+        let order = twig.pre_order();
+        let mut child_buf: Vec<NodeId> = Vec::new();
+        for &q in order.iter().rev() {
+            if twig.children(q).is_empty() {
+                continue; // Leaves are implicit: m(leaf, v) = 1 on label match.
+            }
+            let candidates = &self.by_label[twig.label(q).index()];
+            let mut map = FxHashMap::default();
+            'cand: for &v in candidates {
+                child_buf.clear();
+                child_buf.extend(self.doc.children(v));
+                let mut total: u64 = 1;
+                for group in &groups[q as usize] {
+                    let f = self.group_count(twig, &maps, group, &child_buf);
+                    if f == 0 {
+                        continue 'cand;
+                    }
+                    total = total.saturating_mul(f);
+                }
+                map.insert(v.0, total);
+            }
+            maps[q as usize] = map;
+        }
+
+        let root = twig.root();
+        if twig.children(root).is_empty() {
+            unreachable!("single-node twigs returned early");
+        }
+        if let Some(roots) = roots {
+            roots.extend(
+                maps[root as usize]
+                    .iter()
+                    .map(|(&v, &m)| (NodeId(v), m)),
+            );
+            roots.sort_unstable_by_key(|&(v, _)| v.0);
+        }
+        maps[root as usize].values().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Number of matches of `q`'s subtree with root mapped to `u`.
+    #[inline]
+    fn node_count(
+        &self,
+        twig: &Twig,
+        maps: &[FxHashMap<u32, u64>],
+        q: TwigNodeId,
+        u: NodeId,
+    ) -> u64 {
+        if self.doc.label(u) != twig.label(q) {
+            return 0;
+        }
+        if twig.children(q).is_empty() {
+            1
+        } else {
+            maps[q as usize].get(&u.0).copied().unwrap_or(0)
+        }
+    }
+
+    /// Counts assignments for one same-label child group under document
+    /// children `doc_children`.
+    fn group_count(
+        &self,
+        twig: &Twig,
+        maps: &[FxHashMap<u32, u64>],
+        group: &ChildGroup,
+        doc_children: &[NodeId],
+    ) -> u64 {
+        let label = group.label;
+        if group.members.len() == 1 {
+            let q = group.members[0];
+            let mut sum: u64 = 0;
+            for &u in doc_children {
+                if self.doc.label(u) == label {
+                    sum = sum.saturating_add(self.node_count(twig, maps, q, u));
+                }
+            }
+            return sum;
+        }
+        let g = group.members.len();
+        assert!(
+            g <= MAX_SIBLING_GROUP,
+            "more than {MAX_SIBLING_GROUP} same-label sibling query nodes"
+        );
+        // Subset DP: f[mask] = #injective assignments of the query children
+        // in `mask` to the document children examined so far.
+        let full = (1usize << g) - 1;
+        let mut f = vec![0u64; full + 1];
+        f[0] = 1;
+        let mut weights = vec![0u64; g];
+        for &u in doc_children {
+            if self.doc.label(u) != label {
+                continue;
+            }
+            let mut any = false;
+            for (i, &q) in group.members.iter().enumerate() {
+                weights[i] = self.node_count(twig, maps, q, u);
+                any |= weights[i] != 0;
+            }
+            if !any {
+                continue;
+            }
+            // Descending mask order: f[mask ^ bit] is still the previous
+            // column's value when we read it.
+            for mask in (1..=full).rev() {
+                let mut add: u64 = 0;
+                let mut bits = mask;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if weights[i] != 0 {
+                        add = add.saturating_add(
+                            f[mask ^ (1 << i)].saturating_mul(weights[i]),
+                        );
+                    }
+                }
+                f[mask] = f[mask].saturating_add(add);
+            }
+        }
+        f[full]
+    }
+}
+
+/// A maximal set of children of one query node sharing a label.
+struct ChildGroup {
+    label: LabelId,
+    members: Vec<TwigNodeId>,
+}
+
+/// Groups each query node's children by label.
+fn child_groups(twig: &Twig) -> Vec<Vec<ChildGroup>> {
+    let mut all = Vec::with_capacity(twig.len());
+    for q in twig.nodes() {
+        let mut groups: Vec<ChildGroup> = Vec::new();
+        for &c in twig.children(q) {
+            let label = twig.label(c);
+            match groups.iter_mut().find(|g| g.label == label) {
+                Some(g) => g.members.push(c),
+                None => groups.push(ChildGroup {
+                    label,
+                    members: vec![c],
+                }),
+            }
+        }
+        all.push(groups);
+    }
+    all
+}
+
+/// Convenience one-shot form of [`MatchCounter::count`].
+pub fn count_matches(doc: &Document, twig: &Twig) -> u64 {
+    MatchCounter::new(doc).count(twig)
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, ParseOptions};
+
+    use crate::parser::parse_twig;
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    fn count(d: &Document, q: &str) -> u64 {
+        let mut labels = d.labels().clone();
+        let twig = parse_twig(q, &mut labels).unwrap();
+        // Unknown labels mean zero matches; count() handles them because
+        // by_label simply has no entry.
+        let counter = MatchCounter::new(d);
+        if twig.nodes().any(|n| twig.label(n).index() >= d.labels().len()) {
+            return 0;
+        }
+        counter.count(&twig)
+    }
+
+    #[test]
+    fn figure1_example() {
+        let d = doc(
+            "<computer><laptops>\
+               <laptop><brand/><price/></laptop>\
+               <laptop><brand/><price/></laptop>\
+             </laptops><desktops/></computer>",
+        );
+        assert_eq!(count(&d, "laptop[brand][price]"), 2);
+        assert_eq!(count(&d, "laptop"), 2);
+        assert_eq!(count(&d, "laptops/laptop/brand"), 2);
+        assert_eq!(count(&d, "computer[laptops][desktops]"), 1);
+    }
+
+    #[test]
+    fn single_label_counts_nodes() {
+        let d = doc("<a><b/><b/><b/></a>");
+        assert_eq!(count(&d, "b"), 3);
+        assert_eq!(count(&d, "a"), 1);
+    }
+
+    #[test]
+    fn missing_label_is_zero() {
+        let d = doc("<a><b/></a>");
+        assert_eq!(count(&d, "a/z"), 0);
+        assert_eq!(count(&d, "z"), 0);
+    }
+
+    #[test]
+    fn structure_mismatch_is_zero() {
+        let d = doc("<a><b/><c/></a>");
+        assert_eq!(count(&d, "b/c"), 0);
+        assert_eq!(count(&d, "c[b]"), 0);
+    }
+
+    #[test]
+    fn path_counts_multiply_over_occurrences() {
+        // Two a-nodes each with one b child; each b has 2 c children.
+        let d = doc("<r><a><b><c/><c/></b></a><a><b><c/><c/></b></a></r>");
+        assert_eq!(count(&d, "a/b"), 2);
+        assert_eq!(count(&d, "a/b/c"), 4);
+        assert_eq!(count(&d, "b/c"), 4);
+    }
+
+    #[test]
+    fn branching_combines_independently() {
+        // One a with 2 b's and 3 c's: a[b][c] has 2*3 = 6 matches.
+        let d = doc("<a><b/><b/><c/><c/><c/></a>");
+        assert_eq!(count(&d, "a[b][c]"), 6);
+    }
+
+    #[test]
+    fn duplicate_sibling_labels_are_injective() {
+        // a has 3 b children; a[b][b] must count ordered pairs of
+        // *distinct* b's: 3 * 2 = 6 (not 9).
+        let d = doc("<a><b/><b/><b/></a>");
+        let mut labels = d.labels().clone();
+        let mut q = crate::twig::Twig::single(labels.intern("a"));
+        let b = labels.intern("b");
+        q.add_child(q.root(), b);
+        q.add_child(q.root(), b);
+        assert_eq!(count_matches(&d, &q), 6);
+    }
+
+    #[test]
+    fn duplicate_sibling_subtrees_with_different_shapes() {
+        // a: b(with c), b(empty). Query a[b[c]][b]: the b[c] leg matches
+        // only the first b; the bare b leg matches either b, but must be
+        // distinct => pairs: (b1->bc, b2->either other) = 1 * 1 = 1.
+        let d = doc("<a><b><c/></b><b/></a>");
+        let labels = d.labels().clone();
+        let a = labels.get("a").unwrap();
+        let b = labels.get("b").unwrap();
+        let c = labels.get("c").unwrap();
+        let mut q = crate::twig::Twig::single(a);
+        let b1 = q.add_child(q.root(), b);
+        q.add_child(b1, c);
+        q.add_child(q.root(), b);
+        assert_eq!(count_matches(&d, &q), 1);
+    }
+
+    #[test]
+    fn injective_count_matches_brute_force_small() {
+        // Document: a with b-children having varying numbers of c's.
+        let d = doc("<a><b><c/></b><b><c/><c/></b><b/></a>");
+        // Query: a[b[c]][b[c]] — ordered pairs of distinct b's each
+        // matched with one of their c's: legs (b1,b2): 1*2 + (b2,b1): 2*1
+        // = 4 (b3 has no c).
+        let labels = d.labels().clone();
+        let (a, b, c) = (
+            labels.get("a").unwrap(),
+            labels.get("b").unwrap(),
+            labels.get("c").unwrap(),
+        );
+        let mut q = crate::twig::Twig::single(a);
+        let x = q.add_child(q.root(), b);
+        q.add_child(x, c);
+        let y = q.add_child(q.root(), b);
+        q.add_child(y, c);
+        assert_eq!(count_matches(&d, &q), 4);
+    }
+
+    #[test]
+    fn root_of_twig_matches_anywhere() {
+        let d = doc("<r><x><a><b/></a></x><a><b/></a></r>");
+        assert_eq!(count(&d, "a/b"), 2);
+    }
+
+    #[test]
+    fn recursive_labels() {
+        // Nested <s> elements: s/s pairs.
+        let d = doc("<s><s><s/></s><s/></s>");
+        // Parent-child s/s edges: (1,2),(2,3),(1,4) -> 3 matches.
+        assert_eq!(count(&d, "s/s"), 3);
+        // s/s/s chains: (1,2,3) -> 1.
+        assert_eq!(count(&d, "s/s/s"), 1);
+        // s[s][s]: nodes with >=2 distinct s children: node1 has children
+        // {2,4}: ordered pairs = 2. Node 2 has one child. Total 2.
+        let labels = d.labels().clone();
+        let s = labels.get("s").unwrap();
+        let mut q = crate::twig::Twig::single(s);
+        q.add_child(q.root(), s);
+        q.add_child(q.root(), s);
+        assert_eq!(count_matches(&d, &q), 2);
+    }
+
+    #[test]
+    fn count_by_root_sums_to_count_and_anchors_correctly() {
+        let d = doc("<r><a><b/><b/></a><a><b/></a><x><a/></x></r>");
+        let counter = MatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        let q = parse_twig("a/b", &mut labels).unwrap();
+        let by_root = counter.count_by_root(&q);
+        let total: u64 = by_root.iter().map(|&(_, m)| m).sum();
+        assert_eq!(total, counter.count(&q));
+        assert_eq!(by_root.len(), 2, "two `a` nodes have b children");
+        for (v, m) in by_root {
+            assert_eq!(d.label_name(d.label(v)), "a");
+            assert!(m >= 1);
+        }
+        // Single-node twig anchors at every labeled node.
+        let q1 = parse_twig("a", &mut labels).unwrap();
+        assert_eq!(counter.count_by_root(&q1).len(), 3);
+    }
+
+    #[test]
+    fn count_by_root_empty_for_zero_queries() {
+        let d = doc("<r><a/></r>");
+        let counter = MatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        let q = parse_twig("a/b", &mut labels).unwrap();
+        assert!(counter.count_by_root(&q).is_empty());
+    }
+
+    #[test]
+    fn counter_reuse_across_queries() {
+        let d = doc("<a><b><c/></b><b><c/></b></a>");
+        let counter = MatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        let q1 = parse_twig("a/b", &mut labels).unwrap();
+        let q2 = parse_twig("b/c", &mut labels).unwrap();
+        assert_eq!(counter.count(&q1), 2);
+        assert_eq!(counter.count(&q2), 2);
+        assert_eq!(counter.count(&q1), 2, "counter is stateless across queries");
+    }
+
+    #[test]
+    fn deep_query_on_deep_document() {
+        let mut s = String::new();
+        for _ in 0..50 {
+            s.push_str("<d>");
+        }
+        for _ in 0..50 {
+            s.push_str("</d>");
+        }
+        let d = doc(&s);
+        let labels = d.labels().clone();
+        let dl = labels.get("d").unwrap();
+        let q = crate::twig::Twig::path(&[dl; 10]);
+        // Chains of 10 consecutive d's in a 50-chain: 41.
+        assert_eq!(count_matches(&d, &q), 41);
+    }
+
+    #[test]
+    fn wide_fanout_counts() {
+        let mut s = String::from("<a>");
+        for _ in 0..1000 {
+            s.push_str("<b/>");
+        }
+        s.push_str("</a>");
+        let d = doc(&s);
+        assert_eq!(count(&d, "a/b"), 1000);
+        let labels = d.labels().clone();
+        let (a, b) = (labels.get("a").unwrap(), labels.get("b").unwrap());
+        let mut q = crate::twig::Twig::single(a);
+        q.add_child(q.root(), b);
+        q.add_child(q.root(), b);
+        q.add_child(q.root(), b);
+        // Ordered triples of distinct b's: 1000*999*998.
+        assert_eq!(count_matches(&d, &q), 1000 * 999 * 998);
+    }
+
+    #[test]
+    fn isomorphic_queries_have_equal_counts() {
+        let d = doc("<a><b/><c><x/></c><c/></a>");
+        let mut labels = d.labels().clone();
+        let q1 = parse_twig("a[b][c[x]]", &mut labels).unwrap();
+        let q2 = parse_twig("a[c[x]][b]", &mut labels).unwrap();
+        assert_eq!(count_matches(&d, &q1), count_matches(&d, &q2));
+    }
+}

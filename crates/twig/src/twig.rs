@@ -1,0 +1,427 @@
+//! The twig query data structure.
+//!
+//! Twigs are tiny (the paper evaluates sizes 4–9), so the representation
+//! favours simplicity over compaction: parallel vectors for labels and
+//! parents plus an explicit child adjacency list. Node 0 is always the root
+//! and nodes are stored in pre-order; every operation that derives a new
+//! twig re-normalizes to this form.
+
+use serde::{Deserialize, Serialize};
+use tl_xml::{LabelId, LabelInterner};
+
+/// Index of a node within a [`Twig`].
+pub type TwigNodeId = u32;
+
+/// Hard cap on twig size. Queries past this are rejected at construction;
+/// the decomposition estimators are exponential in voting width, not size,
+/// so this exists purely to keep indices in `u32` comfortable and recursion
+/// bounded.
+pub const MAX_TWIG_NODES: usize = 256;
+
+/// A rooted, node-labeled twig query.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::LabelInterner;
+/// use tl_twig::Twig;
+///
+/// let mut it = LabelInterner::new();
+/// let (a, b, c) = (it.intern("a"), it.intern("b"), it.intern("c"));
+/// let mut t = Twig::single(a);
+/// let nb = t.add_child(t.root(), b);
+/// t.add_child(t.root(), c);
+/// t.add_child(nb, c);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.to_query_string(&it), "a[b[c]][c]");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Twig {
+    labels: Vec<LabelId>,
+    /// Parent of each node; `u32::MAX` for the root.
+    parents: Vec<u32>,
+    children: Vec<Vec<u32>>,
+}
+
+impl Twig {
+    const NO_PARENT: u32 = u32::MAX;
+
+    /// A twig consisting of a single root node.
+    pub fn single(label: LabelId) -> Self {
+        Self {
+            labels: vec![label],
+            parents: vec![Self::NO_PARENT],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// The root node id (always 0).
+    #[inline]
+    pub fn root(&self) -> TwigNodeId {
+        0
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the twig has no nodes. Never true: a twig always has a root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of node `n`.
+    #[inline]
+    pub fn label(&self, n: TwigNodeId) -> LabelId {
+        self.labels[n as usize]
+    }
+
+    /// Parent of node `n`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, n: TwigNodeId) -> Option<TwigNodeId> {
+        let p = self.parents[n as usize];
+        (p != Self::NO_PARENT).then_some(p)
+    }
+
+    /// Children of node `n`, in insertion order.
+    #[inline]
+    pub fn children(&self, n: TwigNodeId) -> &[TwigNodeId] {
+        &self.children[n as usize]
+    }
+
+    /// Appends a new child labeled `label` under `parent`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the twig already holds [`MAX_TWIG_NODES`] nodes.
+    pub fn add_child(&mut self, parent: TwigNodeId, label: LabelId) -> TwigNodeId {
+        assert!(
+            self.len() < MAX_TWIG_NODES,
+            "twig exceeds MAX_TWIG_NODES = {MAX_TWIG_NODES}"
+        );
+        let id = self.labels.len() as u32;
+        self.labels.push(label);
+        self.parents.push(parent);
+        self.children.push(Vec::new());
+        self.children[parent as usize].push(id);
+        id
+    }
+
+    /// All node ids, in storage order.
+    pub fn nodes(&self) -> impl Iterator<Item = TwigNodeId> {
+        0..self.labels.len() as u32
+    }
+
+    /// Node ids in pre-order, children visited in insertion order.
+    pub fn pre_order(&self) -> Vec<TwigNodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Nodes with no children.
+    pub fn leaves(&self) -> Vec<TwigNodeId> {
+        self.nodes().filter(|&n| self.children(n).is_empty()).collect()
+    }
+
+    /// Nodes eligible for removal in the recursive decomposition: all leaf
+    /// nodes, plus the root when it has degree 1 (the paper treats a
+    /// degree-1 root as a leaf for decomposition purposes). For any twig of
+    /// size ≥ 2 this set has at least two elements.
+    pub fn removable_nodes(&self) -> Vec<TwigNodeId> {
+        let mut r = self.leaves();
+        if self.len() >= 2 && self.children(self.root()).len() == 1 {
+            r.push(self.root());
+        }
+        r
+    }
+
+    /// Whether `n` may be removed while keeping the remainder a rooted tree.
+    pub fn is_removable(&self, n: TwigNodeId) -> bool {
+        if self.children(n).is_empty() {
+            self.len() >= 2 || n != self.root()
+        } else {
+            n == self.root() && self.children(n).len() == 1
+        }
+    }
+
+    /// Returns a new twig with node `n` removed, re-normalized to pre-order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if removing `n` would disconnect the twig (see
+    /// [`Twig::is_removable`]) or leave it empty.
+    pub fn remove_node(&self, n: TwigNodeId) -> Twig {
+        assert!(self.len() >= 2, "cannot remove the last node");
+        assert!(self.is_removable(n), "node {n} is not removable");
+        let keep: Vec<TwigNodeId> = self.nodes().filter(|&m| m != n).collect();
+        self.subtwig(&keep)
+    }
+
+    /// Extracts the sub-twig induced by `nodes`, which must be connected and
+    /// contain exactly one node whose parent is outside the set (the new
+    /// root). Node order in the result is pre-order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the induced set is empty or not a tree.
+    pub fn subtwig(&self, nodes: &[TwigNodeId]) -> Twig {
+        assert!(!nodes.is_empty(), "empty node set");
+        let in_set: Vec<bool> = {
+            let mut v = vec![false; self.len()];
+            for &n in nodes {
+                v[n as usize] = true;
+            }
+            v
+        };
+        // The new root is the unique node whose parent is absent.
+        let mut roots = nodes.iter().copied().filter(|&n| match self.parent(n) {
+            None => true,
+            Some(p) => !in_set[p as usize],
+        });
+        let root = roots.next().expect("node set has no root");
+        assert!(roots.next().is_none(), "node set is not connected (two roots)");
+
+        let mut out = Twig::single(self.label(root));
+        let mut map = vec![u32::MAX; self.len()];
+        map[root as usize] = 0;
+        // Pre-order DFS restricted to the kept set.
+        let mut stack: Vec<TwigNodeId> = self
+            .children(root)
+            .iter()
+            .rev()
+            .copied()
+            .filter(|&c| in_set[c as usize])
+            .collect();
+        let mut visited = 1usize;
+        while let Some(n) = stack.pop() {
+            let p = self.parent(n).expect("non-root has a parent");
+            let new_parent = map[p as usize];
+            assert!(new_parent != u32::MAX, "node set is not connected");
+            let id = out.add_child(new_parent, self.label(n));
+            map[n as usize] = id;
+            visited += 1;
+            for &c in self.children(n).iter().rev() {
+                if in_set[c as usize] {
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(visited, nodes.len(), "node set is not connected");
+        out
+    }
+
+    /// Re-normalizes storage to pre-order (children keep insertion order).
+    /// Derived twigs from this crate are already normalized; this is useful
+    /// after manual construction.
+    pub fn normalized(&self) -> Twig {
+        let all: Vec<TwigNodeId> = self.nodes().collect();
+        self.subtwig(&all)
+    }
+
+    /// Whether the twig is a simple path (every node has at most one child).
+    pub fn is_path(&self) -> bool {
+        self.nodes().all(|n| self.children(n).len() <= 1)
+    }
+
+    /// For a path twig, the labels from root to leaf; `None` otherwise.
+    pub fn path_labels(&self) -> Option<Vec<LabelId>> {
+        if !self.is_path() {
+            return None;
+        }
+        let mut labels = Vec::with_capacity(self.len());
+        let mut cur = self.root();
+        loop {
+            labels.push(self.label(cur));
+            match self.children(cur).first() {
+                Some(&c) => cur = c,
+                None => break,
+            }
+        }
+        Some(labels)
+    }
+
+    /// Builds a path twig from a root-to-leaf label sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty.
+    pub fn path(labels: &[LabelId]) -> Twig {
+        assert!(!labels.is_empty(), "empty path");
+        let mut t = Twig::single(labels[0]);
+        let mut cur = t.root();
+        for &l in &labels[1..] {
+            cur = t.add_child(cur, l);
+        }
+        t
+    }
+
+    /// Degree (number of children, plus one for the parent edge if any).
+    pub fn degree(&self, n: TwigNodeId) -> usize {
+        self.children(n).len() + usize::from(self.parent(n).is_some())
+    }
+
+    /// Renders the twig in the query surface syntax, e.g. `a[b[c]][c]`.
+    /// Children are emitted in stored order; use
+    /// [`canonical::canonicalize`](crate::canonical::canonicalize) first for
+    /// a deterministic form.
+    pub fn to_query_string(&self, labels: &LabelInterner) -> String {
+        fn rec(t: &Twig, n: TwigNodeId, labels: &LabelInterner, out: &mut String) {
+            out.push_str(labels.resolve(t.label(n)));
+            for &c in t.children(n) {
+                out.push('[');
+                rec(t, c, labels, out);
+                out.push(']');
+            }
+        }
+        let mut s = String::new();
+        rec(self, self.root(), labels, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interner() -> (LabelInterner, Vec<LabelId>) {
+        let mut it = LabelInterner::new();
+        let ids = ["a", "b", "c", "d", "e"].iter().map(|s| it.intern(s)).collect();
+        (it, ids)
+    }
+
+    /// a[b[d]][c] — 4 nodes.
+    fn sample() -> (Twig, LabelInterner) {
+        let (it, l) = interner();
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[1]);
+        t.add_child(t.root(), l[2]);
+        t.add_child(b, l[3]);
+        (t, it)
+    }
+
+    #[test]
+    fn construction_and_links() {
+        let (t, _) = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.parent(t.root()), None);
+        let b = t.children(t.root())[0];
+        assert_eq!(t.parent(b), Some(t.root()));
+        assert_eq!(t.children(b).len(), 1);
+    }
+
+    #[test]
+    fn preorder_visits_all_nodes_parent_first() {
+        let (t, _) = sample();
+        let order = t.pre_order();
+        assert_eq!(order.len(), t.len());
+        let pos: std::collections::HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for n in t.nodes() {
+            if let Some(p) = t.parent(n) {
+                assert!(pos[&p] < pos[&n]);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_and_removable() {
+        let (t, _) = sample();
+        // Leaves: d (under b) and c.
+        assert_eq!(t.leaves().len(), 2);
+        // Root has degree 2 -> not removable; so removable == leaves.
+        assert_eq!(t.removable_nodes().len(), 2);
+    }
+
+    #[test]
+    fn degree_one_root_is_removable() {
+        let (_, l) = interner();
+        let t = Twig::path(&[l[0], l[1], l[2]]);
+        let removable = t.removable_nodes();
+        assert_eq!(removable.len(), 2);
+        assert!(removable.contains(&t.root()));
+    }
+
+    #[test]
+    fn remove_leaf_keeps_tree() {
+        let (t, it) = sample();
+        let leaf = *t.leaves().last().unwrap();
+        let t2 = t.remove_node(leaf);
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2.parent(t2.root()), None);
+        // Removing `c` leaves a[b[d]]; removing `d` leaves a[b][c].
+        let s = t2.to_query_string(&it);
+        assert!(s == "a[b[d]]" || s == "a[b][c]", "unexpected {s}");
+    }
+
+    #[test]
+    fn remove_degree_one_root_promotes_child() {
+        let (_, l) = interner();
+        let t = Twig::path(&[l[0], l[1], l[2]]);
+        let t2 = t.remove_node(t.root());
+        assert_eq!(t2.len(), 2);
+        assert_eq!(t2.path_labels().unwrap(), vec![l[1], l[2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not removable")]
+    fn removing_internal_node_panics() {
+        let (t, _) = sample();
+        let b = t.children(t.root())[0]; // internal node with child d
+        let _ = t.remove_node(b);
+    }
+
+    #[test]
+    fn subtwig_extraction() {
+        let (t, it) = sample();
+        let b = t.children(t.root())[0];
+        let d = t.children(b)[0];
+        let sub = t.subtwig(&[b, d]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.to_query_string(&it), "b[d]");
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn disconnected_subtwig_panics() {
+        let (t, _) = sample();
+        let b = t.children(t.root())[0];
+        let d = t.children(b)[0];
+        let c = t.children(t.root())[1];
+        let _ = t.subtwig(&[d, c]); // d and c are not connected without a/b
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let (_, l) = interner();
+        let t = Twig::path(&[l[0], l[1], l[1], l[2]]);
+        assert!(t.is_path());
+        assert_eq!(t.path_labels().unwrap(), vec![l[0], l[1], l[1], l[2]]);
+        let (t2, _) = sample();
+        assert!(!t2.is_path());
+        assert_eq!(t2.path_labels(), None);
+    }
+
+    #[test]
+    fn query_string_rendering() {
+        let (t, it) = sample();
+        assert_eq!(t.to_query_string(&it), "a[b[d]][c]");
+    }
+
+    #[test]
+    fn normalized_is_stable() {
+        let (t, _) = sample();
+        let n1 = t.normalized();
+        let n2 = n1.normalized();
+        assert_eq!(n1, n2);
+    }
+}

@@ -1,0 +1,296 @@
+//! # tl-workload — query workloads and error metrics (paper §5.1)
+//!
+//! * [`positive_workload`] — distinct twig patterns of a given size that
+//!   *occur* in a document, sampled by random connected-subtree extraction,
+//!   each labeled with its exact selectivity. (The paper enumerates all
+//!   patterns per level and samples when a level is too large; extraction
+//!   sampling reaches the same population — occurred patterns of size n —
+//!   without enumerating levels the summary never stores.)
+//! * [`enumerated_workload`] — the paper's literal construction: mine the
+//!   level, then sample uniformly without replacement.
+//! * [`negative_workload`] — zero-selectivity queries built by replacing
+//!   labels of positive queries with labels drawn according to their
+//!   document frequency ("more frequent labels are used for replacement
+//!   more often"), filtered to true selectivity 0.
+//! * [`metrics`] — the absolute relative error with the paper's sanity
+//!   bound: `|s − ŝ| / max(s, b)` where `b` is the 10th percentile of true
+//!   counts, floored at 10.
+
+pub mod metrics;
+pub mod sample;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tl_twig::{MatchCounter, Twig};
+use tl_xml::Document;
+
+pub use metrics::{average_relative_error_pct, error_cdf, relative_error_pct, sanity_bound};
+pub use sample::extract_pattern;
+
+/// One benchmark query with its ground-truth selectivity.
+#[derive(Clone, Debug)]
+pub struct QueryCase {
+    /// The twig query (canonical form).
+    pub twig: Twig,
+    /// Its exact selectivity in the source document.
+    pub true_count: u64,
+}
+
+/// A per-query-size workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Query size (node count) of every case.
+    pub size: usize,
+    /// The labeled queries.
+    pub cases: Vec<QueryCase>,
+}
+
+impl Workload {
+    /// True counts of all cases, in order.
+    pub fn true_counts(&self) -> Vec<u64> {
+        self.cases.iter().map(|c| c.true_count).collect()
+    }
+}
+
+/// Samples up to `n` *distinct* occurred patterns of `size` nodes.
+///
+/// Returns fewer than `n` cases when the document does not contain enough
+/// distinct patterns of that size (attempts are bounded).
+pub fn positive_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Workload {
+    assert!(size >= 1, "query size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let counter = MatchCounter::new(doc);
+    let mut seen = tl_xml::FxHashSet::default();
+    let mut cases = Vec::with_capacity(n);
+    let max_attempts = n.saturating_mul(60).max(512);
+    for _ in 0..max_attempts {
+        if cases.len() >= n {
+            break;
+        }
+        let Some(twig) = sample::random_occurred_twig(doc, &mut rng, size) else {
+            continue;
+        };
+        let key = tl_twig::canonical::key_of(&twig);
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let true_count = counter.count(&twig);
+        debug_assert!(true_count >= 1, "extracted patterns occur by construction");
+        cases.push(QueryCase {
+            twig: key.decode(),
+            true_count,
+        });
+    }
+    Workload { size, cases }
+}
+
+/// The paper's own workload construction (§5.1): *enumerate* all occurred
+/// patterns of `size` nodes (by mining level `size`) and sample `n` of them
+/// uniformly. Exact but only practical for sizes where the level fits in
+/// memory; [`positive_workload`] extraction-samples the same population
+/// without enumerating it and is preferred for large sizes.
+pub fn enumerated_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Workload {
+    assert!(size >= 1, "query size must be positive");
+    let report = tl_miner::mine(
+        doc,
+        tl_miner::MineConfig {
+            max_size: size,
+            threads: 0,
+        },
+    );
+    let mut all: Vec<(tl_twig::TwigKey, u64)> = report
+        .lattice
+        .iter_level(size)
+        .map(|(k, c)| (k.clone(), c))
+        .collect();
+    all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_F42D_4C95_7F2D);
+    // Uniform sample without replacement (partial Fisher-Yates).
+    let take = n.min(all.len());
+    for i in 0..take {
+        let j = i + (rand::Rng::gen_range(&mut rng, 0..(all.len() - i)));
+        all.swap(i, j);
+    }
+    let cases = all
+        .into_iter()
+        .take(take)
+        .map(|(key, true_count)| QueryCase {
+            twig: key.decode(),
+            true_count,
+        })
+        .collect();
+    Workload { size, cases }
+}
+
+/// Builds up to `n` zero-selectivity queries of `size` nodes by label
+/// perturbation of occurred patterns.
+pub fn negative_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Workload {
+    assert!(size >= 1, "query size must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let counter = MatchCounter::new(doc);
+    let weights = sample::label_weights(doc);
+    let mut seen = tl_xml::FxHashSet::default();
+    let mut cases = Vec::with_capacity(n);
+    let max_attempts = n.saturating_mul(120).max(1024);
+    for _ in 0..max_attempts {
+        if cases.len() >= n {
+            break;
+        }
+        let Some(base) = sample::random_occurred_twig(doc, &mut rng, size) else {
+            continue;
+        };
+        let twig = sample::perturb_labels(&base, &weights, &mut rng);
+        let key = tl_twig::canonical::key_of(&twig);
+        if seen.contains(&key) {
+            continue;
+        }
+        if counter.count(&twig) != 0 {
+            continue;
+        }
+        seen.insert(key.clone());
+        cases.push(QueryCase {
+            twig: key.decode(),
+            true_count: 0,
+        });
+    }
+    Workload { size, cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_datagen::{Dataset, GenConfig};
+    use tl_twig::count_matches;
+
+    use super::*;
+
+    fn sample_doc() -> Document {
+        Dataset::Psd.generate(GenConfig {
+            seed: 77,
+            target_elements: 4_000,
+        })
+    }
+
+    #[test]
+    fn positive_cases_occur_and_are_distinct() {
+        let doc = sample_doc();
+        for size in [3usize, 5, 7] {
+            let w = positive_workload(&doc, size, 30, 1);
+            assert!(w.cases.len() >= 10, "size {size}: only {} cases", w.cases.len());
+            let mut keys = tl_xml::FxHashSet::default();
+            for case in &w.cases {
+                assert_eq!(case.twig.len(), size);
+                assert!(case.true_count >= 1);
+                assert_eq!(count_matches(&doc, &case.twig), case.true_count);
+                assert!(keys.insert(tl_twig::canonical::key_of(&case.twig)));
+            }
+        }
+    }
+
+    #[test]
+    fn positive_workload_is_deterministic() {
+        let doc = sample_doc();
+        let w1 = positive_workload(&doc, 5, 20, 9);
+        let w2 = positive_workload(&doc, 5, 20, 9);
+        assert_eq!(w1.cases.len(), w2.cases.len());
+        for (a, b) in w1.cases.iter().zip(&w2.cases) {
+            assert_eq!(
+                tl_twig::canonical::key_of(&a.twig),
+                tl_twig::canonical::key_of(&b.twig)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_workloads() {
+        let doc = sample_doc();
+        let w1 = positive_workload(&doc, 5, 20, 1);
+        let w2 = positive_workload(&doc, 5, 20, 2);
+        let k1: Vec<_> = w1.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        let k2: Vec<_> = w2.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn enumerated_workload_is_exhaustive_and_exact() {
+        let doc = sample_doc();
+        let w = enumerated_workload(&doc, 3, 10_000, 7);
+        // Sampling more than the level holds returns the whole level.
+        let mined = tl_miner::mine(
+            &doc,
+            tl_miner::MineConfig {
+                max_size: 3,
+                threads: 1,
+            },
+        );
+        assert_eq!(w.cases.len(), mined.lattice.patterns_at(3));
+        for case in &w.cases {
+            assert_eq!(count_matches(&doc, &case.twig), case.true_count);
+        }
+    }
+
+    #[test]
+    fn enumerated_workload_samples_deterministically() {
+        let doc = sample_doc();
+        let w1 = enumerated_workload(&doc, 4, 12, 3);
+        let w2 = enumerated_workload(&doc, 4, 12, 3);
+        assert_eq!(w1.cases.len(), 12);
+        for (a, b) in w1.cases.iter().zip(&w2.cases) {
+            assert_eq!(
+                tl_twig::canonical::key_of(&a.twig),
+                tl_twig::canonical::key_of(&b.twig)
+            );
+        }
+        let w3 = enumerated_workload(&doc, 4, 12, 4);
+        let k1: Vec<_> = w1.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        let k3: Vec<_> = w3.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        assert_ne!(k1, k3, "different seeds sample differently");
+    }
+
+    #[test]
+    fn extraction_sampling_reaches_the_enumerated_population() {
+        // Every extraction-sampled pattern is in the enumerated level.
+        let doc = sample_doc();
+        let enumerated: std::collections::HashSet<_> = enumerated_workload(&doc, 3, 100_000, 1)
+            .cases
+            .iter()
+            .map(|c| tl_twig::canonical::key_of(&c.twig))
+            .collect();
+        let sampled = positive_workload(&doc, 3, 25, 2);
+        for case in &sampled.cases {
+            assert!(enumerated.contains(&tl_twig::canonical::key_of(&case.twig)));
+        }
+    }
+
+    #[test]
+    fn negative_cases_have_zero_selectivity() {
+        let doc = sample_doc();
+        let w = negative_workload(&doc, 4, 20, 3);
+        assert!(!w.cases.is_empty());
+        for case in &w.cases {
+            assert_eq!(case.true_count, 0);
+            assert_eq!(count_matches(&doc, &case.twig), 0);
+            assert_eq!(case.twig.len(), 4);
+            // Perturbed labels still come from the document's alphabet.
+            for n in case.twig.nodes() {
+                assert!(case.twig.label(n).index() < doc.labels().len());
+            }
+        }
+    }
+
+    #[test]
+    fn workload_true_counts_accessor() {
+        let doc = sample_doc();
+        let w = positive_workload(&doc, 3, 5, 4);
+        assert_eq!(w.true_counts().len(), w.cases.len());
+    }
+
+    #[test]
+    fn size_one_workload() {
+        let doc = sample_doc();
+        let w = positive_workload(&doc, 1, 10, 5);
+        assert!(!w.cases.is_empty());
+        for c in &w.cases {
+            assert_eq!(c.twig.len(), 1);
+        }
+    }
+}

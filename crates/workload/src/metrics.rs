@@ -1,0 +1,137 @@
+//! The paper's error metric (§5.1) and distribution summaries.
+//!
+//! Accuracy is quantified as `|s − ŝ| / max(s, b)` where the *sanity bound*
+//! `b` is the 10th percentile of the workload's true counts, floored at 10,
+//! "to avoid the artificially high percentages of low count queries".
+//! Errors are reported in percent, matching Figures 7, 8 and 10.
+
+/// The sanity bound: 10th percentile of `true_counts`, floored at 10.
+pub fn sanity_bound(true_counts: &[u64]) -> f64 {
+    if true_counts.is_empty() {
+        return 10.0;
+    }
+    let mut sorted: Vec<u64> = true_counts.to_vec();
+    sorted.sort_unstable();
+    let idx = (sorted.len() - 1) / 10;
+    (sorted[idx] as f64).max(10.0)
+}
+
+/// Absolute relative error in percent: `100 · |s − ŝ| / max(s, bound)`.
+pub fn relative_error_pct(true_count: u64, estimate: f64, bound: f64) -> f64 {
+    debug_assert!(bound > 0.0);
+    100.0 * (true_count as f64 - estimate).abs() / (true_count as f64).max(bound)
+}
+
+/// Average relative error (percent) over paired truths and estimates.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn average_relative_error_pct(true_counts: &[u64], estimates: &[f64]) -> f64 {
+    assert_eq!(true_counts.len(), estimates.len(), "length mismatch");
+    if true_counts.is_empty() {
+        return 0.0;
+    }
+    let bound = sanity_bound(true_counts);
+    let sum: f64 = true_counts
+        .iter()
+        .zip(estimates)
+        .map(|(&s, &est)| relative_error_pct(s, est, bound))
+        .sum();
+    sum / true_counts.len() as f64
+}
+
+/// Cumulative distribution of errors: for each grid point `x` (percent),
+/// the fraction (percent) of errors ≤ `x`. Matches the Figure 8 axes.
+pub fn error_cdf(errors: &[f64], grid: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = errors.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let n = sorted.len().max(1) as f64;
+    grid.iter()
+        .map(|&x| {
+            let le = sorted.partition_point(|&e| e <= x);
+            (x, 100.0 * le as f64 / n)
+        })
+        .collect()
+}
+
+/// The log-spaced grid used for Figure 8 (0.1% to 10000%).
+pub fn fig8_grid() -> Vec<f64> {
+    let mut grid = Vec::new();
+    let mut x = 0.1f64;
+    while x <= 10_000.0 * (1.0 + 1e-9) {
+        grid.push(x);
+        x *= 10f64.powf(0.25);
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanity_bound_floor() {
+        assert_eq!(sanity_bound(&[1, 2, 3]), 10.0);
+        assert_eq!(sanity_bound(&[]), 10.0);
+    }
+
+    #[test]
+    fn sanity_bound_percentile() {
+        // 20 values 100..=2000 step 100: 10th percentile index (19)/10 = 1
+        // => value 200.
+        let counts: Vec<u64> = (1..=20).map(|i| i * 100).collect();
+        assert_eq!(sanity_bound(&counts), 200.0);
+    }
+
+    #[test]
+    fn relative_error_uses_bound_for_small_counts() {
+        // true = 2, est = 12, bound = 10: |2-12|/10 = 100%.
+        assert!((relative_error_pct(2, 12.0, 10.0) - 100.0).abs() < 1e-12);
+        // Large counts ignore the bound.
+        assert!((relative_error_pct(1000, 500.0, 10.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        assert_eq!(relative_error_pct(42, 42.0, 10.0), 0.0);
+        assert_eq!(average_relative_error_pct(&[5, 50], &[5.0, 50.0]), 0.0);
+    }
+
+    #[test]
+    fn average_mixes_cases() {
+        // bound = max(10th pct, 10) = 10; errors: |100-50|/100 = 50%,
+        // |20-20|/20 = 0%.
+        let avg = average_relative_error_pct(&[100, 20], &[50.0, 20.0]);
+        assert!((avg - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let errors = vec![0.5, 5.0, 50.0, 500.0, 5000.0];
+        let grid = fig8_grid();
+        let cdf = error_cdf(&errors, &grid);
+        let mut prev = 0.0;
+        for &(_, frac) in &cdf {
+            assert!(frac >= prev && frac <= 100.0);
+            prev = frac;
+        }
+        assert_eq!(cdf.last().unwrap().1, 100.0);
+    }
+
+    #[test]
+    fn cdf_counts_at_thresholds() {
+        let errors = vec![1.0, 10.0, 100.0];
+        let cdf = error_cdf(&errors, &[1.0, 10.0, 99.0, 1000.0]);
+        assert_eq!(cdf[0].1, 100.0 / 3.0);
+        assert_eq!(cdf[1].1, 200.0 / 3.0);
+        assert_eq!(cdf[2].1, 200.0 / 3.0);
+        assert_eq!(cdf[3].1, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = average_relative_error_pct(&[1], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Random connected-subtree extraction and label perturbation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tl_twig::Twig;
+use tl_xml::{Document, LabelId, NodeId};
+
+/// Extracts the twig pattern induced by a connected set of document nodes.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or not connected (more than one node whose
+/// parent lies outside the set).
+pub fn extract_pattern(doc: &Document, nodes: &[NodeId]) -> Twig {
+    assert!(!nodes.is_empty(), "empty node set");
+    let set: tl_xml::FxHashSet<u32> = nodes.iter().map(|n| n.0).collect();
+    let mut roots = nodes.iter().copied().filter(|&n| match doc.parent(n) {
+        None => true,
+        Some(p) => !set.contains(&p.0),
+    });
+    let root = roots.next().expect("node set has a root");
+    assert!(roots.next().is_none(), "node set is not connected");
+
+    let mut twig = Twig::single(doc.label(root));
+    let mut stack: Vec<(NodeId, u32)> = doc
+        .children(root)
+        .filter(|c| set.contains(&c.0))
+        .map(|c| (c, 0u32))
+        .collect();
+    let mut placed = 1usize;
+    while let Some((v, parent_in_twig)) = stack.pop() {
+        let id = twig.add_child(parent_in_twig, doc.label(v));
+        placed += 1;
+        for c in doc.children(v) {
+            if set.contains(&c.0) {
+                stack.push((c, id));
+            }
+        }
+    }
+    assert_eq!(placed, nodes.len(), "node set is not connected");
+    twig
+}
+
+/// Draws a random connected node set of `size` nodes and returns its
+/// pattern; `None` when the random walk gets stuck (e.g. the component
+/// around the start node is smaller than `size`).
+pub fn random_occurred_twig(doc: &Document, rng: &mut StdRng, size: usize) -> Option<Twig> {
+    if size == 0 || size > doc.len() {
+        return None;
+    }
+    let start = NodeId(rng.gen_range(0..doc.len() as u32));
+    let mut selected: Vec<NodeId> = vec![start];
+    let mut in_set = tl_xml::FxHashSet::default();
+    in_set.insert(start.0);
+    let mut root = start;
+    // Frontier: children of selected nodes not yet selected, plus the
+    // current root's parent (growing upward re-roots the pattern).
+    let mut frontier: Vec<NodeId> = doc.children(start).collect();
+    while selected.len() < size {
+        let mut options = frontier.len();
+        let parent = doc.parent(root).filter(|p| !in_set.contains(&p.0));
+        if parent.is_some() {
+            options += 1;
+        }
+        if options == 0 {
+            return None;
+        }
+        let pick = rng.gen_range(0..options);
+        let chosen = if pick < frontier.len() {
+            frontier.swap_remove(pick)
+        } else {
+            let p = parent.expect("pick beyond frontier implies parent");
+            root = p;
+            p
+        };
+        if !in_set.insert(chosen.0) {
+            continue;
+        }
+        selected.push(chosen);
+        for c in doc.children(chosen) {
+            if !in_set.contains(&c.0) {
+                frontier.push(c);
+            }
+        }
+    }
+    Some(extract_pattern(doc, &selected))
+}
+
+/// Cumulative label frequencies for frequency-weighted sampling.
+pub struct LabelWeights {
+    cumulative: Vec<u64>,
+    total: u64,
+}
+
+/// Computes document label frequencies (the paper replaces labels with
+/// probability proportional to their frequency, maximizing the chance of
+/// plausible-but-impossible queries).
+pub fn label_weights(doc: &Document) -> LabelWeights {
+    let mut counts = vec![0u64; doc.labels().len()];
+    for v in doc.pre_order() {
+        counts[doc.label(v).index()] += 1;
+    }
+    let mut cumulative = Vec::with_capacity(counts.len());
+    let mut running = 0u64;
+    for c in counts {
+        running += c;
+        cumulative.push(running);
+    }
+    LabelWeights {
+        cumulative,
+        total: running,
+    }
+}
+
+impl LabelWeights {
+    /// Draws a label proportionally to its document frequency.
+    pub fn sample(&self, rng: &mut StdRng) -> LabelId {
+        debug_assert!(self.total > 0);
+        let x = rng.gen_range(0..self.total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        LabelId(idx as u32)
+    }
+}
+
+/// Replaces one or two random node labels of `twig` with frequency-weighted
+/// draws.
+pub fn perturb_labels(twig: &Twig, weights: &LabelWeights, rng: &mut StdRng) -> Twig {
+    let mut out = twig.clone();
+    let replacements = if twig.len() > 2 && rng.gen_bool(0.4) { 2 } else { 1 };
+    // Rebuild with substituted labels (Twig has no label setter by design:
+    // derived twigs stay normalized).
+    let mut labels: Vec<LabelId> = out.nodes().map(|n| out.label(n)).collect();
+    for _ in 0..replacements {
+        let n = rng.gen_range(0..labels.len());
+        labels[n] = weights.sample(rng);
+    }
+    out = rebuild_with_labels(twig, &labels);
+    out
+}
+
+/// Copies `twig`'s shape with new per-node labels.
+fn rebuild_with_labels(twig: &Twig, labels: &[LabelId]) -> Twig {
+    let mut out = Twig::single(labels[twig.root() as usize]);
+    let mut map = vec![u32::MAX; twig.len()];
+    map[twig.root() as usize] = out.root();
+    for n in twig.pre_order() {
+        if n == twig.root() {
+            continue;
+        }
+        let p = twig.parent(n).expect("non-root has parent");
+        let id = out.add_child(map[p as usize], labels[n as usize]);
+        map[n as usize] = id;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn extract_pattern_simple() {
+        let d = doc("<a><b><c/></b><d/></a>");
+        // Nodes: a=0, b=1, c=2, d=3. Extract {b, c}.
+        let t = extract_pattern(&d, &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(d.labels().resolve(t.label(t.root())), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn extract_pattern_rejects_disconnected() {
+        let d = doc("<a><b><c/></b><d/></a>");
+        let _ = extract_pattern(&d, &[NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn random_twig_has_requested_size_and_occurs() {
+        let d = doc("<a><b><c/><c/></b><b><c/></b><d/></a>");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            if let Some(t) = random_occurred_twig(&d, &mut rng, 3) {
+                assert_eq!(t.len(), 3);
+                assert!(tl_twig::count_matches(&d, &t) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_twig_too_large_returns_none() {
+        let d = doc("<a><b/></a>");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_occurred_twig(&d, &mut rng, 10).is_none());
+    }
+
+    #[test]
+    fn label_weights_prefer_frequent_labels() {
+        let d = doc("<a><b/><b/><b/><b/><b/><b/><b/><b/><c/></a>");
+        let w = label_weights(&d);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = d.labels().get("b").unwrap();
+        let hits = (0..1000)
+            .filter(|_| w.sample(&mut rng) == b)
+            .count();
+        assert!(hits > 600, "b drawn {hits}/1000 times");
+    }
+
+    #[test]
+    fn perturb_keeps_shape() {
+        let d = doc("<a><b><c/></b><d/></a>");
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = extract_pattern(&d, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        let w = label_weights(&d);
+        let p = perturb_labels(&base, &w, &mut rng);
+        assert_eq!(p.len(), base.len());
+        // Shape identical: same parent structure.
+        for n in base.nodes() {
+            assert_eq!(base.parent(n), p.parent(n));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Incremental document construction.
+//!
+//! [`DocumentBuilder`] receives `begin`/`end` events (as a SAX-style parser
+//! or a generator produces them) and assembles the arena tree. Nodes are
+//! allocated in the order `begin` is called, which is exactly pre-order —
+//! the numbering invariant [`Document::pre_order`] depends on.
+
+use crate::label::{LabelId, LabelInterner};
+use crate::tree::{Document, Node, NodeId};
+
+/// Error returned by [`DocumentBuilder::finish`] when the event stream was
+/// not a single well-formed tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// `finish` called with unclosed elements remaining.
+    UnclosedElements(usize),
+    /// No `begin` was ever called.
+    Empty,
+    /// A second root was started after the first tree was closed.
+    MultipleRoots,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnclosedElements(n) => write!(f, "{n} unclosed element(s) at finish"),
+            BuildError::Empty => write!(f, "no root element"),
+            BuildError::MultipleRoots => write!(f, "multiple root elements"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Document`] from nested `begin`/`end` calls.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::DocumentBuilder;
+///
+/// let mut b = DocumentBuilder::new();
+/// b.begin("a");
+/// b.begin("b");
+/// b.end();
+/// b.end();
+/// let doc = b.finish().unwrap();
+/// assert_eq!(doc.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct DocumentBuilder {
+    nodes: Vec<Node>,
+    labels: LabelInterner,
+    stack: Vec<u32>,
+    /// Last child appended per open element, for O(1) sibling linking.
+    last_child: Vec<u32>,
+    closed_root: bool,
+    multiple_roots: bool,
+}
+
+impl DocumentBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that pre-allocates space for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Opens an element with tag `name`; returns its node id.
+    pub fn begin(&mut self, name: &str) -> NodeId {
+        let label = self.labels.intern(name);
+        self.begin_label(label)
+    }
+
+    /// Opens an element with an already-interned label.
+    ///
+    /// The label must come from [`DocumentBuilder::interner_mut`] (or a prior
+    /// `begin`) so that it resolves in the finished document.
+    pub fn begin_label(&mut self, label: LabelId) -> NodeId {
+        if self.stack.is_empty() && self.closed_root {
+            self.multiple_roots = true;
+        }
+        let id = self.nodes.len() as u32;
+        let parent = self.stack.last().copied().unwrap_or(NodeId::NONE);
+        self.nodes.push(Node {
+            label,
+            parent,
+            first_child: NodeId::NONE,
+            next_sibling: NodeId::NONE,
+        });
+        if parent != NodeId::NONE {
+            let prev = self.last_child[self.stack.len() - 1];
+            if prev == NodeId::NONE {
+                self.nodes[parent as usize].first_child = id;
+            } else {
+                self.nodes[prev as usize].next_sibling = id;
+            }
+            self.last_child[self.stack.len() - 1] = id;
+        }
+        self.stack.push(id);
+        self.last_child.push(NodeId::NONE);
+        NodeId(id)
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no element is open.
+    pub fn end(&mut self) {
+        self.stack.pop().expect("end() without matching begin()");
+        self.last_child.pop();
+        if self.stack.is_empty() {
+            self.closed_root = true;
+        }
+    }
+
+    /// Number of currently open elements.
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Number of nodes created so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Mutable access to the interner, for pre-interning generator schemas.
+    pub fn interner_mut(&mut self) -> &mut LabelInterner {
+        &mut self.labels
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> Result<Document, BuildError> {
+        if self.multiple_roots {
+            return Err(BuildError::MultipleRoots);
+        }
+        if !self.stack.is_empty() {
+            return Err(BuildError::UnclosedElements(self.stack.len()));
+        }
+        if self.nodes.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        Ok(Document {
+            nodes: self.nodes,
+            labels: self.labels,
+            root: NodeId(0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert_eq!(DocumentBuilder::new().finish().unwrap_err(), BuildError::Empty);
+    }
+
+    #[test]
+    fn unclosed_elements_are_an_error() {
+        let mut b = DocumentBuilder::new();
+        b.begin("a");
+        b.begin("b");
+        b.end();
+        assert_eq!(b.finish().unwrap_err(), BuildError::UnclosedElements(1));
+    }
+
+    #[test]
+    fn multiple_roots_are_an_error() {
+        let mut b = DocumentBuilder::new();
+        b.begin("a");
+        b.end();
+        b.begin("b");
+        b.end();
+        assert_eq!(b.finish().unwrap_err(), BuildError::MultipleRoots);
+    }
+
+    #[test]
+    fn sibling_links_preserve_order() {
+        let mut b = DocumentBuilder::new();
+        b.begin("r");
+        for name in ["x", "y", "z"] {
+            b.begin(name);
+            b.end();
+        }
+        b.end();
+        let d = b.finish().unwrap();
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|c| d.label_name(d.label(c)).to_owned())
+            .collect();
+        assert_eq!(kids, ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut b = DocumentBuilder::new();
+        for _ in 0..1000 {
+            b.begin("d");
+        }
+        for _ in 0..1000 {
+            b.end();
+        }
+        let d = b.finish().unwrap();
+        assert_eq!(d.len(), 1000);
+        let deepest = NodeId(999);
+        assert_eq!(d.depth(deepest), 999);
+    }
+
+    #[test]
+    fn begin_label_with_preinterned_schema() {
+        let mut b = DocumentBuilder::new();
+        let l_root = b.interner_mut().intern("root");
+        let l_leaf = b.interner_mut().intern("leaf");
+        b.begin_label(l_root);
+        b.begin_label(l_leaf);
+        b.end();
+        b.end();
+        let d = b.finish().unwrap();
+        assert_eq!(d.label_name(d.label(d.root())), "root");
+    }
+}

@@ -1,0 +1,266 @@
+//! Document editing by rebuild: grafting and pruning subtrees.
+//!
+//! Arena documents are immutable; updates produce a new arena (an `O(n)`
+//! copy, which preserves the pre-order numbering invariant). These
+//! operations exist for the incremental summary-maintenance path: they
+//! report exactly which labels were *touched*, the information the miner
+//! needs to skip recounting unaffected patterns.
+
+use crate::builder::DocumentBuilder;
+use crate::label::LabelId;
+use crate::tree::{Document, NodeId};
+
+/// Result of a document edit: the new document plus the labels of every
+/// node added or removed (a pattern containing none of these labels has
+/// the same match count in both documents).
+#[derive(Clone, Debug)]
+pub struct EditResult {
+    /// The edited document (fresh arena, pre-order numbering).
+    pub document: Document,
+    /// Labels of all added/removed nodes. Label ids are stable across the
+    /// edit: the new document's interner extends the old one, so these ids
+    /// are valid against both documents.
+    pub touched: Vec<LabelId>,
+}
+
+/// Returns a copy of `doc` with `record` grafted as the last child of
+/// `parent`.
+///
+/// # Panics
+///
+/// Panics if `parent` is out of range.
+pub fn append_subtree(doc: &Document, parent: NodeId, record: &Document) -> EditResult {
+    assert!(parent.index() < doc.len(), "parent out of range");
+    let mut b = DocumentBuilder::with_capacity(doc.len() + record.len());
+    // Pre-seed the interner so label ids are stable across the edit —
+    // callers compare patterns keyed by old ids against the new document.
+    *b.interner_mut() = doc.labels().clone();
+    let mut touched = Vec::new();
+    copy_into(
+        doc,
+        doc.root(),
+        &mut b,
+        &mut |node, builder| {
+            if node == parent {
+                touched = copy_record(record, builder);
+            }
+        },
+    );
+    EditResult {
+        document: b.finish().expect("copy of a document is a document"),
+        touched: dedup_labels(touched),
+    }
+}
+
+/// Returns a copy of `doc` with the subtree rooted at `victim` removed.
+///
+/// # Panics
+///
+/// Panics if `victim` is the root or out of range.
+pub fn remove_subtree(doc: &Document, victim: NodeId) -> EditResult {
+    assert!(victim.index() < doc.len(), "victim out of range");
+    assert!(victim != doc.root(), "cannot remove the document root");
+    // Collect the removed subtree's labels (they survive in the interner,
+    // so ids stay valid in the new document).
+    let mut touched = Vec::new();
+    let mut stack = vec![victim];
+    let mut skip = vec![false; doc.len()];
+    while let Some(n) = stack.pop() {
+        skip[n.index()] = true;
+        touched.push(doc.label(n));
+        for c in doc.children(n) {
+            stack.push(c);
+        }
+    }
+    let mut b = DocumentBuilder::with_capacity(doc.len());
+    *b.interner_mut() = doc.labels().clone();
+    copy_filtered(doc, doc.root(), &skip, &mut b);
+    EditResult {
+        document: b.finish().expect("non-root removal keeps a document"),
+        touched: dedup_labels(touched),
+    }
+}
+
+/// Copies `node`'s subtree into `builder`, invoking `hook` after each
+/// node's children (before its end event).
+fn copy_into(
+    doc: &Document,
+    node: NodeId,
+    builder: &mut DocumentBuilder,
+    hook: &mut impl FnMut(NodeId, &mut DocumentBuilder),
+) {
+    enum Ev {
+        Enter(NodeId),
+        Exit(NodeId),
+    }
+    let mut stack = vec![Ev::Enter(node)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(n) => {
+                builder.begin(doc.label_name(doc.label(n)));
+                stack.push(Ev::Exit(n));
+                let kids: Vec<NodeId> = doc.children(n).collect();
+                for c in kids.into_iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit(n) => {
+                hook(n, builder);
+                builder.end();
+            }
+        }
+    }
+}
+
+/// Copies `record`'s tree into `builder`; returns the labels emitted (as
+/// ids of the *builder's* interner).
+fn copy_record(record: &Document, builder: &mut DocumentBuilder) -> Vec<LabelId> {
+    let mut touched = Vec::new();
+    enum Ev {
+        Enter(NodeId),
+        Exit,
+    }
+    let mut stack = vec![Ev::Enter(record.root())];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(n) => {
+                let name = record.label_name(record.label(n));
+                let id = builder.interner_mut().intern(name);
+                builder.begin_label(id);
+                touched.push(id);
+                stack.push(Ev::Exit);
+                let kids: Vec<NodeId> = record.children(n).collect();
+                for c in kids.into_iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => builder.end(),
+        }
+    }
+    touched
+}
+
+/// Copies `node`'s subtree skipping marked nodes (and their descendants).
+fn copy_filtered(doc: &Document, node: NodeId, skip: &[bool], builder: &mut DocumentBuilder) {
+    enum Ev {
+        Enter(NodeId),
+        Exit,
+    }
+    let mut stack = vec![Ev::Enter(node)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(n) => {
+                if skip[n.index()] {
+                    continue;
+                }
+                builder.begin(doc.label_name(doc.label(n)));
+                stack.push(Ev::Exit);
+                let kids: Vec<NodeId> = doc.children(n).collect();
+                for c in kids.into_iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => builder.end(),
+        }
+    }
+}
+
+fn dedup_labels(mut labels: Vec<LabelId>) -> Vec<LabelId> {
+    labels.sort_unstable();
+    labels.dedup();
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn append_grafts_as_last_child() {
+        let base = doc("<a><b/><c/></a>");
+        let record = doc("<d><e/></d>");
+        let result = append_subtree(&base, base.root(), &record);
+        let d = result.document;
+        assert_eq!(d.len(), 5);
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|c| d.label_name(d.label(c)).to_owned())
+            .collect();
+        assert_eq!(kids, ["b", "c", "d"]);
+        let names: Vec<&str> = result
+            .touched
+            .iter()
+            .map(|&l| d.labels().resolve(l))
+            .collect();
+        assert_eq!(names, ["d", "e"]);
+    }
+
+    #[test]
+    fn append_under_inner_node() {
+        let base = doc("<a><b/><c/></a>");
+        let record = doc("<x/>");
+        let b_node = NodeId(1);
+        let d = append_subtree(&base, b_node, &record).document;
+        assert_eq!(d.len(), 4);
+        let b = d
+            .pre_order()
+            .find(|&n| d.label_name(d.label(n)) == "b")
+            .unwrap();
+        assert_eq!(d.child_count(b), 1);
+    }
+
+    #[test]
+    fn append_reuses_existing_label_ids() {
+        let base = doc("<a><b/></a>");
+        let record = doc("<b><b/></b>");
+        let result = append_subtree(&base, base.root(), &record);
+        assert_eq!(result.touched.len(), 1, "only label `b`, deduplicated");
+        assert_eq!(
+            result.document.labels().len(),
+            base.labels().len(),
+            "no new labels interned"
+        );
+    }
+
+    #[test]
+    fn remove_drops_whole_subtree() {
+        let base = doc("<a><b><c/><d/></b><e/></a>");
+        let b_node = NodeId(1);
+        let result = remove_subtree(&base, b_node);
+        let d = result.document;
+        assert_eq!(d.len(), 2);
+        // Removed labels stay resolvable: ids are stable across the edit.
+        let names: Vec<&str> = result
+            .touched
+            .iter()
+            .map(|&l| d.labels().resolve(l))
+            .collect();
+        assert_eq!(names, ["b", "c", "d"]);
+        assert_eq!(d.labels().len(), base.labels().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the document root")]
+    fn removing_root_panics() {
+        let base = doc("<a><b/></a>");
+        let _ = remove_subtree(&base, base.root());
+    }
+
+    #[test]
+    fn pre_order_invariant_preserved() {
+        let base = doc("<a><b><c/></b></a>");
+        let record = doc("<x><y/></x>");
+        let d = append_subtree(&base, NodeId(1), &record).document;
+        for n in d.pre_order() {
+            if let Some(p) = d.parent(n) {
+                assert!(p.0 < n.0, "pre-order numbering violated");
+            }
+        }
+    }
+}

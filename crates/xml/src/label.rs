@@ -1,0 +1,163 @@
+//! Label interning.
+//!
+//! Every element tag in a document is mapped to a dense [`LabelId`] so the
+//! mining and matching code can compare labels with a single integer
+//! comparison and index per-label tables with plain vectors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Interned identifier of an element label (tag name).
+///
+/// Ids are dense: the first distinct label interned receives id 0, the next
+/// id 1, and so on. This makes `Vec<T>` indexed by `LabelId` a natural
+/// per-label table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between label strings and dense [`LabelId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::LabelInterner;
+///
+/// let mut interner = LabelInterner::new();
+/// let a = interner.intern("book");
+/// let b = interner.intern("author");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("book"), a);
+/// assert_eq!(interner.resolve(a), "book");
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, LabelId>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id. Repeated calls with the same string
+    /// return the same id.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("more than u32::MAX labels"));
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label without inserting.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = LabelInterner::new();
+        let a = it.intern("x");
+        let b = it.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut it = LabelInterner::new();
+        assert_eq!(it.intern("a"), LabelId(0));
+        assert_eq!(it.intern("b"), LabelId(1));
+        assert_eq!(it.intern("c"), LabelId(2));
+        assert_eq!(it.intern("b"), LabelId(1));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut it = LabelInterner::new();
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let ids: Vec<_> = names.iter().map(|n| it.intern(n)).collect();
+        for (id, name) in ids.iter().zip(names.iter()) {
+            assert_eq!(it.resolve(*id), *name);
+        }
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut it = LabelInterner::new();
+        assert_eq!(it.get("missing"), None);
+        assert!(it.is_empty());
+        let id = it.intern("present");
+        assert_eq!(it.get("present"), Some(id));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all_pairs_in_order() {
+        let mut it = LabelInterner::new();
+        it.intern("one");
+        it.intern("two");
+        let pairs: Vec<_> = it.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "one".to_owned()), (1, "two".to_owned())]);
+    }
+
+    #[test]
+    fn unicode_labels_are_supported() {
+        let mut it = LabelInterner::new();
+        let id = it.intern("ação");
+        assert_eq!(it.resolve(id), "ação");
+    }
+}

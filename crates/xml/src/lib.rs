@@ -1,0 +1,43 @@
+//! # tl-xml — arena-based labeled XML document trees
+//!
+//! This crate is the document substrate for the TreeLattice selectivity
+//! estimation framework. An XML document is modeled exactly as in the paper
+//! (§2.1): a large rooted, node-labeled tree where interior nodes carry
+//! element tags (values are not modeled). The representation is an arena:
+//! all nodes live in a single `Vec`, node identity is a `u32` index, and
+//! labels are interned to dense `u32` ids so that structural algorithms
+//! never touch strings.
+//!
+//! Provided here:
+//!
+//! * [`LabelInterner`] / [`LabelId`] — string interning for element tags;
+//! * [`Document`] / [`NodeId`] — the arena tree with parent /
+//!   first-child / next-sibling links and pre-order node numbering;
+//! * [`DocumentBuilder`] — incremental construction (used by the parser and
+//!   by the synthetic data generators);
+//! * [`parser`] — a small, dependency-free XML parser covering the element
+//!   structure subset the paper needs (tags, attributes, text, comments,
+//!   CDATA, processing instructions, DOCTYPE skipping);
+//! * [`writer`] — serialization back to XML text;
+//! * [`stats`] — structural statistics (element counts, depth and fan-out
+//!   distributions) used for Table 1 of the evaluation.
+
+pub mod builder;
+pub mod graft;
+pub mod hash;
+pub mod label;
+pub mod parser;
+pub mod stats;
+pub mod tree;
+pub mod values;
+pub mod writer;
+
+pub use builder::DocumentBuilder;
+pub use graft::{append_subtree, remove_subtree, EditResult};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use label::{LabelId, LabelInterner};
+pub use parser::{parse_document, ParseError, ParseOptions};
+pub use stats::DocStats;
+pub use tree::{Document, Node, NodeId};
+pub use values::ValueMode;
+pub use writer::write_document;

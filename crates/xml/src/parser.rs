@@ -1,0 +1,623 @@
+//! A small, dependency-free XML parser.
+//!
+//! The evaluation corpora of the paper are plain element-structured XML; the
+//! framework never models values (§2.1), so this parser extracts exactly the
+//! element tree: start tags, end tags, self-closing tags, and — optionally —
+//! attributes as synthetic `@name` child nodes. Text content, comments,
+//! CDATA sections, processing instructions, the XML declaration, and DOCTYPE
+//! declarations (including an internal subset) are recognized and skipped.
+//!
+//! The parser is a single forward pass over the input bytes with `O(depth)`
+//! auxiliary state; positions in errors are 1-based line/column.
+
+use crate::builder::{BuildError, DocumentBuilder};
+use crate::tree::Document;
+use crate::values::ValueMode;
+
+/// Longest element/attribute name accepted by the parser, in bytes. Real
+/// tag names are tiny; the bound exists so every label fits the summary
+/// format's u16 length fields with room to spare.
+pub const MAX_NAME_BYTES: usize = 4096;
+
+/// Options controlling document construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOptions {
+    /// When true, each attribute `name="v"` becomes a leaf child labeled
+    /// `@name` under its element, mirroring how the paper treats attribute
+    /// names as labels in `Σ*` (values are still dropped).
+    pub attributes_as_nodes: bool,
+    /// Maximum element nesting depth accepted (guards against hostile or
+    /// corrupt input blowing the builder stack).
+    pub max_depth: usize,
+    /// How element text content is modeled (default: ignored, the paper's
+    /// base model). See [`crate::values::ValueMode`].
+    pub values: ValueMode,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        Self {
+            attributes_as_nodes: false,
+            max_depth: 4096,
+            values: ValueMode::Ignore,
+        }
+    }
+}
+
+/// A parse failure, with a 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (byte offset within the line).
+    pub column: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document from `input` into an arena [`Document`].
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, ParseOptions};
+///
+/// let doc = parse_document(
+///     b"<catalog><book id=\"1\"><title>skipped text</title></book></catalog>",
+///     ParseOptions::default(),
+/// )
+/// .unwrap();
+/// assert_eq!(doc.len(), 3);
+/// ```
+pub fn parse_document(input: &[u8], options: ParseOptions) -> Result<Document, ParseError> {
+    Parser::new(input, options).run()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+    options: ParseOptions,
+    builder: DocumentBuilder,
+    /// Accumulated text content per open element (only maintained when
+    /// values are modeled).
+    text_stack: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a [u8], options: ParseOptions) -> Self {
+        Self {
+            input,
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            options,
+            builder: DocumentBuilder::with_capacity(input.len() / 32),
+            text_stack: Vec::new(),
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            column: self.pos - self.line_start + 1,
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Skips until (and past) the byte sequence `end`; errors on EOF.
+    fn skip_until(&mut self, end: &[u8], what: &str) -> Result<(), ParseError> {
+        while self.pos < self.input.len() {
+            if self.starts_with(end) {
+                self.advance(end.len());
+                return Ok(());
+            }
+            self.bump();
+        }
+        Err(self.error(format!("unterminated {what}")))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_byte(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.error("expected a name")),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_byte(b)) {
+            self.bump();
+        }
+        // Downstream, the summary format stores label lengths as u16; bound
+        // names here so hostile input is rejected at the boundary instead
+        // of truncating later.
+        if self.pos - start > MAX_NAME_BYTES {
+            return Err(self.error(format!("name longer than {MAX_NAME_BYTES} bytes")));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_owned)
+            .map_err(|_| self.error("name is not valid UTF-8"))
+    }
+
+    fn run(mut self) -> Result<Document, ParseError> {
+        loop {
+            self.skip_whitespace();
+            let Some(b) = self.peek() else { break };
+            if b != b'<' {
+                // Text content: only meaningful inside an element.
+                if self.builder.open_depth() == 0 {
+                    return Err(self.error("text content outside the root element"));
+                }
+                let start = self.pos;
+                while self.peek().is_some_and(|b| b != b'<') {
+                    self.bump();
+                }
+                if self.options.values != ValueMode::Ignore {
+                    let chunk = decode_text(&self.input[start..self.pos]);
+                    if let Some(top) = self.text_stack.last_mut() {
+                        top.push_str(&chunk);
+                    }
+                }
+                continue;
+            }
+            // Markup.
+            if self.starts_with(b"<!--") {
+                self.advance(4);
+                self.skip_until(b"-->", "comment")?;
+            } else if self.starts_with(b"<![CDATA[") {
+                if self.builder.open_depth() == 0 {
+                    return Err(self.error("CDATA outside the root element"));
+                }
+                self.advance(9);
+                let start = self.pos;
+                self.skip_until(b"]]>", "CDATA section")?;
+                if self.options.values != ValueMode::Ignore {
+                    let body = &self.input[start..self.pos - 3];
+                    if let Some(top) = self.text_stack.last_mut() {
+                        top.push_str(&String::from_utf8_lossy(body));
+                    }
+                }
+            } else if self.starts_with(b"<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else if self.starts_with(b"<?") {
+                self.advance(2);
+                self.skip_until(b"?>", "processing instruction")?;
+            } else if self.starts_with(b"</") {
+                self.advance(2);
+                let name = self.read_name()?;
+                self.skip_whitespace();
+                if self.bump() != Some(b'>') {
+                    return Err(self.error("expected '>' closing end tag"));
+                }
+                if self.builder.open_depth() == 0 {
+                    return Err(self.error(format!("unmatched end tag </{name}>")));
+                }
+                self.emit_value_child();
+                self.builder.end();
+                let _ = name; // Tag-name match is validated by well-formed inputs.
+            } else {
+                self.parse_start_tag()?;
+            }
+        }
+        let at_eof = ParseError {
+            message: String::new(),
+            line: self.line,
+            column: self.pos - self.line_start + 1,
+        };
+        self.builder.finish().map_err(|e| ParseError {
+            message: match e {
+                BuildError::Empty => "document has no root element".to_owned(),
+                BuildError::UnclosedElements(n) => format!("{n} unclosed element(s)"),
+                BuildError::MultipleRoots => "multiple root elements".to_owned(),
+            },
+            ..at_eof
+        })
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // <!DOCTYPE ... [ internal subset ] >
+        self.advance(9);
+        let mut bracket_depth = 0usize;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => bracket_depth += 1,
+                b']' => bracket_depth = bracket_depth.saturating_sub(1),
+                b'>' if bracket_depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.error("unterminated DOCTYPE"))
+    }
+
+    fn parse_start_tag(&mut self) -> Result<(), ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.bump();
+        let name = self.read_name()?;
+        if self.builder.open_depth() >= self.options.max_depth {
+            return Err(self.error(format!(
+                "element nesting exceeds max_depth = {}",
+                self.options.max_depth
+            )));
+        }
+        self.builder.begin(&name);
+        if self.options.values != ValueMode::Ignore {
+            self.text_stack.push(String::new());
+        }
+        let mut attrs: Vec<String> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.emit_attrs(&attrs);
+                    if self.options.values != ValueMode::Ignore {
+                        self.text_stack.pop();
+                    }
+                    self.builder.end();
+                    return Ok(());
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let attr = self.read_name()?;
+                    self.skip_whitespace();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        self.skip_whitespace();
+                        let quote = self.bump();
+                        if quote != Some(b'"') && quote != Some(b'\'') {
+                            return Err(self.error("expected quoted attribute value"));
+                        }
+                        let quote = quote.unwrap();
+                        while let Some(b) = self.bump() {
+                            if b == quote {
+                                break;
+                            }
+                            if self.pos >= self.input.len() {
+                                return Err(self.error("unterminated attribute value"));
+                            }
+                        }
+                    }
+                    attrs.push(attr);
+                }
+                Some(_) => return Err(self.error("unexpected byte in start tag")),
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+        self.emit_attrs(&attrs);
+        Ok(())
+    }
+
+    /// Emits the synthetic value child of the element being closed, if its
+    /// accumulated text content maps to a value label.
+    fn emit_value_child(&mut self) {
+        if self.options.values == ValueMode::Ignore {
+            return;
+        }
+        let text = self.text_stack.pop().unwrap_or_default();
+        if let Some(label) = self.options.values.value_label(&text) {
+            self.builder.begin(&label);
+            self.builder.end();
+        }
+    }
+
+    fn emit_attrs(&mut self, attrs: &[String]) {
+        if !self.options.attributes_as_nodes {
+            return;
+        }
+        for attr in attrs {
+            self.builder.begin(&format!("@{attr}"));
+            self.builder.end();
+        }
+    }
+}
+
+/// Decodes the five predefined XML entities in a text chunk; unknown
+/// entities are kept verbatim.
+fn decode_text(raw: &[u8]) -> String {
+    let text = String::from_utf8_lossy(raw);
+    if !text.contains('&') {
+        return text.into_owned();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text.as_ref();
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let mut replaced = false;
+        for (entity, ch) in [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ] {
+            if let Some(after) = rest.strip_prefix(entity) {
+                out.push(ch);
+                rest = after;
+                replaced = true;
+                break;
+            }
+        }
+        if !replaced {
+            out.push('&');
+            rest = &rest[1..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn simple_document() {
+        let d = parse("<a><b/><c><d/></c></a>");
+        assert_eq!(d.len(), 4);
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|c| d.label_name(d.label(c)).to_owned())
+            .collect();
+        assert_eq!(kids, ["b", "c"]);
+    }
+
+    #[test]
+    fn text_is_skipped() {
+        let d = parse("<a>hello <b>world</b> bye</a>");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn prolog_comment_cdata_pi_doctype() {
+        let d = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a (b)> ]>\n\
+             <!-- top comment -->\n<a><?pi data?><![CDATA[< not a tag >]]><b/></a>",
+        );
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn attributes_skipped_by_default() {
+        let d = parse("<a x=\"1\" y='2'><b z=\"3\"/></a>");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn attributes_as_nodes() {
+        let d = parse_document(
+            b"<a x=\"1\" y='2'><b/></a>",
+            ParseOptions {
+                attributes_as_nodes: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.len(), 4);
+        let kids: Vec<_> = d
+            .children(d.root())
+            .map(|c| d.label_name(d.label(c)).to_owned())
+            .collect();
+        assert_eq!(kids, ["@x", "@y", "b"]);
+    }
+
+    #[test]
+    fn self_closing_root() {
+        let d = parse("<only/>");
+        assert_eq!(d.len(), 1);
+        assert!(d.is_leaf(d.root()));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_document(b"<a>\n  <b></b\n</a>", ParseOptions::default()).unwrap_err();
+        assert_eq!(err.line, 3, "error should be located on line 3: {err}");
+    }
+
+    #[test]
+    fn unmatched_end_tag_is_an_error() {
+        let err = parse_document(b"<a></a></b>", ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("unmatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_element_is_an_error() {
+        let err = parse_document(b"<a><b></a>", ParseOptions::default()).unwrap_err();
+        // Our structural parser counts opens/closes; <b> stays open.
+        assert!(err.message.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn multiple_roots_are_an_error() {
+        let err = parse_document(b"<a/><b/>", ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("multiple root"), "{err}");
+    }
+
+    #[test]
+    fn text_outside_root_is_an_error() {
+        let err = parse_document(b"stray<a/>", ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("outside the root"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut s = String::new();
+        for _ in 0..20 {
+            s.push_str("<d>");
+        }
+        for _ in 0..20 {
+            s.push_str("</d>");
+        }
+        let err = parse_document(
+            s.as_bytes(),
+            ParseOptions {
+                max_depth: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.message.contains("max_depth"), "{err}");
+    }
+
+    #[test]
+    fn unicode_tag_names() {
+        let d = parse("<données><élément/></données>");
+        assert_eq!(d.label_name(d.label(d.root())), "données");
+    }
+
+    #[test]
+    fn values_ignored_by_default() {
+        let d = parse("<a><b>Dell</b></a>");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn values_as_labels() {
+        use crate::values::ValueMode;
+        let d = parse_document(
+            b"<a><b>Dell</b><b>HP</b><b>Dell</b></a>",
+            ParseOptions {
+                values: ValueMode::AsLabels,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // a + 3 b + 3 value children.
+        assert_eq!(d.len(), 7);
+        let dell = d.labels().get("=Dell").unwrap();
+        let count = d.pre_order().filter(|&n| d.label(n) == dell).count();
+        assert_eq!(count, 2);
+        // Value children hang under their elements.
+        let with_dell = d
+            .pre_order()
+            .filter(|&n| d.children(n).any(|c| d.label(c) == dell))
+            .count();
+        assert_eq!(with_dell, 2);
+    }
+
+    #[test]
+    fn values_bucketed() {
+        use crate::values::ValueMode;
+        let d = parse_document(
+            b"<a><b>x</b><b>x</b><b>y</b></a>",
+            ParseOptions {
+                values: ValueMode::Bucketed(64),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.len(), 7);
+        // Same value -> same bucket label; the interner has <= 2 bucket labels.
+        let buckets = d
+            .labels()
+            .iter()
+            .filter(|(_, name)| name.starts_with("#v"))
+            .count();
+        assert!(buckets == 1 || buckets == 2);
+    }
+
+    #[test]
+    fn values_decode_entities_and_cdata() {
+        use crate::values::ValueMode;
+        let d = parse_document(
+            b"<a><b>A &amp; B</b><c><![CDATA[A & B]]></c></a>",
+            ParseOptions {
+                values: ValueMode::AsLabels,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let label = d.labels().get("=A & B").expect("decoded label exists");
+        let n = d.pre_order().filter(|&v| d.label(v) == label).count();
+        assert_eq!(n, 2, "entity-decoded and CDATA text agree");
+    }
+
+    #[test]
+    fn whitespace_only_text_produces_no_value_child() {
+        use crate::values::ValueMode;
+        let d = parse_document(
+            b"<a>\n  <b/>\n</a>",
+            ParseOptions {
+                values: ValueMode::AsLabels,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn oversized_names_are_rejected() {
+        let name = "x".repeat(MAX_NAME_BYTES + 1);
+        let xml = format!("<{name}/>");
+        let err = parse_document(xml.as_bytes(), ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("longer than"), "{err}");
+        // At the limit it still parses.
+        let ok_name = "x".repeat(MAX_NAME_BYTES);
+        let ok = parse_document(format!("<{ok_name}/>").as_bytes(), ParseOptions::default());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = parse_document(b"<a><!-- oops </a>", ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("unterminated comment"), "{err}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Structural statistics over documents.
+//!
+//! [`DocStats`] computes the dataset characteristics the paper reports in
+//! Table 1 (element count, serialized size) plus the structural quantities
+//! that drive estimation quality: depth distribution, fan-out distribution
+//! (mean/variance/max), and per-label counts. The fan-out variance is the
+//! quantity §5.3 identifies as the failure mode of average-based synopses.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::LabelId;
+use crate::tree::Document;
+
+/// Summary statistics of a document tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DocStats {
+    /// Total number of element nodes.
+    pub elements: usize,
+    /// Number of distinct labels.
+    pub distinct_labels: usize,
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Mean depth over all nodes.
+    pub mean_depth: f64,
+    /// Mean number of children over internal (non-leaf) nodes.
+    pub mean_fanout: f64,
+    /// Variance of the child count over internal nodes.
+    pub fanout_variance: f64,
+    /// Largest child count of any node.
+    pub max_fanout: usize,
+    /// Number of leaf nodes.
+    pub leaves: usize,
+    /// Serialized size in bytes (indented XML, as written by the writer).
+    pub serialized_bytes: usize,
+    /// Count of nodes per label id (indexed by `LabelId::index()`).
+    pub label_counts: Vec<u64>,
+}
+
+impl DocStats {
+    /// Computes statistics for `doc` in two passes (one structural, one to
+    /// measure the serialized size).
+    pub fn compute(doc: &Document) -> Self {
+        let mut max_depth = 0usize;
+        let mut depth_sum = 0u64;
+        let mut fanout_sum = 0u64;
+        let mut fanout_sq_sum = 0f64;
+        let mut internal = 0usize;
+        let mut leaves = 0usize;
+        let mut max_fanout = 0usize;
+        let mut label_counts = vec![0u64; doc.labels().len()];
+
+        // Depths computed incrementally: pre-order guarantees a parent is
+        // visited before its children, so a single vector of depths works.
+        let mut depths = vec![0u32; doc.len()];
+        for id in doc.pre_order() {
+            let d = match doc.parent(id) {
+                Some(p) => depths[p.index()] + 1,
+                None => 0,
+            };
+            depths[id.index()] = d;
+            max_depth = max_depth.max(d as usize);
+            depth_sum += u64::from(d);
+            label_counts[doc.label(id).index()] += 1;
+            let k = doc.child_count(id);
+            if k == 0 {
+                leaves += 1;
+            } else {
+                internal += 1;
+                fanout_sum += k as u64;
+                fanout_sq_sum += (k as f64) * (k as f64);
+                max_fanout = max_fanout.max(k);
+            }
+        }
+        let n = doc.len();
+        let mean_fanout = if internal > 0 {
+            fanout_sum as f64 / internal as f64
+        } else {
+            0.0
+        };
+        let fanout_variance = if internal > 0 {
+            (fanout_sq_sum / internal as f64) - mean_fanout * mean_fanout
+        } else {
+            0.0
+        };
+        let serialized_bytes = {
+            let mut counter = ByteCounter(0);
+            crate::writer::write_document(doc, &mut counter).expect("counting cannot fail");
+            counter.0
+        };
+        Self {
+            elements: n,
+            distinct_labels: doc.labels().len(),
+            max_depth,
+            mean_depth: if n > 0 { depth_sum as f64 / n as f64 } else { 0.0 },
+            mean_fanout,
+            fanout_variance: fanout_variance.max(0.0),
+            max_fanout,
+            leaves,
+            serialized_bytes,
+            label_counts,
+        }
+    }
+
+    /// Count of nodes carrying `label`.
+    pub fn label_count(&self, label: LabelId) -> u64 {
+        self.label_counts.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Serialized size in megabytes (as Table 1 reports it).
+    pub fn serialized_mb(&self) -> f64 {
+        self.serialized_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The most frequent labels, as `(label, count)` pairs, descending.
+    pub fn top_labels(&self, k: usize) -> Vec<(LabelId, u64)> {
+        let mut pairs: Vec<(LabelId, u64)> = self
+            .label_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (LabelId(i as u32), c))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Histogram of depth -> node count (useful for generator calibration).
+    pub fn depth_histogram(doc: &Document) -> HashMap<usize, usize> {
+        let mut depths = vec![0u32; doc.len()];
+        let mut hist = HashMap::new();
+        for id in doc.pre_order() {
+            let d = match doc.parent(id) {
+                Some(p) => depths[p.index()] + 1,
+                None => 0,
+            };
+            depths[id.index()] = d;
+            *hist.entry(d as usize).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+/// An `io::Write` sink that only counts bytes.
+struct ByteCounter(usize);
+
+impl std::io::Write for ByteCounter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len();
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn counts_on_small_document() {
+        let d = doc("<a><b/><b/><c><d/></c></a>");
+        let s = DocStats::compute(&d);
+        assert_eq!(s.elements, 5);
+        assert_eq!(s.distinct_labels, 4);
+        assert_eq!(s.leaves, 3);
+        assert_eq!(s.max_depth, 2);
+        assert_eq!(s.max_fanout, 3);
+        let b = d.labels().get("b").unwrap();
+        assert_eq!(s.label_count(b), 2);
+    }
+
+    #[test]
+    fn fanout_moments() {
+        // Root has 4 children; one child has 2; all others are leaves.
+        let d = doc("<r><x/><x/><x/><y><z/><z/></y></r>");
+        let s = DocStats::compute(&d);
+        // Internal nodes: r (4 kids), y (2 kids). mean = 3, var = 1.
+        assert!((s.mean_fanout - 3.0).abs() < 1e-12);
+        assert!((s.fanout_variance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_document() {
+        let d = doc("<only/>");
+        let s = DocStats::compute(&d);
+        assert_eq!(s.elements, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.mean_fanout, 0.0);
+        assert!(s.serialized_bytes > 0);
+    }
+
+    #[test]
+    fn depth_histogram_sums_to_node_count() {
+        let d = doc("<a><b><c/><c/></b><b/></a>");
+        let h = DocStats::depth_histogram(&d);
+        assert_eq!(h.values().sum::<usize>(), d.len());
+        assert_eq!(h[&0], 1);
+        assert_eq!(h[&1], 2);
+        assert_eq!(h[&2], 2);
+    }
+
+    #[test]
+    fn top_labels_sorted_descending() {
+        let d = doc("<a><b/><b/><b/><c/><c/></a>");
+        let s = DocStats::compute(&d);
+        let top = s.top_labels(2);
+        assert_eq!(d.labels().resolve(top[0].0), "b");
+        assert_eq!(top[0].1, 3);
+        assert_eq!(top[1].1, 2);
+    }
+}

@@ -1,0 +1,313 @@
+//! The arena document tree.
+//!
+//! A [`Document`] is the paper's data tree `T = (V_T, E_T)`: rooted, ordered
+//! (document order), node-labeled. Nodes are stored contiguously; links are
+//! `u32` indices. Construction guarantees pre-order numbering: the arena
+//! index of a node equals its position in a pre-order (document-order)
+//! traversal, a property several algorithms in the workspace rely on.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::{LabelId, LabelInterner};
+
+/// Index of a node inside a [`Document`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Sentinel meaning "no node" in link fields.
+    pub(crate) const NONE: u32 = u32::MAX;
+
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// One node of the document tree.
+///
+/// Links use the classic first-child / next-sibling encoding, so a `Node` is
+/// 16 bytes regardless of fan-out.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// Interned element label.
+    pub label: LabelId,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) next_sibling: u32,
+}
+
+/// A rooted, ordered, node-labeled document tree in arena form.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::DocumentBuilder;
+///
+/// let mut b = DocumentBuilder::new();
+/// let root = b.begin("catalog");
+/// b.begin("book");
+/// b.begin("title");
+/// b.end(); // title
+/// b.end(); // book
+/// b.end(); // catalog
+/// let doc = b.finish().unwrap();
+/// assert_eq!(doc.len(), 3);
+/// assert_eq!(doc.label_name(doc.node(root).label), "catalog");
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Document {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) labels: LabelInterner,
+    pub(crate) root: NodeId,
+}
+
+impl Document {
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Total number of element nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the document has no nodes (never true for a built document,
+    /// which always has a root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node record.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The label of node `id`.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> LabelId {
+        self.nodes[id.index()].label
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.nodes[id.index()].parent;
+        (p != NodeId::NONE).then_some(NodeId(p))
+    }
+
+    /// The label interner for this document.
+    #[inline]
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Resolve a label id to its tag name.
+    #[inline]
+    pub fn label_name(&self, label: LabelId) -> &str {
+        self.labels.resolve(label)
+    }
+
+    /// Iterates over the children of `id` in document order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            cur: self.nodes[id.index()].first_child,
+        }
+    }
+
+    /// Number of children of `id` (walks the sibling chain).
+    pub fn child_count(&self, id: NodeId) -> usize {
+        self.children(id).count()
+    }
+
+    /// Whether `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].first_child == NodeId::NONE
+    }
+
+    /// Iterates over all node ids in pre-order (document order).
+    ///
+    /// Because the builder assigns arena slots in pre-order, this is simply
+    /// an index scan.
+    #[inline]
+    pub fn pre_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of node `id` (root has depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Collects the labels on the root-to-`id` path, root first.
+    pub fn path_labels(&self, id: NodeId) -> Vec<LabelId> {
+        let mut path = vec![self.label(id)];
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            path.push(self.label(p));
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Builds a per-label index: for each label id, the document nodes (in
+    /// document order) that carry it. The outer vector is indexed by
+    /// [`LabelId::index`].
+    pub fn nodes_by_label(&self) -> Vec<Vec<NodeId>> {
+        let mut index = vec![Vec::new(); self.labels.len()];
+        for id in self.pre_order() {
+            index[self.label(id).index()].push(id);
+        }
+        index
+    }
+
+    /// Approximate in-memory size of the tree structure in bytes (nodes plus
+    /// interner strings); used when reporting summary-to-document ratios.
+    pub fn heap_size_bytes(&self) -> usize {
+        let node_bytes = self.nodes.len() * std::mem::size_of::<Node>();
+        let label_bytes: usize = self.labels.iter().map(|(_, s)| s.len() + 16).sum();
+        node_bytes + label_bytes
+    }
+}
+
+/// Iterator over the children of a node. See [`Document::children`].
+pub struct Children<'a> {
+    doc: &'a Document,
+    cur: u32,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.cur == NodeId::NONE {
+            return None;
+        }
+        let id = NodeId(self.cur);
+        self.cur = self.doc.nodes[id.index()].next_sibling;
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DocumentBuilder;
+
+    use super::*;
+
+    /// Builds the sample document of the paper's Figure 1(a):
+    /// computer -> laptops -> laptop{brand,price} x2, computer -> desktops.
+    fn figure1_doc() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.begin("computer");
+        b.begin("laptops");
+        for _ in 0..2 {
+            b.begin("laptop");
+            b.begin("brand");
+            b.end();
+            b.begin("price");
+            b.end();
+            b.end();
+        }
+        b.end();
+        b.begin("desktops");
+        b.end();
+        b.end();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let d = figure1_doc();
+        assert_eq!(d.len(), 9);
+        let root = d.root();
+        assert_eq!(d.label_name(d.label(root)), "computer");
+        assert_eq!(d.child_count(root), 2);
+        let kids: Vec<_> = d
+            .children(root)
+            .map(|c| d.label_name(d.label(c)).to_owned())
+            .collect();
+        assert_eq!(kids, ["laptops", "desktops"]);
+    }
+
+    #[test]
+    fn preorder_ids_are_sequential() {
+        let d = figure1_doc();
+        let ids: Vec<u32> = d.pre_order().map(|n| n.0).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+        // Pre-order invariant: a child's arena index is greater than its
+        // parent's.
+        for id in d.pre_order() {
+            if let Some(p) = d.parent(id) {
+                assert!(p.0 < id.0);
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_path() {
+        let d = figure1_doc();
+        let brand = d
+            .pre_order()
+            .find(|&n| d.label_name(d.label(n)) == "brand")
+            .unwrap();
+        assert_eq!(d.depth(brand), 3);
+        let path: Vec<_> = d
+            .path_labels(brand)
+            .into_iter()
+            .map(|l| d.label_name(l).to_owned())
+            .collect();
+        assert_eq!(path, ["computer", "laptops", "laptop", "brand"]);
+    }
+
+    #[test]
+    fn nodes_by_label_counts() {
+        let d = figure1_doc();
+        let idx = d.nodes_by_label();
+        let laptop = d.labels().get("laptop").unwrap();
+        let brand = d.labels().get("brand").unwrap();
+        assert_eq!(idx[laptop.index()].len(), 2);
+        assert_eq!(idx[brand.index()].len(), 2);
+    }
+
+    #[test]
+    fn leaves_detected() {
+        let d = figure1_doc();
+        let leaf_labels: Vec<_> = d
+            .pre_order()
+            .filter(|&n| d.is_leaf(n))
+            .map(|n| d.label_name(d.label(n)).to_owned())
+            .collect();
+        assert_eq!(leaf_labels, ["brand", "price", "brand", "price", "desktops"]);
+    }
+
+    #[test]
+    fn node_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Node>(), 16);
+    }
+}

@@ -1,0 +1,136 @@
+//! Value modeling: mapping element text content to synthetic labels.
+//!
+//! The paper explicitly leaves values out of the model (§2.1) and lists
+//! "twig queries with value predicates" as future work (§6). This module
+//! supplies the extension in the way that keeps the entire TreeLattice
+//! pipeline unchanged: an element's text content becomes a *synthetic leaf
+//! child* whose label encodes the value, so value predicates are just
+//! ordinary twig edges and the lattice summarizes structure and values
+//! uniformly (the same trick XSketches plays with value distributions,
+//! transplanted to the lattice world).
+//!
+//! Two encodings are provided:
+//!
+//! * [`ValueMode::AsLabels`] — the exact value string becomes the label
+//!   (`=Dell`). Exact, but the label space grows with distinct values;
+//!   intended for ground-truth counting and small domains.
+//! * [`ValueMode::Bucketed`] — values hash into `b` buckets (`#v17`).
+//!   Bounded label space; equality predicates are estimated with a
+//!   collision-induced *over*count (never an undercount), the classic
+//!   hashed-histogram trade-off.
+
+use std::hash::{BuildHasher as _, BuildHasherDefault, Hasher as _};
+
+use crate::hash::FxHasher;
+
+/// How element text content is modeled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValueMode {
+    /// Drop values entirely (the paper's base model).
+    #[default]
+    Ignore,
+    /// One synthetic label per distinct value (`=Dell`).
+    AsLabels,
+    /// Hash values into this many buckets (`#v17`).
+    Bucketed(u32),
+}
+
+/// Longest value prefix used for `AsLabels` labels; longer values are
+/// truncated (at a char boundary) so labels stay bounded.
+pub const MAX_VALUE_LABEL_BYTES: usize = 64;
+
+impl ValueMode {
+    /// The synthetic label for `text` under this mode; `None` when values
+    /// are ignored or the text is pure whitespace.
+    pub fn value_label(self, text: &str) -> Option<String> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        match self {
+            ValueMode::Ignore => None,
+            ValueMode::AsLabels => {
+                let mut end = MAX_VALUE_LABEL_BYTES.min(trimmed.len());
+                while !trimmed.is_char_boundary(end) {
+                    end -= 1;
+                }
+                Some(format!("={}", &trimmed[..end]))
+            }
+            ValueMode::Bucketed(buckets) => {
+                let b = buckets.max(1);
+                let mut hasher = BuildHasherDefault::<FxHasher>::default().build_hasher();
+                hasher.write(trimmed.as_bytes());
+                // Fx's multiply only mixes low bits upward, so same-prefix
+                // values differ only in high bits; run a full avalanche
+                // (Murmur3 finalizer) before reducing to a bucket.
+                let mut h = hasher.finish();
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                h ^= h >> 33;
+                Some(format!("#v{}", h % u64::from(b)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ignore_yields_nothing() {
+        assert_eq!(ValueMode::Ignore.value_label("Dell"), None);
+    }
+
+    #[test]
+    fn whitespace_yields_nothing() {
+        for mode in [ValueMode::AsLabels, ValueMode::Bucketed(8)] {
+            assert_eq!(mode.value_label("   \n\t "), None);
+        }
+    }
+
+    #[test]
+    fn as_labels_is_exact_and_trimmed() {
+        assert_eq!(
+            ValueMode::AsLabels.value_label("  Dell XPS  "),
+            Some("=Dell XPS".to_owned())
+        );
+    }
+
+    #[test]
+    fn as_labels_truncates_long_values_at_char_boundary() {
+        let long = "é".repeat(100); // 2 bytes per char
+        let label = ValueMode::AsLabels.value_label(&long).unwrap();
+        assert!(label.len() <= MAX_VALUE_LABEL_BYTES + 1);
+        assert!(label.starts_with('='));
+        // Still valid UTF-8 by construction (String), and non-empty.
+        assert!(label.len() > 1);
+    }
+
+    #[test]
+    fn buckets_are_stable_and_in_range() {
+        let mode = ValueMode::Bucketed(16);
+        let a = mode.value_label("Dell").unwrap();
+        let b = mode.value_label("Dell").unwrap();
+        assert_eq!(a, b);
+        let n: u64 = a.strip_prefix("#v").unwrap().parse().unwrap();
+        assert!(n < 16);
+    }
+
+    #[test]
+    fn different_values_usually_differ() {
+        let mode = ValueMode::Bucketed(1024);
+        let distinct: std::collections::HashSet<String> = (0..100)
+            .map(|i| mode.value_label(&format!("value-{i}")).unwrap())
+            .collect();
+        assert!(distinct.len() > 90, "only {} distinct buckets", distinct.len());
+    }
+
+    #[test]
+    fn zero_buckets_clamped() {
+        assert_eq!(
+            ValueMode::Bucketed(0).value_label("x"),
+            Some("#v0".to_owned())
+        );
+    }
+}

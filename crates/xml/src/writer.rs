@@ -1,0 +1,214 @@
+//! Serialization of a [`Document`] back to XML text.
+//!
+//! Used by the dataset generators to materialize corpora on disk and by
+//! tests to verify parse/write round trips. Plain documents emit pure
+//! element structure (leaves self-closing); synthetic value children
+//! produced by a [`ValueMode`](crate::values::ValueMode) are written back
+//! as escaped text content, so `AsLabels` documents round-trip exactly.
+
+use std::io::{self, Write};
+
+use crate::tree::{Document, NodeId};
+
+/// Writes `doc` as indented XML to `out`.
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, write_document, ParseOptions};
+///
+/// let doc = parse_document(b"<a><b/><c><d/></c></a>", ParseOptions::default()).unwrap();
+/// let mut buf = Vec::new();
+/// write_document(&doc, &mut buf).unwrap();
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.contains("<b/>"));
+/// ```
+pub fn write_document<W: Write>(doc: &Document, out: &mut W) -> io::Result<()> {
+    write_subtree(doc, doc.root(), 0, out)?;
+    out.write_all(b"\n")
+}
+
+/// Writes the subtree rooted at `node` with the given indent depth.
+pub fn write_subtree<W: Write>(
+    doc: &Document,
+    node: NodeId,
+    indent: usize,
+    out: &mut W,
+) -> io::Result<()> {
+    // Explicit stack: (node, entering) frames avoid recursion on documents
+    // that are pathologically deep.
+    enum Frame {
+        Enter(NodeId, usize),
+        Exit(NodeId, usize),
+    }
+    let mut stack = vec![Frame::Enter(node, indent)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(n, ind) => {
+                for _ in 0..ind {
+                    out.write_all(b"  ")?;
+                }
+                let name = doc.label_name(doc.label(n));
+                // Synthetic value children (from `ValueMode`) are emitted
+                // back as text content, not as (illegal) element names;
+                // `AsLabels` documents round-trip exactly this way.
+                let children: Vec<_> = doc.children(n).collect();
+                let (values, elements): (Vec<NodeId>, Vec<NodeId>) = children
+                    .iter()
+                    .partition(|&&c| value_text(doc, c).is_some());
+                if doc.is_leaf(n) {
+                    writeln!(out, "<{name}/>")?;
+                } else if elements.is_empty() && values.len() == 1 {
+                    let text = value_text(doc, values[0]).expect("partitioned as value");
+                    writeln!(out, "<{name}>{}</{name}>", escape_text(text))?;
+                } else {
+                    writeln!(out, "<{name}>")?;
+                    for &v in &values {
+                        for _ in 0..=ind {
+                            out.write_all(b"  ")?;
+                        }
+                        let text = value_text(doc, v).expect("partitioned as value");
+                        writeln!(out, "{}", escape_text(text))?;
+                    }
+                    stack.push(Frame::Exit(n, ind));
+                    for &c in elements.iter().rev() {
+                        stack.push(Frame::Enter(c, ind + 1));
+                    }
+                }
+            }
+            Frame::Exit(n, ind) => {
+                for _ in 0..ind {
+                    out.write_all(b"  ")?;
+                }
+                writeln!(out, "</{}>", doc.label_name(doc.label(n)))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The text a synthetic value node stands for, or `None` for a regular
+/// element. Value nodes are leaves labeled `=<text>` ([`ValueMode::AsLabels`])
+/// or `#v<bucket>` ([`ValueMode::Bucketed`]); bucketed values have lost the
+/// original text and are emitted as their bucket token.
+///
+/// [`ValueMode::AsLabels`]: crate::values::ValueMode::AsLabels
+/// [`ValueMode::Bucketed`]: crate::values::ValueMode::Bucketed
+fn value_text(doc: &Document, node: NodeId) -> Option<&str> {
+    if !doc.is_leaf(node) {
+        return None;
+    }
+    let name = doc.label_name(doc.label(node));
+    if let Some(text) = name.strip_prefix('=') {
+        Some(text)
+    } else if name.starts_with("#v") {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Escapes the three characters XML text content cannot contain raw.
+fn escape_text(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders `doc` to a `String` (convenience over [`write_document`]).
+pub fn document_to_string(doc: &Document) -> String {
+    let mut buf = Vec::new();
+    write_document(doc, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("writer emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_document, ParseOptions};
+
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = b"<a><b/><c><d/><e><f/></e></c></a>";
+        let d1 = parse_document(src, ParseOptions::default()).unwrap();
+        let text = document_to_string(&d1);
+        let d2 = parse_document(text.as_bytes(), ParseOptions::default()).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        // Same pre-order label sequence and parent structure.
+        for (a, b) in d1.pre_order().zip(d2.pre_order()) {
+            assert_eq!(
+                d1.label_name(d1.label(a)),
+                d2.label_name(d2.label(b)),
+                "pre-order label mismatch"
+            );
+            assert_eq!(
+                d1.parent(a).map(|p| p.0),
+                d2.parent(b).map(|p| p.0),
+                "parent structure mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_root_is_self_closing() {
+        let d = parse_document(b"<solo/>", ParseOptions::default()).unwrap();
+        assert_eq!(document_to_string(&d), "<solo/>\n\n");
+    }
+
+    #[test]
+    fn valued_documents_round_trip_through_text() {
+        use crate::values::ValueMode;
+        let options = ParseOptions {
+            values: ValueMode::AsLabels,
+            ..Default::default()
+        };
+        let d1 = parse_document(
+            b"<catalog><laptop><brand>Dell &amp; Co</brand><price>999</price></laptop></catalog>",
+            options,
+        )
+        .unwrap();
+        let text = document_to_string(&d1);
+        assert!(text.contains("<brand>Dell &amp; Co</brand>"), "{text}");
+        assert!(!text.contains("<="), "no illegal element names: {text}");
+        let d2 = parse_document(text.as_bytes(), options).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.pre_order().zip(d2.pre_order()) {
+            assert_eq!(d1.label_name(d1.label(a)), d2.label_name(d2.label(b)));
+        }
+    }
+
+    #[test]
+    fn mixed_values_and_elements_both_emitted() {
+        use crate::values::ValueMode;
+        let options = ParseOptions {
+            values: ValueMode::AsLabels,
+            ..Default::default()
+        };
+        let d = parse_document(b"<a>hello<b/></a>", options).unwrap();
+        let text = document_to_string(&d);
+        assert!(text.contains("hello"), "{text}");
+        assert!(text.contains("<b/>"), "{text}");
+        let back = parse_document(text.as_bytes(), options).unwrap();
+        assert_eq!(back.len(), d.len());
+    }
+
+    #[test]
+    fn deep_document_does_not_overflow_stack() {
+        let mut s = String::new();
+        for _ in 0..3000 {
+            s.push_str("<d>");
+        }
+        for _ in 0..3000 {
+            s.push_str("</d>");
+        }
+        let d = parse_document(
+            s.as_bytes(),
+            ParseOptions {
+                max_depth: 5000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let out = document_to_string(&d);
+        assert!(out.lines().count() >= 6000);
+    }
+}

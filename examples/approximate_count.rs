@@ -1,0 +1,64 @@
+//! Approximate COUNT answering and interactive query refinement.
+//!
+//! The paper's second motivating use (§1): return the selectivity estimate
+//! directly as an approximate answer to a `COUNT` aggregate, and warn an
+//! interactive user when a query would return an overwhelming result set so
+//! they can refine it before running it for real.
+//!
+//! ```text
+//! cargo run --release -p treelattice --example approximate_count
+//! ```
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::MatchCounter;
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+/// Result-set size above which the "interactive UI" suggests refining.
+const OVERWHELMING: f64 = 1_000.0;
+
+fn main() {
+    let doc = Dataset::Imdb.generate(GenConfig {
+        seed: 7,
+        target_elements: 50_000,
+    });
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    let counter = MatchCounter::new(&doc);
+    println!(
+        "movie corpus: {} elements; summary {} KB\n",
+        doc.len(),
+        lattice.summary_bytes() / 1024
+    );
+
+    // An interactive session: the user starts broad and refines, guided by
+    // approximate counts that never touch the base data.
+    let session = [
+        ("movie/cast/actor", "all actor credits"),
+        ("movie[cast/actor]", "actor credits, as a branching twig"),
+        ("movie[cast/actor[role]][genres]", "credits with a role, in movies listing genres"),
+        (
+            "movie[cast/actor[role]][genres/genre][ratings]",
+            "...expanded per genre, with ratings",
+        ),
+    ];
+    for (query, intent) in session {
+        let est = lattice
+            .estimate_query(query, Estimator::RecursiveVoting)
+            .expect("query parses");
+        let advice = if est > OVERWHELMING {
+            "too broad — consider refining"
+        } else if est == 0.0 {
+            "provably empty — skip execution"
+        } else {
+            "small enough — execute exactly"
+        };
+        println!("intent: {intent}\n  query: {query}\n  approx COUNT ~= {est:.0}  [{advice}]");
+        let twig = lattice.parse_query(query).expect("query parses");
+        let truth = counter.count(&twig);
+        let err = if truth > 0 {
+            format!("{:.1}%", 100.0 * (est - truth as f64).abs() / truth as f64)
+        } else {
+            "n/a".to_owned()
+        };
+        println!("  (exact COUNT = {truth}, estimation error {err})\n");
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: parse a document, build a lattice summary, estimate twigs.
+//!
+//! ```text
+//! cargo run --release -p treelattice --example quickstart
+//! ```
+
+use tl_twig::count_matches;
+use tl_xml::{parse_document, ParseOptions};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+fn main() {
+    // The paper's Figure 1 document: an online computer catalog.
+    let xml = b"<computer>\
+                  <laptops>\
+                    <laptop><brand/><price/></laptop>\
+                    <laptop><brand/><price/></laptop>\
+                    <laptop><brand/></laptop>\
+                  </laptops>\
+                  <desktops>\
+                    <desktop><brand/><price/></desktop>\
+                  </desktops>\
+                </computer>";
+    let doc = parse_document(xml, ParseOptions::default()).expect("well-formed XML");
+    println!("document: {} elements, {} labels", doc.len(), doc.labels().len());
+
+    // Build a 3-lattice: exact counts of every twig pattern up to 3 nodes.
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    println!(
+        "summary: {} patterns, {} bytes\n",
+        lattice.summary().len(),
+        lattice.summary_bytes()
+    );
+
+    // Estimate a few queries and compare with exact counts.
+    let queries = [
+        "//laptop[brand][price]",   // Figure 1(b)
+        "laptops/laptop/brand",
+        "computer[laptops][desktops]",
+        "laptop[brand][price][nosuchtag]", // impossible
+        "computer/laptops/laptop[brand][price]", // size 5 > k: decomposed
+    ];
+    println!("{:<45} {:>9} {:>9}", "query", "estimate", "true");
+    for q in queries {
+        let est = lattice
+            .estimate_query(q, Estimator::RecursiveVoting)
+            .expect("query parses");
+        let twig = lattice.parse_query(q).expect("query parses");
+        let truth = count_matches(&doc, &twig);
+        println!("{q:<45} {est:>9.2} {truth:>9}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Summary persistence: build once, ship the summary, load at startup.
+//!
+//! A query optimizer does not re-mine the corpus on every boot; it loads a
+//! previously built summary. This example builds a lattice with δ-pruning,
+//! serializes it to the versioned binary format, reloads it, and shows the
+//! estimates are identical.
+//!
+//! ```text
+//! cargo run --release -p treelattice --example summary_persistence
+//! ```
+
+use tl_datagen::{Dataset, GenConfig};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+fn main() {
+    let doc = Dataset::Nasa.generate(GenConfig {
+        seed: 11,
+        target_elements: 40_000,
+    });
+
+    // Build and prune 0-derivable patterns: smaller artifact, identical
+    // estimates (Lemma 5).
+    let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    let unpruned_bytes = lattice.summary_bytes();
+    let report = lattice.prune(0.0);
+    println!(
+        "summary: {} -> {} bytes after pruning {} of {} derivable patterns",
+        unpruned_bytes, report.bytes_after, report.pruned, report.examined
+    );
+
+    // Serialize to disk.
+    let path = std::env::temp_dir().join("nasa_summary.tlat");
+    let bytes = lattice.to_bytes();
+    std::fs::write(&path, &bytes).expect("write summary");
+    println!("wrote {} bytes to {}", bytes.len(), path.display());
+
+    // ... optimizer restart ...
+    let loaded = TreeLattice::from_bytes(&std::fs::read(&path).expect("read summary"))
+        .expect("summary parses");
+    println!(
+        "reloaded: k = {}, {} patterns",
+        loaded.k(),
+        loaded.summary().len()
+    );
+
+    let queries = ["dataset/reference/source", "dataset[title][identifier]", "field[name][units]"];
+    for q in queries {
+        let before = lattice.estimate_query(q, Estimator::RecursiveVoting).unwrap();
+        let after = loaded.estimate_query(q, Estimator::RecursiveVoting).unwrap();
+        assert_eq!(before, after, "round trip must preserve estimates");
+        println!("{q:<35} -> {after:.1}");
+    }
+    println!("estimates identical before and after the round trip");
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: generate → mine → estimate → score,
+//! on all four dataset stand-ins.
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::MatchCounter;
+use tl_workload::{average_relative_error_pct, negative_workload, positive_workload};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+const SCALE: usize = 3_000;
+
+fn build(ds: Dataset, k: usize) -> (tl_xml::Document, TreeLattice) {
+    let doc = ds.generate(GenConfig {
+        seed: 1234,
+        target_elements: SCALE,
+    });
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(k));
+    (doc, lattice)
+}
+
+#[test]
+fn in_lattice_queries_are_exact_on_every_dataset() {
+    for ds in Dataset::ALL {
+        let (doc, lattice) = build(ds, 4);
+        for size in 1..=4 {
+            let w = positive_workload(&doc, size, 15, 5);
+            for case in &w.cases {
+                for est in Estimator::ALL {
+                    assert_eq!(
+                        lattice.estimate(&case.twig, est),
+                        case.true_count as f64,
+                        "{ds}, size {size}, {est}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decomposed_estimates_are_reasonable_on_every_dataset() {
+    // Queries above the lattice order must decompose; the average error
+    // should stay well below a factor of 2 on sizes 5-6 (the paper sees
+    // < 50% there).
+    for ds in Dataset::ALL {
+        let (doc, lattice) = build(ds, 4);
+        for size in [5usize, 6] {
+            let w = positive_workload(&doc, size, 25, 7);
+            assert!(!w.cases.is_empty(), "{ds}: empty workload at size {size}");
+            let truths = w.true_counts();
+            for est in Estimator::ALL {
+                let estimates: Vec<f64> = w
+                    .cases
+                    .iter()
+                    .map(|c| lattice.estimate(&c.twig, est))
+                    .collect();
+                let err = average_relative_error_pct(&truths, &estimates);
+                assert!(
+                    err < 100.0,
+                    "{ds}, size {size}, {est}: average error {err}%"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_queries_mostly_answer_zero() {
+    for ds in Dataset::ALL {
+        let (doc, lattice) = build(ds, 4);
+        let mut total = 0usize;
+        let mut zeros = 0usize;
+        for size in [4usize, 6, 8] {
+            let w = negative_workload(&doc, size, 20, 3);
+            for case in &w.cases {
+                total += 1;
+                if lattice.estimate(&case.twig, Estimator::Recursive) == 0.0 {
+                    zeros += 1;
+                }
+            }
+        }
+        assert!(total >= 20, "{ds}: too few negative queries generated");
+        let rate = zeros as f64 / total as f64;
+        assert!(rate >= 0.9, "{ds}: zero rate {rate} below the paper's >90%");
+    }
+}
+
+#[test]
+fn voting_is_at_least_as_accurate_as_plain_recursive_on_average() {
+    // Aggregated over datasets and sizes; voting may lose on individual
+    // cells but the paper's headline is that it wins overall.
+    let mut err_plain = 0.0f64;
+    let mut err_vote = 0.0f64;
+    let mut cells = 0usize;
+    for ds in Dataset::ALL {
+        let (doc, lattice) = build(ds, 3);
+        for size in [5usize, 6, 7] {
+            let w = positive_workload(&doc, size, 20, 11);
+            if w.cases.len() < 5 {
+                continue;
+            }
+            let truths = w.true_counts();
+            let plain: Vec<f64> = w
+                .cases
+                .iter()
+                .map(|c| lattice.estimate(&c.twig, Estimator::Recursive))
+                .collect();
+            let vote: Vec<f64> = w
+                .cases
+                .iter()
+                .map(|c| lattice.estimate(&c.twig, Estimator::RecursiveVoting))
+                .collect();
+            err_plain += average_relative_error_pct(&truths, &plain);
+            err_vote += average_relative_error_pct(&truths, &vote);
+            cells += 1;
+        }
+    }
+    assert!(cells >= 8);
+    assert!(
+        err_vote <= err_plain * 1.10,
+        "voting {err_vote} should not be much worse than plain {err_plain} overall"
+    );
+}
+
+#[test]
+fn estimates_scale_with_document_size() {
+    // Doubling the corpus roughly doubles both truth and estimate for a
+    // fixed query (sanity of the whole pipeline, not an exact law).
+    let small = Dataset::Psd.generate(GenConfig {
+        seed: 5,
+        target_elements: 2_000,
+    });
+    let large = Dataset::Psd.generate(GenConfig {
+        seed: 5,
+        target_elements: 4_000,
+    });
+    let lat_small = TreeLattice::build(&small, &BuildConfig::with_k(3));
+    let lat_large = TreeLattice::build(&large, &BuildConfig::with_k(3));
+    let q = "ProteinEntry[header/uid][organism/source]";
+    let e_small = lat_small.estimate_query(q, Estimator::Recursive).unwrap();
+    let e_large = lat_large.estimate_query(q, Estimator::Recursive).unwrap();
+    assert!(e_small > 0.0);
+    let ratio = e_large / e_small;
+    assert!(
+        ratio > 1.4 && ratio < 2.8,
+        "doubling the corpus gave estimate ratio {ratio}"
+    );
+}
+
+#[test]
+fn figure11_contrast_end_to_end() {
+    use tl_baselines::{SketchConfig, TreeSketch};
+    let doc = tl_datagen::figure11_document();
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let sketch = TreeSketch::build(&doc, SketchConfig { budget_bytes: 0 });
+    let q = lattice.parse_query("b[c][d]").unwrap();
+    let truth = MatchCounter::new(&doc).count(&q) as f64;
+    assert_eq!(truth, 4.0);
+    assert_eq!(lattice.estimate(&q, Estimator::Recursive), 4.0);
+    assert!((sketch.estimate(&q) - 8.0).abs() < 1e-9);
+}
+
+#[test]
+fn isomorphic_queries_get_identical_estimates_everywhere() {
+    let (_, lattice) = build(Dataset::Nasa, 4);
+    let pairs = [
+        ("dataset[title][identifier]", "dataset[identifier][title]"),
+        (
+            "dataset[reference/source][keywords/keyword]",
+            "dataset[keywords/keyword][reference/source]",
+        ),
+    ];
+    for (q1, q2) in pairs {
+        for est in Estimator::ALL {
+            let e1 = lattice.estimate_query(q1, est).unwrap();
+            let e2 = lattice.estimate_query(q2, est).unwrap();
+            assert_eq!(e1, e2, "{est}: {q1} vs {q2}");
+        }
+    }
+}

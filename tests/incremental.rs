@@ -1,0 +1,147 @@
+//! Incremental maintenance: edits to the document keep the summary exact,
+//! at a fraction of a full rebuild's work.
+
+use proptest::prelude::*;
+use tl_xml::{append_subtree, remove_subtree, Document, DocumentBuilder, NodeId};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+fn build_doc(spec: &[(u32, u8)]) -> Document {
+    let n = spec.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(p, _)) in spec.iter().enumerate().skip(1) {
+        children[(p as usize) % i].push(i);
+    }
+    let mut b = DocumentBuilder::new();
+    enum Ev {
+        Enter(usize),
+        Exit,
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(i) => {
+                b.begin(&format!("l{}", spec[i].1));
+                stack.push(Ev::Exit);
+                for &c in children[i].iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => b.end(),
+        }
+    }
+    b.finish().expect("tree spec builds")
+}
+
+fn assert_equivalent(a: &TreeLattice, b: &TreeLattice) {
+    assert_eq!(a.summary().len(), b.summary().len());
+    for (key, count) in a.summary().iter() {
+        assert_eq!(b.summary().stored(key), Some(count), "count mismatch");
+    }
+}
+
+#[test]
+fn append_then_update_equals_rebuild() {
+    let mut body = String::from("<r>");
+    for _ in 0..20 {
+        body.push_str("<rec><id/><name/><tags><tag/><tag/></tags></rec>");
+    }
+    body.push_str("</r>");
+    let base = tl_xml::parse_document(body.as_bytes(), tl_xml::ParseOptions::default()).unwrap();
+    let record = tl_xml::parse_document(
+        b"<rec><id/><name/><photo><url/></photo></rec>",
+        tl_xml::ParseOptions::default(),
+    )
+    .unwrap();
+    let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(4));
+    let edit = append_subtree(&base, base.root(), &record);
+    let report = lattice.update_after_edit(&edit.document, &edit.touched);
+    let rebuilt = TreeLattice::build(&edit.document, &BuildConfig::with_k(4));
+    assert_equivalent(&lattice, &rebuilt);
+    assert!(report.recounted > 0);
+    // New structure is queryable immediately.
+    let est = lattice
+        .estimate_query("rec/photo/url", Estimator::Recursive)
+        .unwrap();
+    assert_eq!(est, 1.0);
+}
+
+#[test]
+fn disjoint_append_mostly_reuses() {
+    let mut body = String::from("<r>");
+    for _ in 0..15 {
+        body.push_str("<a><b><c/></b><d/></a>");
+    }
+    body.push_str("</r>");
+    let base = tl_xml::parse_document(body.as_bytes(), tl_xml::ParseOptions::default()).unwrap();
+    let record =
+        tl_xml::parse_document(b"<z><w/><w/></z>", tl_xml::ParseOptions::default()).unwrap();
+    let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(4));
+    let edit = append_subtree(&base, base.root(), &record);
+    let report = lattice.update_after_edit(&edit.document, &edit.touched);
+    assert!(
+        report.reused > report.recounted,
+        "a disjoint record should reuse more counts than it recomputes: {report:?}"
+    );
+    assert_equivalent(
+        &lattice,
+        &TreeLattice::build(&edit.document, &BuildConfig::with_k(4)),
+    );
+}
+
+#[test]
+#[should_panic(expected = "unpruned summary")]
+fn update_rejects_pruned_summaries() {
+    let base = tl_xml::parse_document(
+        b"<r><a><b/></a><a><b/></a></r>",
+        tl_xml::ParseOptions::default(),
+    )
+    .unwrap();
+    let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(3));
+    lattice.prune(0.0);
+    let record = tl_xml::parse_document(b"<a><b/></a>", tl_xml::ParseOptions::default()).unwrap();
+    let edit = append_subtree(&base, base.root(), &record);
+    let _ = lattice.update_after_edit(&edit.document, &edit.touched);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Appending a random record to a random document: incremental update
+    /// equals a rebuild.
+    #[test]
+    fn random_append_equals_rebuild(
+        doc_spec in prop::collection::vec((any::<u32>(), 0..4u8), 2..30),
+        rec_spec in prop::collection::vec((any::<u32>(), 0..5u8), 1..8),
+        parent_choice in any::<u32>(),
+    ) {
+        let base = build_doc(&doc_spec);
+        let record = build_doc(&rec_spec);
+        let parent = NodeId(parent_choice % base.len() as u32);
+        let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(3));
+        let edit = append_subtree(&base, parent, &record);
+        lattice.update_after_edit(&edit.document, &edit.touched);
+        let rebuilt = TreeLattice::build(&edit.document, &BuildConfig::with_k(3));
+        prop_assert_eq!(lattice.summary().len(), rebuilt.summary().len());
+        for (key, count) in rebuilt.summary().iter() {
+            prop_assert_eq!(lattice.summary().stored(key), Some(count));
+        }
+    }
+
+    /// Removing a random non-root subtree: incremental equals rebuild.
+    #[test]
+    fn random_removal_equals_rebuild(
+        doc_spec in prop::collection::vec((any::<u32>(), 0..4u8), 3..30),
+        victim_choice in any::<u32>(),
+    ) {
+        let base = build_doc(&doc_spec);
+        let victim = NodeId(1 + victim_choice % (base.len() as u32 - 1));
+        let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(3));
+        let edit = remove_subtree(&base, victim);
+        lattice.update_after_edit(&edit.document, &edit.touched);
+        let rebuilt = TreeLattice::build(&edit.document, &BuildConfig::with_k(3));
+        prop_assert_eq!(lattice.summary().len(), rebuilt.summary().len());
+        for (key, count) in rebuilt.summary().iter() {
+            prop_assert_eq!(lattice.summary().stored(key), Some(count));
+        }
+    }
+}

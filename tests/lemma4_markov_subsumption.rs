@@ -1,0 +1,137 @@
+//! Lemma 4: on path queries, both decomposition estimators coincide with
+//! the order-(k−1) Markov-table path estimator.
+//!
+//! This is the paper's subsumption result, checked numerically: a
+//! TreeLattice with a k-lattice and an independently implemented Markov
+//! table of order k produce identical estimates for every downward label
+//! path, across documents and lattice orders.
+
+use tl_baselines::MarkovTable;
+use tl_datagen::{Dataset, GenConfig};
+use tl_twig::Twig;
+use tl_xml::{Document, LabelId};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+/// Collects downward label paths of length `len` occurring in `doc`.
+fn occurred_paths(doc: &Document, len: usize, limit: usize) -> Vec<Vec<LabelId>> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for v in doc.pre_order() {
+        // Walk up: the path of `len` labels ending at v.
+        let mut labels = Vec::with_capacity(len);
+        let mut cur = v;
+        labels.push(doc.label(cur));
+        while labels.len() < len {
+            match doc.parent(cur) {
+                Some(p) => {
+                    labels.push(doc.label(p));
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        if labels.len() == len {
+            labels.reverse();
+            if seen.insert(labels.clone()) {
+                out.push(labels);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_dataset(ds: Dataset, k: usize) {
+    let doc = ds.generate(GenConfig {
+        seed: 99,
+        target_elements: 2_500,
+    });
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(k));
+    let markov = MarkovTable::build(&doc, k);
+    let mut checked = 0usize;
+    for len in (k + 1)..=(k + 4) {
+        for path in occurred_paths(&doc, len, 40) {
+            let twig = Twig::path(&path);
+            let expected = markov.estimate_path(&path);
+            for est in [Estimator::Recursive, Estimator::FixSized] {
+                let got = lattice.estimate(&twig, est);
+                assert!(
+                    (got - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+                    "{ds}, k={k}, len={len}, {est}: lattice {got} vs markov {expected}"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "{ds}, k={k}: only {checked} paths checked");
+}
+
+#[test]
+fn lemma4_holds_on_nasa_k3() {
+    check_dataset(Dataset::Nasa, 3);
+}
+
+#[test]
+fn lemma4_holds_on_psd_k2() {
+    check_dataset(Dataset::Psd, 2);
+}
+
+#[test]
+fn lemma4_holds_on_xmark_k3() {
+    check_dataset(Dataset::Xmark, 3);
+}
+
+#[test]
+fn lemma4_holds_on_imdb_k2() {
+    check_dataset(Dataset::Imdb, 2);
+}
+
+/// The path stored in the lattice and in the Markov table agree exactly
+/// (both are exact counts) for lengths ≤ k — the base case of Lemma 4.
+#[test]
+fn stored_paths_agree_exactly() {
+    let doc = Dataset::Xmark.generate(GenConfig {
+        seed: 4,
+        target_elements: 2_000,
+    });
+    let k = 4;
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(k));
+    let markov = MarkovTable::build(&doc, k);
+    for len in 1..=k {
+        for path in occurred_paths(&doc, len, 30) {
+            let twig = Twig::path(&path);
+            let a = lattice.estimate(&twig, Estimator::Recursive);
+            let b = markov.estimate_path(&path);
+            assert_eq!(a, b, "stored path disagreement at length {len}");
+        }
+    }
+}
+
+/// Voting also reduces to the Markov estimate on *pure chains of distinct
+/// labels*: every decomposition pair choice yields the same value, so the
+/// average equals it. (With repeated labels different pairs can disagree,
+/// which is exactly why voting exists — so this test uses sampled paths
+/// whose estimates already coincide between the two plain estimators.)
+#[test]
+fn voting_agrees_on_paths_where_plain_estimators_agree() {
+    let doc = Dataset::Nasa.generate(GenConfig {
+        seed: 17,
+        target_elements: 2_000,
+    });
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    for path in occurred_paths(&doc, 5, 40) {
+        let twig = Twig::path(&path);
+        let rec = lattice.estimate(&twig, Estimator::Recursive);
+        let fix = lattice.estimate(&twig, Estimator::FixSized);
+        if (rec - fix).abs() > 1e-9 {
+            continue;
+        }
+        let vote = lattice.estimate(&twig, Estimator::RecursiveVoting);
+        assert!(
+            (vote - rec).abs() <= 1e-6 * rec.abs().max(1.0),
+            "voting {vote} differs from plain {rec} on a path"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Property-based tests over random documents and twigs.
+//!
+//! Core invariants:
+//! * parse ∘ write is the identity on document structure;
+//! * the canonical key is invariant under sibling permutations;
+//! * the production match counter agrees with a brute-force oracle that
+//!   enumerates injective mappings explicitly;
+//! * mined lattice counts agree with the match counter;
+//! * any pattern stored in the lattice is estimated exactly by every
+//!   estimator;
+//! * estimates are always finite and non-negative;
+//! * serialization round-trips summaries bit-exactly.
+
+use proptest::prelude::*;
+use tl_twig::canonical::key_of;
+use tl_twig::{count_matches, Twig};
+use tl_xml::{Document, DocumentBuilder, FxHashSet, LabelId};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+/// Raw tree description: node i has parent `spec[i].0 % i` (node 0 is the
+/// root) and label `l<spec[i].1>`.
+type TreeSpec = Vec<(u32, u8)>;
+
+fn arb_tree(max_nodes: usize, labels: u8) -> impl Strategy<Value = TreeSpec> {
+    prop::collection::vec((any::<u32>(), 0..labels), 1..max_nodes)
+}
+
+/// Builds a document from a tree spec.
+fn build_doc(spec: &TreeSpec) -> Document {
+    let n = spec.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(p, _)) in spec.iter().enumerate().skip(1) {
+        children[(p as usize) % i].push(i);
+    }
+    let mut b = DocumentBuilder::new();
+    // Iterative DFS emitting begin/end events.
+    enum Ev {
+        Enter(usize),
+        Exit,
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(i) => {
+                b.begin(&format!("l{}", spec[i].1));
+                stack.push(Ev::Exit);
+                for &c in children[i].iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => b.end(),
+        }
+    }
+    b.finish().expect("spec builds a single tree")
+}
+
+/// Builds a twig from a tree spec against a document's label alphabet
+/// (labels outside the alphabet are clamped into it).
+fn build_twig(spec: &TreeSpec, doc: &Document) -> Twig {
+    let n_labels = doc.labels().len() as u32;
+    let label = |raw: u8| LabelId(u32::from(raw) % n_labels.max(1));
+    let mut t = Twig::single(label(spec[0].1));
+    let mut ids = vec![0u32; spec.len()];
+    for (i, &(p, l)) in spec.iter().enumerate().skip(1) {
+        let parent = ids[(p as usize) % i];
+        ids[i] = t.add_child(parent, label(l));
+    }
+    t.normalized()
+}
+
+/// Brute-force oracle: counts injective label/edge-preserving mappings by
+/// explicit enumeration with a global used-set.
+fn brute_force_count(doc: &Document, twig: &Twig) -> u64 {
+    let order = twig.pre_order();
+    let mut assignment: Vec<u32> = vec![u32::MAX; twig.len()];
+    let mut used: FxHashSet<u32> = FxHashSet::default();
+
+    fn rec(
+        doc: &Document,
+        twig: &Twig,
+        order: &[u32],
+        idx: usize,
+        assignment: &mut [u32],
+        used: &mut FxHashSet<u32>,
+    ) -> u64 {
+        if idx == order.len() {
+            return 1;
+        }
+        let q = order[idx];
+        let want = twig.label(q);
+        let candidates: Vec<tl_xml::NodeId> = match twig.parent(q) {
+            None => doc.pre_order().collect(),
+            Some(p) => {
+                let img = tl_xml::NodeId(assignment[p as usize]);
+                doc.children(img).collect()
+            }
+        };
+        let mut total = 0u64;
+        for v in candidates {
+            if doc.label(v) != want || used.contains(&v.0) {
+                continue;
+            }
+            used.insert(v.0);
+            assignment[q as usize] = v.0;
+            total += rec(doc, twig, order, idx + 1, assignment, used);
+            used.remove(&v.0);
+            assignment[q as usize] = u32::MAX;
+        }
+        total
+    }
+    rec(doc, twig, &order, 0, &mut assignment, &mut used)
+}
+
+/// Recursively permutes sibling order according to `seed`.
+fn shuffled_copy(twig: &Twig, seed: u64) -> Twig {
+    fn rec(src: &Twig, node: u32, dst: &mut Twig, dst_node: u32, seed: u64) {
+        let mut kids: Vec<u32> = src.children(node).to_vec();
+        // Deterministic pseudo-shuffle.
+        let mut state = seed ^ (u64::from(node) << 32) ^ 0x9E37;
+        for i in (1..kids.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            kids.swap(i, j);
+        }
+        for c in kids {
+            let id = dst.add_child(dst_node, src.label(c));
+            rec(src, c, dst, id, seed);
+        }
+    }
+    let mut out = Twig::single(twig.label(twig.root()));
+    let root = out.root();
+    rec(twig, twig.root(), &mut out, root, seed);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_roundtrip(spec in arb_tree(40, 5)) {
+        let doc = build_doc(&spec);
+        let text = tl_xml::writer::document_to_string(&doc);
+        let back = tl_xml::parse_document(text.as_bytes(), tl_xml::ParseOptions::default())
+            .expect("writer output parses");
+        prop_assert_eq!(doc.len(), back.len());
+        for (a, b) in doc.pre_order().zip(back.pre_order()) {
+            prop_assert_eq!(doc.label_name(doc.label(a)), back.label_name(back.label(b)));
+            prop_assert_eq!(doc.parent(a).map(|p| p.0), back.parent(b).map(|p| p.0));
+        }
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_sibling_shuffles(
+        spec in arb_tree(12, 4),
+        seed in any::<u64>(),
+    ) {
+        let doc = build_doc(&spec); // supplies a label alphabet
+        let twig = build_twig(&spec, &doc);
+        let shuffled = shuffled_copy(&twig, seed);
+        prop_assert_eq!(key_of(&twig), key_of(&shuffled));
+    }
+
+    #[test]
+    fn matcher_agrees_with_brute_force(
+        doc_spec in arb_tree(25, 3),
+        twig_spec in arb_tree(5, 3),
+    ) {
+        let doc = build_doc(&doc_spec);
+        let twig = build_twig(&twig_spec, &doc);
+        let fast = count_matches(&doc, &twig);
+        let slow = brute_force_count(&doc, &twig);
+        prop_assert_eq!(fast, slow, "twig {:?}", twig);
+    }
+
+    #[test]
+    fn mined_counts_agree_with_matcher(doc_spec in arb_tree(30, 3)) {
+        let doc = build_doc(&doc_spec);
+        let report = tl_miner::mine(&doc, tl_miner::MineConfig { max_size: 3, threads: 1 });
+        for size in 1..=3 {
+            for (key, count) in report.lattice.iter_level(size) {
+                let twig = key.decode();
+                prop_assert_eq!(count_matches(&doc, &twig), count);
+            }
+        }
+    }
+
+    #[test]
+    fn stored_patterns_estimate_exactly(doc_spec in arb_tree(30, 3)) {
+        let doc = build_doc(&doc_spec);
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        for size in 1..=3usize {
+            for (key, count) in lattice.summary().iter_level(size) {
+                let twig = key.decode();
+                for est in Estimator::ALL {
+                    prop_assert_eq!(lattice.estimate(&twig, est), count as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_finite_and_nonnegative(
+        doc_spec in arb_tree(30, 3),
+        twig_spec in arb_tree(8, 4),
+    ) {
+        let doc = build_doc(&doc_spec);
+        let twig = build_twig(&twig_spec, &doc);
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        for est in Estimator::ALL {
+            let v = lattice.estimate(&twig, est);
+            prop_assert!(v.is_finite() && v >= 0.0, "{est}: {v}");
+        }
+    }
+
+    #[test]
+    fn fixed_cover_invariants_on_random_twigs(
+        twig_spec in arb_tree(10, 4),
+        k_choice in any::<u8>(),
+    ) {
+        use tl_twig::ops::fixed_cover;
+        let doc = build_doc(&twig_spec); // label alphabet donor
+        let twig = build_twig(&twig_spec, &doc);
+        prop_assume!(twig.len() >= 2);
+        let k = 2 + (k_choice as usize) % (twig.len() - 1);
+        let steps = fixed_cover(&twig, k);
+        prop_assert_eq!(steps.len(), twig.len() - k + 1);
+        for (i, step) in steps.iter().enumerate() {
+            prop_assert_eq!(step.subtree.len(), k);
+            if i == 0 {
+                prop_assert!(step.overlap.is_none());
+            } else {
+                let overlap = step.overlap.as_ref().unwrap();
+                prop_assert_eq!(overlap.len(), k - 1);
+                // The overlap's match count can never be below the
+                // covering subtree's on any document (it is a sub-twig).
+                let c_sub = count_matches(&doc, &step.subtree);
+                let c_ov = count_matches(&doc, overlap);
+                prop_assert!(c_ov >= u64::from(c_sub > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_pair_invariants_on_random_twigs(twig_spec in arb_tree(10, 4)) {
+        use tl_twig::ops::{decompose_pair, removable_pairs};
+        let doc = build_doc(&twig_spec);
+        let twig = build_twig(&twig_spec, &doc);
+        prop_assume!(twig.len() >= 3);
+        let pairs = removable_pairs(&twig);
+        prop_assert!(!pairs.is_empty(), "size >= 3 twigs always have a pair");
+        for (u, v) in pairs {
+            let d = decompose_pair(&twig, u, v);
+            prop_assert_eq!(d.t1.len(), twig.len() - 1);
+            prop_assert_eq!(d.t2.len(), twig.len() - 1);
+            prop_assert_eq!(d.t12.len(), twig.len() - 2);
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip(doc_spec in arb_tree(25, 4)) {
+        let doc = build_doc(&doc_spec);
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        let back = TreeLattice::from_bytes(&lattice.to_bytes()).expect("round trip");
+        prop_assert_eq!(back.summary().len(), lattice.summary().len());
+        for (key, count) in lattice.summary().iter() {
+            prop_assert_eq!(back.summary().stored(key), Some(count));
+        }
+    }
+
+    #[test]
+    fn zero_pruning_preserves_stored_pattern_estimates(doc_spec in arb_tree(25, 3)) {
+        let doc = build_doc(&doc_spec);
+        let full = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        let mut pruned = full.clone();
+        pruned.prune(0.0);
+        for (key, count) in full.summary().iter() {
+            let twig = key.decode();
+            let est = pruned.estimate(&twig, Estimator::Recursive);
+            prop_assert!(
+                (est - count as f64).abs() < 1e-6,
+                "pattern with count {} estimates to {} after pruning",
+                count,
+                est
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests for δ-pruning economics and summary persistence at
+//! realistic (small) corpus scale.
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_workload::{average_relative_error_pct, positive_workload};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+fn corpus(ds: Dataset) -> tl_xml::Document {
+    ds.generate(GenConfig {
+        seed: 31,
+        target_elements: 4_000,
+    })
+}
+
+#[test]
+fn zero_pruning_saves_most_on_regular_datasets() {
+    // Figure 10(a)'s shape: regular corpora (NASA/PSD/XMark stand-ins)
+    // prune far more than the correlated IMDB stand-in.
+    let mut fractions = std::collections::HashMap::new();
+    for ds in Dataset::ALL {
+        let mut lattice = TreeLattice::build(&corpus(ds), &BuildConfig::with_k(4));
+        let report = lattice.prune(0.0);
+        fractions.insert(ds.name(), report.pruned_fraction());
+    }
+    for name in ["nasa", "psd", "xmark"] {
+        assert!(
+            fractions[name] > fractions["imdb"],
+            "{name} ({}) should out-prune imdb ({})",
+            fractions[name],
+            fractions["imdb"]
+        );
+    }
+}
+
+#[test]
+fn delta_trades_space_for_accuracy() {
+    let doc = corpus(Dataset::Imdb);
+    let full = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    let w = positive_workload(&doc, 6, 30, 13);
+    let truths = w.true_counts();
+    let mut prev_bytes = usize::MAX;
+    let mut errors = Vec::new();
+    for delta in [0.0, 0.1, 0.3] {
+        let mut lat = full.clone();
+        lat.prune(delta);
+        assert!(lat.summary_bytes() <= prev_bytes, "delta {delta} grew the summary");
+        prev_bytes = lat.summary_bytes();
+        let estimates: Vec<f64> = w
+            .cases
+            .iter()
+            .map(|c| lat.estimate(&c.twig, Estimator::RecursiveVoting))
+            .collect();
+        errors.push(average_relative_error_pct(&truths, &estimates));
+    }
+    // Accuracy at delta = 0.3 must not be better than at delta = 0
+    // (it may tie when the workload avoids pruned regions).
+    assert!(
+        errors[2] + 1e-9 >= errors[0],
+        "errors not monotone-ish: {errors:?}"
+    );
+}
+
+#[test]
+fn pruned_summaries_round_trip_and_estimate_identically() {
+    let doc = corpus(Dataset::Nasa);
+    let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    lattice.prune(0.05);
+    let restored = TreeLattice::from_bytes(&lattice.to_bytes()).expect("round trip");
+    let w = positive_workload(&doc, 6, 25, 21);
+    for case in &w.cases {
+        for est in Estimator::ALL {
+            assert_eq!(
+                lattice.estimate(&case.twig, est),
+                restored.estimate(&case.twig, est),
+                "{est}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_lattices_are_more_accurate_but_larger() {
+    // The k ablation promised in DESIGN.md: accuracy improves (weakly)
+    // with lattice order while size grows.
+    let doc = corpus(Dataset::Xmark);
+    let w = positive_workload(&doc, 6, 30, 19);
+    let truths = w.true_counts();
+    let mut sizes = Vec::new();
+    let mut errors = Vec::new();
+    for k in [2usize, 3, 4, 5] {
+        let lat = TreeLattice::build(&doc, &BuildConfig::with_k(k));
+        sizes.push(lat.summary_bytes());
+        let estimates: Vec<f64> = w
+            .cases
+            .iter()
+            .map(|c| lat.estimate(&c.twig, Estimator::RecursiveVoting))
+            .collect();
+        errors.push(average_relative_error_pct(&truths, &estimates));
+    }
+    for pair in sizes.windows(2) {
+        assert!(pair[1] > pair[0], "summary must grow with k: {sizes:?}");
+    }
+    assert!(
+        errors[3] <= errors[0],
+        "k=5 ({}) should beat k=2 ({})",
+        errors[3],
+        errors[0]
+    );
+    // Size-6 queries are stored directly at k >= 6; at k = 5 they need one
+    // decomposition step and should already be very accurate.
+    assert!(errors[3] < 25.0, "k=5 error {}%", errors[3]);
+}
+
+#[test]
+fn online_insertion_of_observed_patterns_improves_future_answers() {
+    // The paper's future-work direction (XPathLearner-style tuning):
+    // inserting an observed true count into the summary makes the exact
+    // value available from then on. `Summary::insert` is the primitive.
+    let doc = corpus(Dataset::Psd);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let w = positive_workload(&doc, 5, 10, 23);
+    let case = &w.cases[0];
+    let before = lattice.estimate(&case.twig, Estimator::Recursive);
+    // Feed back the observed truth.
+    let mut tuned_summary = lattice.summary().clone();
+    tuned_summary.insert(
+        tl_twig::canonical::key_of(&case.twig),
+        case.true_count,
+    );
+    let tuned = TreeLattice::from_parts(lattice.labels().clone(), tuned_summary);
+    let after = tuned.estimate(&case.twig, Estimator::Recursive);
+    assert_eq!(after, case.true_count as f64);
+    // `before` may or may not have been exact; tuning never hurts.
+    assert!(
+        (after - case.true_count as f64).abs() <= (before - case.true_count as f64).abs()
+    );
+}

@@ -1,0 +1,160 @@
+//! End-to-end value-predicate estimation (the paper's §6 future work #1):
+//! values become synthetic leaf labels, so the unchanged TreeLattice
+//! machinery estimates `laptop[brand="Dell"]`-style queries.
+
+use tl_twig::{count_matches, parse_twig_valued};
+use tl_xml::{parse_document, Document, ParseOptions, ValueMode};
+use treelattice::{BuildConfig, Estimator, TreeLattice};
+
+/// A small product catalog with skewed brand values.
+fn catalog_xml() -> String {
+    let mut s = String::from("<catalog>");
+    for i in 0..30 {
+        let brand = match i % 5 {
+            0..=2 => "Dell",
+            3 => "HP",
+            _ => "Lenovo",
+        };
+        let price = if i % 2 == 0 { "999" } else { "1299" };
+        s.push_str(&format!(
+            "<laptop><brand>{brand}</brand><price>{price}</price></laptop>"
+        ));
+    }
+    s.push_str("</catalog>");
+    s
+}
+
+fn parse_with(mode: ValueMode) -> Document {
+    parse_document(
+        catalog_xml().as_bytes(),
+        ParseOptions {
+            values: mode,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn exact_value_counts_with_as_labels() {
+    let doc = parse_with(ValueMode::AsLabels);
+    let mut labels = doc.labels().clone();
+    let q = parse_twig_valued("laptop[brand=\"Dell\"]", &mut labels, ValueMode::AsLabels).unwrap();
+    assert_eq!(count_matches(&doc, &q), 18);
+    let q2 = parse_twig_valued(
+        "laptop[brand=\"Dell\"][price=\"999\"]",
+        &mut labels,
+        ValueMode::AsLabels,
+    )
+    .unwrap();
+    // Dell at even i (i%5 in {0,1,2} and i even): i in
+    // {0,2,6,10,12,16,20,22,26}: 9 laptops.
+    assert_eq!(count_matches(&doc, &q2), 9);
+}
+
+#[test]
+fn lattice_estimates_value_predicates_exactly_in_range() {
+    let doc = parse_with(ValueMode::AsLabels);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let est = lattice
+        .estimate_query_valued(
+            "laptop[brand=\"Dell\"]",
+            ValueMode::AsLabels,
+            Estimator::RecursiveVoting,
+        )
+        .unwrap();
+    assert_eq!(est, 18.0, "size-3 valued twig is in the lattice");
+    let zero = lattice
+        .estimate_query_valued(
+            "laptop[brand=\"NoSuchBrand\"]",
+            ValueMode::AsLabels,
+            Estimator::Recursive,
+        )
+        .unwrap();
+    assert_eq!(zero, 0.0);
+}
+
+#[test]
+fn larger_valued_queries_decompose() {
+    let doc = parse_with(ValueMode::AsLabels);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    // Size 5: laptop[brand[=Dell]][price[=999]] must decompose.
+    let mut labels = doc.labels().clone();
+    let q = parse_twig_valued(
+        "laptop[brand=\"Dell\"][price=\"999\"]",
+        &mut labels,
+        ValueMode::AsLabels,
+    )
+    .unwrap();
+    assert_eq!(q.len(), 5);
+    let truth = count_matches(&doc, &q) as f64;
+    let est = lattice.estimate(&q, Estimator::RecursiveVoting);
+    // Independence estimate: 18 * 15 / 30 = 9 = truth here (brand and
+    // price are independent in the generator).
+    assert!((est - truth).abs() < 1.0, "est {est} vs truth {truth}");
+}
+
+#[test]
+fn bucketed_mode_overestimates_never_underestimates() {
+    let exact_doc = parse_with(ValueMode::AsLabels);
+    let mut exact_labels = exact_doc.labels().clone();
+    let q_exact = parse_twig_valued(
+        "laptop[brand=\"HP\"]",
+        &mut exact_labels,
+        ValueMode::AsLabels,
+    )
+    .unwrap();
+    let truth = count_matches(&exact_doc, &q_exact) as f64;
+
+    for buckets in [2u32, 8, 64, 1024] {
+        let mode = ValueMode::Bucketed(buckets);
+        let doc = parse_with(mode);
+        let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        let est = lattice
+            .estimate_query_valued("laptop[brand=\"HP\"]", mode, Estimator::Recursive)
+            .unwrap();
+        assert!(
+            est >= truth - 1e-9,
+            "buckets={buckets}: hashed buckets can only merge values, est {est} < truth {truth}"
+        );
+    }
+    // With enough buckets the estimate is exact (no collisions among the
+    // three brands and two prices).
+    let mode = ValueMode::Bucketed(1024);
+    let doc = parse_with(mode);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let est = lattice
+        .estimate_query_valued("laptop[brand=\"HP\"]", mode, Estimator::Recursive)
+        .unwrap();
+    assert_eq!(est, truth);
+}
+
+#[test]
+fn value_and_structure_mix_in_one_query() {
+    let doc = parse_with(ValueMode::AsLabels);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    let est = lattice
+        .estimate_query_valued(
+            "catalog/laptop[brand=\"Lenovo\"]",
+            ValueMode::AsLabels,
+            Estimator::FixSized,
+        )
+        .unwrap();
+    assert_eq!(est, 6.0);
+}
+
+#[test]
+fn value_summary_survives_serialization() {
+    let doc = parse_with(ValueMode::AsLabels);
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let restored = TreeLattice::from_bytes(&lattice.to_bytes()).unwrap();
+    let q = "laptop[brand=\"Dell\"]";
+    assert_eq!(
+        lattice
+            .estimate_query_valued(q, ValueMode::AsLabels, Estimator::Recursive)
+            .unwrap(),
+        restored
+            .estimate_query_valued(q, ValueMode::AsLabels, Estimator::Recursive)
+            .unwrap(),
+    );
+}
