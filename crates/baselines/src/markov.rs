@@ -90,10 +90,7 @@ impl MarkovTable {
 
     /// Approximate heap bytes (keys + counts).
     pub fn heap_bytes(&self) -> usize {
-        self.counts
-            .keys()
-            .map(|k| k.len() * 4 + 8)
-            .sum()
+        self.counts.keys().map(|k| k.len() * 4 + 8).sum()
     }
 
     /// The exact stored count of a path of length ≤ m, if present.
@@ -170,7 +167,10 @@ mod tests {
         let dl = ids(&d, &["d"])[0];
         let est = t.estimate_path(&[dl; 4]);
         let expected = 5.0 * (5.0 / 6.0) * (5.0 / 6.0);
-        assert!((est - expected).abs() < 1e-9, "est {est} expected {expected}");
+        assert!(
+            (est - expected).abs() < 1e-9,
+            "est {est} expected {expected}"
+        );
     }
 
     #[test]

@@ -390,11 +390,19 @@ mod tests {
         // With budget for the exact signature partition, no merge happens
         // and estimates of in-signature twigs are exact.
         let d = tl_datagen::figure11_document();
-        let fine = TreeSketch::build(&d, SketchConfig { budget_bytes: 1 << 20 });
+        let fine = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: 1 << 20,
+            },
+        );
         let coarse = label_split(&d);
         assert!(fine.cluster_count() > coarse.cluster_count());
         let q = parse_twig_in("b[c][d]", d.labels()).unwrap();
-        assert!((fine.estimate(&q) - 4.0).abs() < 1e-9, "exact partition is exact");
+        assert!(
+            (fine.estimate(&q) - 4.0).abs() < 1e-9,
+            "exact partition is exact"
+        );
     }
 
     #[test]
@@ -404,7 +412,12 @@ mod tests {
             target_elements: 5_000,
         });
         let budget = 2_000;
-        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: budget });
+        let sk = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: budget,
+            },
+        );
         assert!(sk.heap_bytes() <= budget, "bytes = {}", sk.heap_bytes());
     }
 
@@ -414,8 +427,18 @@ mod tests {
             seed: 9,
             target_elements: 4_000,
         });
-        let small = TreeSketch::build(&d, SketchConfig { budget_bytes: 1_000 });
-        let large = TreeSketch::build(&d, SketchConfig { budget_bytes: 20_000 });
+        let small = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: 1_000,
+            },
+        );
+        let large = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: 20_000,
+            },
+        );
         assert!(small.cluster_count() <= large.cluster_count());
         assert!(small.heap_bytes() <= large.heap_bytes());
     }
@@ -438,7 +461,12 @@ mod tests {
         }
         s.push_str("</r>");
         let d = doc(&s);
-        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: 1 << 20 });
+        let sk = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: 1 << 20,
+            },
+        );
         assert_eq!(sk.cluster_count(), 4);
         let q = parse_twig_in("a[b][c]", d.labels()).unwrap();
         assert!((sk.estimate(&q) - 50.0).abs() < 1e-9);
@@ -462,7 +490,12 @@ mod tests {
             seed: 10,
             target_elements: 4_000,
         });
-        let sk = TreeSketch::build(&d, SketchConfig { budget_bytes: 1_500 });
+        let sk = TreeSketch::build(
+            &d,
+            SketchConfig {
+                budget_bytes: 1_500,
+            },
+        );
         let q = parse_twig_in("movie[title][year]", d.labels()).unwrap();
         let est = sk.estimate(&q);
         assert!(est.is_finite() && est >= 0.0);

@@ -114,7 +114,17 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let cfg = parse(&["--scale", "1000", "--seed", "7", "--queries", "5", "--k", "3"]).unwrap();
+        let cfg = parse(&[
+            "--scale",
+            "1000",
+            "--seed",
+            "7",
+            "--queries",
+            "5",
+            "--k",
+            "3",
+        ])
+        .unwrap();
         assert_eq!(cfg.scale, 1000);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.queries, 5);

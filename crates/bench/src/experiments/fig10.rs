@@ -21,7 +21,13 @@ use crate::{ExpConfig, Table};
 pub fn build_a(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Figure 10(a): 4-Lattice Summary Size (KB), with vs without 0-derivable patterns",
-        &["Dataset", "With (KB)", "Without (KB)", "Saved (%)", "Patterns Pruned"],
+        &[
+            "Dataset",
+            "With (KB)",
+            "Without (KB)",
+            "Saved (%)",
+            "Patterns Pruned",
+        ],
     );
     for (ds, doc) in all_datasets(cfg) {
         let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(cfg.k));
@@ -32,7 +38,10 @@ pub fn build_a(cfg: &ExpConfig) -> Table {
             ds.name().to_owned(),
             format!("{:.1}", before as f64 / 1024.0),
             format!("{:.1}", after as f64 / 1024.0),
-            format!("{:.1}", 100.0 * report.bytes_saved() as f64 / before.max(1) as f64),
+            format!(
+                "{:.1}",
+                100.0 * report.bytes_saved() as f64 / before.max(1) as f64
+            ),
             format!("{}/{}", report.pruned, report.examined),
         ]);
     }
@@ -86,8 +95,12 @@ pub fn build_b(cfg: &ExpConfig) -> Table {
         };
         t.row(vec![
             size.to_string(),
-            fmt_f(est(&|q| opt.estimate_with(q, Estimator::RecursiveVoting, &opts))),
-            fmt_f(est(&|q| base.estimate_with(q, Estimator::RecursiveVoting, &opts))),
+            fmt_f(est(&|q| {
+                opt.estimate_with(q, Estimator::RecursiveVoting, &opts)
+            })),
+            fmt_f(est(&|q| {
+                base.estimate_with(q, Estimator::RecursiveVoting, &opts)
+            })),
             fmt_f(est(&|q| sketch.estimate(q))),
         ]);
     }
@@ -157,7 +170,13 @@ pub fn build_d(cfg: &ExpConfig) -> Table {
     let opts = EstimateOptions::default();
     let mut t = Table::new(
         "Figure 10(d): Average Relative Error (%) vs delta (IMDB)",
-        &["Query Size", "delta=0%", "delta=10%", "delta=20%", "delta=30%"],
+        &[
+            "Query Size",
+            "delta=0%",
+            "delta=10%",
+            "delta=20%",
+            "delta=30%",
+        ],
     );
     for size in cfg.query_sizes() {
         let w = positive_workload(&doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));

@@ -23,7 +23,10 @@ pub fn build(_cfg: &ExpConfig) -> Table {
     );
     let lattice_est = lattice.estimate(&q, Estimator::Recursive);
     let sketch_est = sketch.estimate(&q);
-    for (name, est) in [("TreeLattice (3-lattice)", lattice_est), ("TreeSketches", sketch_est)] {
+    for (name, est) in [
+        ("TreeLattice (3-lattice)", lattice_est),
+        ("TreeSketches", sketch_est),
+    ] {
         t.row(vec![
             name.to_owned(),
             format!("{est:.2}"),
@@ -53,7 +56,10 @@ mod tests {
         let t = build(&ExpConfig::default());
         let lattice_err: f64 = t.rows()[0][3].parse().unwrap();
         let sketch_err: f64 = t.rows()[1][3].parse().unwrap();
-        assert_eq!(lattice_err, 0.0, "the lattice answers the small twig exactly");
+        assert_eq!(
+            lattice_err, 0.0,
+            "the lattice answers the small twig exactly"
+        );
         assert!(
             sketch_err >= 99.0,
             "averaging must overestimate by ~100%, got {sketch_err}%"

@@ -17,6 +17,8 @@ pub fn build_for(sweep_data: &DatasetSweep) -> Table {
             Method::RecursiveVoting.short(),
             Method::FixSized.short(),
             Method::TreeSketches.short(),
+            "cached-engine",
+            "hit-rate-%",
         ],
     );
     for cell in &sweep_data.per_size {
@@ -24,6 +26,8 @@ pub fn build_for(sweep_data: &DatasetSweep) -> Table {
         for mi in 0..4 {
             row.push(format!("{:.4}", cell.mean_latency_ms(mi)));
         }
+        row.push(format!("{:.4}", cell.engine_latency_ms()));
+        row.push(format!("{:.1}", cell.engine_hit_rate));
         t.row(row);
     }
     t

@@ -10,7 +10,9 @@ use tl_baselines::{SketchConfig, TreeSketch};
 use tl_datagen::Dataset;
 use tl_workload::{positive_workload, Workload};
 use tl_xml::Document;
-use treelattice::{BuildConfig, EstimateOptions, Estimator, TreeLattice};
+use treelattice::{
+    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+};
 
 use crate::ExpConfig;
 
@@ -63,6 +65,10 @@ pub struct Estimators {
     pub lattice: TreeLattice,
     /// The synopsis baseline.
     pub sketch: TreeSketch,
+    /// The shared cross-query engine cache, persisted across workload
+    /// cells so sub-twig overlap between sizes accumulates (Figure 9's
+    /// cached-engine column).
+    pub engine: EstimationEngine,
 }
 
 impl Estimators {
@@ -76,6 +82,7 @@ impl Estimators {
                     budget_bytes: cfg.sketch_budget,
                 },
             ),
+            engine: EstimationEngine::new(EngineConfig::default()),
         }
     }
 
@@ -84,7 +91,9 @@ impl Estimators {
         let opts = EstimateOptions::default();
         let start = Instant::now();
         let est = match method {
-            Method::Recursive => self.lattice.estimate_with(twig, Estimator::Recursive, &opts),
+            Method::Recursive => self
+                .lattice
+                .estimate_with(twig, Estimator::Recursive, &opts),
             Method::RecursiveVoting => {
                 self.lattice
                     .estimate_with(twig, Estimator::RecursiveVoting, &opts)
@@ -106,6 +115,11 @@ pub struct SizeResult {
     pub estimates: [Vec<f64>; 4],
     /// Per-method total estimation time over the workload.
     pub times: [Duration; 4],
+    /// Wall time of the shared-cache engine batch over the same workload
+    /// (voting estimator).
+    pub engine_time: Duration,
+    /// Engine cache hit rate (%) observed during this cell's batch.
+    pub engine_hit_rate: f64,
 }
 
 impl SizeResult {
@@ -115,6 +129,14 @@ impl SizeResult {
             return 0.0;
         }
         self.times[method_idx].as_secs_f64() * 1e3 / self.truths.len() as f64
+    }
+
+    /// Mean per-query latency of the cached-engine batch, in milliseconds.
+    pub fn engine_latency_ms(&self) -> f64 {
+        if self.truths.is_empty() {
+            return 0.0;
+        }
+        self.engine_time.as_secs_f64() * 1e3 / self.truths.len() as f64
     }
 }
 
@@ -150,11 +172,32 @@ fn run_cell(cfg: &ExpConfig, est: &Estimators, doc: &Document, size: usize) -> S
             times[mi] += dt;
         }
     }
+
+    // The same workload once more through the shared-cache engine batch.
+    let twigs: Vec<tl_twig::Twig> = workload.cases.iter().map(|c| c.twig.clone()).collect();
+    let opts = EstimateOptions::default();
+    let before = est.engine.stats();
+    let t0 = Instant::now();
+    let batch = est
+        .engine
+        .estimate_batch(&est.lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    let engine_time = t0.elapsed();
+    std::hint::black_box(batch);
+    let after = est.engine.stats();
+    let (hits, misses) = (after.hits - before.hits, after.misses - before.misses);
+    let engine_hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / (hits + misses) as f64
+    };
+
     SizeResult {
         size,
         truths,
         estimates,
         times,
+        engine_time,
+        engine_hit_rate,
     }
 }
 
@@ -180,6 +223,24 @@ mod tests {
                     assert!(e.is_finite() && e >= 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn engine_cache_hits_during_the_sweep() {
+        let cfg = ExpConfig {
+            scale: 1500,
+            queries: 5,
+            ..ExpConfig::default()
+        };
+        let doc = one_dataset(&cfg, Dataset::Xmark);
+        let s = sweep(&cfg, Dataset::Xmark, &doc);
+        assert!(
+            s.per_size.iter().any(|c| c.engine_hit_rate > 0.0),
+            "the shared cache never hit across the whole sweep"
+        );
+        for cell in &s.per_size {
+            assert!((0.0..=100.0).contains(&cell.engine_hit_rate));
         }
     }
 

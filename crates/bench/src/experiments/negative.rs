@@ -16,7 +16,14 @@ use crate::{ExpConfig, Table};
 pub fn build(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Negative workloads: % of zero-selectivity queries answered exactly 0",
-        &["Dataset", "Queries", "recursive", "rec+voting", "fix-sized", "treesketch"],
+        &[
+            "Dataset",
+            "Queries",
+            "recursive",
+            "rec+voting",
+            "fix-sized",
+            "treesketch",
+        ],
     );
     for (ds, doc) in all_datasets(cfg) {
         let est = Estimators::build(cfg, &doc);

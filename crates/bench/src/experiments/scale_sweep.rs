@@ -22,7 +22,10 @@ const FACTORS: [f64; 4] = [0.25, 0.5, 1.0, 1.5];
 /// Builds the sweep table for one dataset.
 pub fn build_for(cfg: &ExpConfig, dataset: Dataset) -> Table {
     let mut t = Table::new(
-        format!("Scale sweep ({}): construction time vs corpus size", dataset.name()),
+        format!(
+            "Scale sweep ({}): construction time vs corpus size",
+            dataset.name()
+        ),
         &["Elements", "TreeLattice", "TreeSketches", "Ratio"],
     );
     for factor in FACTORS {

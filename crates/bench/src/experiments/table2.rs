@@ -27,9 +27,9 @@ pub fn build(cfg: &ExpConfig) -> Table {
         .collect();
     // all_datasets yields [Nasa, Imdb, Psd, Xmark]; the paper's column
     // order is Nasa, IMDB, PSD, XMark — identical.
-    for (level, counts) in (1..=5).zip(
-        (0..5).map(|l| per_dataset.iter().map(|d| d[l]).collect::<Vec<_>>()),
-    ) {
+    for (level, counts) in
+        (1..=5).zip((0..5).map(|l| per_dataset.iter().map(|d| d[l]).collect::<Vec<_>>()))
+    {
         t.row(vec![
             level.to_string(),
             counts[0].to_string(),

@@ -29,9 +29,7 @@ pub fn build(cfg: &ExpConfig) -> Table {
     // Equality-predicate workload over the category domain (Zipf-ish).
     let queries: Vec<String> = (0..15)
         .map(|i| format!("item[incategory=\"category{i}\"]"))
-        .chain((0..5).map(|i| {
-            format!("item[name][incategory=\"category{i}\"]")
-        }))
+        .chain((0..5).map(|i| format!("item[name][incategory=\"category{i}\"]")))
         .collect();
     let truths: Vec<u64> = queries
         .iter()

@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
-//! treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE]
+//! treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
+//! treelattice workload <summary.tlat> <queries.txt> [--estimator ...] [--values MODE] [--engine-cache] [--threads N]
 //! treelattice explain <summary.tlat> <query>
 //! treelattice truth <input.xml> <query> [--values MODE]
 //! treelattice inspect <summary.tlat>
 //! treelattice prune <summary.tlat> -o <out.tlat> --delta D
 //! treelattice gen <nasa|imdb|psd|xmark> -o <out.xml> [--scale N] [--seed N] [--values MODE]
 //! ```
+//!
+//! `workload` estimates one query per line of `<queries.txt>` (blank lines
+//! and `#` comments skipped). `--engine-cache` routes estimation through
+//! the shared cross-query sub-twig cache ([`treelattice::EstimationEngine`])
+//! and reports its hit rate; `--threads` sets the batch worker count
+//! (0 = available parallelism).
 //!
 //! `MODE` is `ignore` (default), `exact`, or `bucket:<N>`; pass the same
 //! mode to `build`, `estimate`, and `truth` so value predicates
@@ -26,7 +33,9 @@ use std::path::Path;
 use tl_datagen::{Dataset, GenConfig};
 use tl_twig::{count_matches, parse_twig};
 use tl_xml::{parse_document, ParseOptions, ValueMode};
-use treelattice::{BuildConfig, Estimator, TreeLattice};
+use treelattice::{
+    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+};
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug)]
@@ -67,7 +76,8 @@ treelattice — twig selectivity estimation over XML documents
 
 USAGE:
   treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
-  treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE]
+  treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
+  treelattice workload <summary.tlat> <queries.txt> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
   treelattice explain <summary.tlat> <query>
   treelattice truth <input.xml> <query> [--values MODE]
   treelattice inspect <summary.tlat>
@@ -77,6 +87,8 @@ USAGE:
 Queries use the twig syntax: a/b/c, //laptop[brand][price], a[b[d]][c/e];
 with --values, equality predicates like item[incategory=\"category3\"].
 MODE is ignore (default), exact, or bucket:<N>.
+`workload` reads one query per line; --engine-cache shares sub-twig
+estimates across the whole batch and reports the cache hit rate.
 ";
 
 /// Runs one invocation; `args` excludes the program name.
@@ -88,6 +100,7 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
     match command.as_str() {
         "build" => cmd_build(rest, out),
         "estimate" => cmd_estimate(rest, out),
+        "workload" => cmd_workload(rest, out),
         "explain" => cmd_explain(rest, out),
         "truth" => cmd_truth(rest, out),
         "inspect" => cmd_inspect(rest, out),
@@ -97,7 +110,9 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
             out.push_str(USAGE);
             Ok(())
         }
-        other => Err(CliError::usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -113,6 +128,17 @@ impl<'a> Args<'a> {
             items,
             used: vec![false; items.len()],
         }
+    }
+
+    /// Consumes a boolean flag, returning whether it was present.
+    fn flag(&mut self, name: &str) -> bool {
+        for i in 0..self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
     }
 
     fn flag_value(&mut self, name: &str) -> Result<Option<&'a str>, CliError> {
@@ -194,8 +220,7 @@ fn load_document_with(path: &str, values: ValueMode) -> Result<tl_xml::Document,
 
 fn load_summary(path: &str) -> Result<TreeLattice, CliError> {
     let bytes = read_file(path)?;
-    TreeLattice::from_bytes(&bytes)
-        .map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    TreeLattice::from_bytes(&bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
 fn parse_value_mode(name: Option<&str>) -> Result<ValueMode, CliError> {
@@ -280,17 +305,114 @@ fn cmd_estimate(rest: &[String], out: &mut String) -> Result<(), CliError> {
         let raw = args.flag_value("--values")?.map(str::to_owned);
         parse_value_mode(raw.as_deref())?
     };
+    let engine_cache = args.flag("--engine-cache");
+    let threads: usize = args.numeric("--threads")?.unwrap_or(0);
     let summary_path = args.positional("summary.tlat")?.to_owned();
     let query = args.positional("query")?.to_owned();
     args.finish()?;
 
     let lattice = load_summary(&summary_path)?;
-    let est = match values {
-        ValueMode::Ignore => lattice.estimate_query(&query, estimator),
-        mode => lattice.estimate_query_valued(&query, mode, estimator),
-    }
-    .map_err(|e| CliError::usage(format!("query: {e}")))?;
+    let est = if engine_cache {
+        let twig = parse_query_for(&lattice, &query, values)?;
+        let engine = EstimationEngine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        });
+        engine.estimate(&lattice, &twig, estimator, &EstimateOptions::default())
+    } else {
+        match values {
+            ValueMode::Ignore => lattice.estimate_query(&query, estimator),
+            mode => lattice.estimate_query_valued(&query, mode, estimator),
+        }
+        .map_err(|e| CliError::usage(format!("query: {e}")))?
+    };
     let _ = writeln!(out, "{est:.3}");
+    Ok(())
+}
+
+/// Parses one query against a lattice's label table, honoring the value
+/// mode (unknown labels map to fresh ids that estimate to zero).
+fn parse_query_for(
+    lattice: &TreeLattice,
+    query: &str,
+    values: ValueMode,
+) -> Result<tl_twig::Twig, CliError> {
+    let mut labels = lattice.labels().clone();
+    match values {
+        ValueMode::Ignore => parse_twig(query, &mut labels),
+        mode => tl_twig::parse_twig_valued(query, &mut labels, mode),
+    }
+    .map_err(|e| CliError::usage(format!("query `{query}`: {e}")))
+}
+
+fn cmd_workload(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let estimator = {
+        let value = args.flag_value("--estimator")?.map(str::to_owned);
+        parse_estimator(value.as_deref())?
+    };
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let engine_cache = args.flag("--engine-cache");
+    let threads: usize = args.numeric("--threads")?.unwrap_or(0);
+    let summary_path = args.positional("summary.tlat")?.to_owned();
+    let queries_path = args.positional("queries.txt")?.to_owned();
+    args.finish()?;
+
+    let lattice = load_summary(&summary_path)?;
+    let text = String::from_utf8(read_file(&queries_path)?)
+        .map_err(|_| CliError::runtime(format!("{queries_path}: not valid UTF-8")))?;
+    let mut queries: Vec<String> = Vec::new();
+    let mut twigs: Vec<tl_twig::Twig> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        twigs.push(parse_query_for(&lattice, line, values)?);
+        queries.push(line.to_owned());
+    }
+    if twigs.is_empty() {
+        return Err(CliError::usage(format!("{queries_path}: no queries")));
+    }
+
+    let opts = EstimateOptions::default();
+    let start = std::time::Instant::now();
+    let (estimates, stats) = if engine_cache {
+        let engine = EstimationEngine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        });
+        let ests = engine.estimate_batch(&lattice, &twigs, estimator, &opts);
+        (ests, Some(engine.stats()))
+    } else {
+        (
+            twigs
+                .iter()
+                .map(|t| lattice.estimate_with(t, estimator, &opts))
+                .collect(),
+            None,
+        )
+    };
+    let elapsed = start.elapsed();
+
+    for (query, est) in queries.iter().zip(&estimates) {
+        let _ = writeln!(out, "{est:.3}\t{query}");
+    }
+    let _ = writeln!(out, "# {} queries in {:.2?}", twigs.len(), elapsed);
+    if let Some(stats) = stats {
+        let _ = writeln!(
+            out,
+            "# engine cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} bytes",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.entries,
+            stats.bytes
+        );
+    }
     Ok(())
 }
 
@@ -341,7 +463,10 @@ fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
         }
     }
     // Labels unknown to the document cannot match.
-    let count = if twig.nodes().any(|n| twig.label(n).index() >= doc.labels().len()) {
+    let count = if twig
+        .nodes()
+        .any(|n| twig.label(n).index() >= doc.labels().len())
+    {
         0
     } else {
         count_matches(&doc, &twig)
@@ -489,7 +614,14 @@ mod tests {
         let xml = dir.join("corpus.xml");
         let tlat = dir.join("corpus.tlat");
         let out = call(&[
-            "gen", "xmark", "-o", xml.to_str().unwrap(), "--scale", "2000", "--seed", "7",
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert!(out.contains("generated xmark"));
@@ -527,12 +659,140 @@ mod tests {
     }
 
     #[test]
+    fn workload_runs_batch_with_and_without_engine_cache() {
+        let dir = tempdir();
+        let xml = dir.join("w.xml");
+        let tlat = dir.join("w.tlat");
+        let queries = dir.join("w.txt");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        std::fs::write(
+            &queries,
+            "# a comment\nitem/mailbox\n\nitem[mailbox][payment]\nsite/regions\n",
+        )
+        .unwrap();
+
+        let plain = call(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(plain.contains("# 3 queries in"), "{plain}");
+        assert!(!plain.contains("engine cache"), "{plain}");
+
+        let cached = call(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+            "--engine-cache",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(cached.contains("# engine cache:"), "{cached}");
+        assert!(cached.contains("hit rate"), "{cached}");
+
+        // Same estimates either way, line for line.
+        let ests = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect()
+        };
+        assert_eq!(ests(&plain), ests(&cached));
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn estimate_engine_cache_matches_plain_estimate() {
+        let dir = tempdir();
+        let xml = dir.join("ec.xml");
+        let tlat = dir.join("ec.tlat");
+        std::fs::write(&xml, "<r><a><b/><c/></a><a><b/><c/></a><a><b/></a></r>").unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        let plain = call(&["estimate", tlat.to_str().unwrap(), "a[b][c]"]).unwrap();
+        let cached = call(&[
+            "estimate",
+            tlat.to_str().unwrap(),
+            "a[b][c]",
+            "--engine-cache",
+        ])
+        .unwrap();
+        assert_eq!(plain, cached);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn workload_rejects_empty_query_file() {
+        let dir = tempdir();
+        let tlat = dir.join("e.tlat");
+        let xml = dir.join("e.xml");
+        let queries = dir.join("empty.txt");
+        std::fs::write(&xml, "<a><b/></a>").unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        std::fs::write(&queries, "# only comments\n\n").unwrap();
+        let err = call(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("no queries"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn inspect_reports_levels() {
         let dir = tempdir();
         let xml = dir.join("c.xml");
         let tlat = dir.join("c.tlat");
         std::fs::write(&xml, "<a><b><c/></b><b/></a>").unwrap();
-        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "3"]).unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
         let out = call(&["inspect", tlat.to_str().unwrap()]).unwrap();
         assert!(out.contains("k = 3"), "{out}");
         assert!(out.contains("level 1: 3 patterns"), "{out}");
@@ -552,7 +812,15 @@ mod tests {
         }
         body.push_str("</r>");
         std::fs::write(&xml, body).unwrap();
-        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "3"]).unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
         let out = call(&[
             "prune",
             tlat.to_str().unwrap(),
@@ -575,7 +843,15 @@ mod tests {
         let xml = dir.join("e.xml");
         let tlat = dir.join("e.tlat");
         std::fs::write(&xml, "<r><a><b/><c/></a><a><b/></a><a><b/><c/></a></r>").unwrap();
-        call(&["build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(), "--k", "2"]).unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "2",
+        ])
+        .unwrap();
         let out = call(&["explain", tlat.to_str().unwrap(), "a[b][c]"]).unwrap();
         assert!(out.contains("recursive = "), "{out}");
         assert!(out.contains("s(T1)*s(T2)/s(T12)"), "{out}");
@@ -614,21 +890,40 @@ mod tests {
         let xml = dir.join("v.xml");
         let tlat = dir.join("v.tlat");
         call(&[
-            "gen", "xmark", "-o", xml.to_str().unwrap(),
-            "--scale", "3000", "--seed", "5", "--values", "exact",
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "3000",
+            "--seed",
+            "5",
+            "--values",
+            "exact",
         ])
         .unwrap();
         let content = std::fs::read_to_string(&xml).unwrap();
         assert!(content.contains("category"), "values serialized as text");
         call(&[
-            "build", xml.to_str().unwrap(), "-o", tlat.to_str().unwrap(),
-            "--k", "3", "--values", "exact",
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+            "--values",
+            "exact",
         ])
         .unwrap();
         let q = "item[incategory=\"category0\"]";
         let est: f64 = call(&[
-            "estimate", tlat.to_str().unwrap(), q, "--values", "exact",
-            "--estimator", "recursive",
+            "estimate",
+            tlat.to_str().unwrap(),
+            q,
+            "--values",
+            "exact",
+            "--estimator",
+            "recursive",
         ])
         .unwrap()
         .trim()

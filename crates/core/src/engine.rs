@@ -1,0 +1,477 @@
+//! Batched estimation with a shared cross-query sub-twig cache.
+//!
+//! The per-query estimators in [`crate::estimator`] memoize sub-twig
+//! estimates only for the duration of one query. Realistic workloads
+//! (Figure 9's query sets, the online tuner's feedback loop) estimate many
+//! structurally overlapping twigs against the same summary, recomputing the
+//! same decompositions query after query. [`EstimationEngine`] keeps those
+//! sub-twig estimates in a hash-sharded cache that persists across queries
+//! and is shared by the worker threads of [`EstimationEngine::estimate_batch`].
+//!
+//! ## Correctness
+//!
+//! A cached value is a pure function of three inputs: the summary content,
+//! the canonical sub-twig key, and the *effective voting width* (the number
+//! of removable pairs averaged per recursion node — 1 for
+//! [`Estimator::Recursive`] and both fix-sized estimators, `voting_cap` for
+//! [`Estimator::RecursiveVoting`]). The cache is therefore keyed by
+//! (generation, voting class, canonical key):
+//!
+//! * **Generation** — every [`TreeLattice`] carries a generation drawn from
+//!   a process-wide counter, reassigned by every mutation
+//!   ([`TreeLattice::update_after_edit`], [`TreeLattice::prune`],
+//!   [`TreeLattice::set_summary`] — including the online tuner's feedback
+//!   path). A shard only answers lookups whose generation matches the one
+//!   its entries were computed against, so stale entries are unreachable by
+//!   construction and are evicted lazily on the next write.
+//! * **Voting class** — estimates computed under different effective voting
+//!   widths are distinct cache populations; [`Estimator::Recursive`],
+//!   [`Estimator::FixSized`], and [`Estimator::FixSizedVoting`] share class
+//!   1 (their inner recursions are identical), `RecursiveVoting` uses its
+//!   saturated `voting_cap`.
+//!
+//! Because cached values equal what the per-query recursion would compute,
+//! batch results are bit-for-bit identical to a sequential
+//! [`TreeLattice::estimate_with`] loop, for every estimator and any thread
+//! count. Two workers may race to compute the same key; both arrive at the
+//! same `f64`, so the duplicate store is benign.
+//!
+//! ## When the batch path wins
+//!
+//! The shared cache pays off when queries overlap structurally: workload
+//! sweeps over one dataset, repeated estimation during tuning, and skewed
+//! query logs. For a single isolated query it degenerates to the per-query
+//! memo plus some locking overhead; use [`TreeLattice::estimate`] there.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use tl_twig::{Twig, TwigKey};
+use tl_xml::{FxHashMap, FxHasher};
+
+use crate::estimator::{estimate_with_cache, SubtwigCache};
+use crate::{EstimateOptions, Estimator, TreeLattice};
+
+/// Construction knobs for [`EstimationEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of cache shards, rounded up to a power of two. More shards
+    /// reduce write contention between batch workers; 16 is plenty up to a
+    /// few dozen threads.
+    pub shards: usize,
+    /// Worker threads for [`EstimationEngine::estimate_batch`]
+    /// (`0` = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            threads: 0,
+        }
+    }
+}
+
+/// Point-in-time cache counters, exposed by [`EstimationEngine::stats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Sub-twig lookups answered from the shared cache.
+    pub hits: u64,
+    /// Sub-twig lookups that had to be computed (each is followed by a
+    /// store, so this is also the number of entries ever written).
+    pub misses: u64,
+    /// Entries currently cached across all shards.
+    pub entries: usize,
+    /// Approximate heap footprint of the cached entries, in bytes (table
+    /// capacity plus key bytes, mirroring `Summary::heap_bytes` accounting).
+    pub bytes: usize,
+    /// Wall-clock duration of the most recent
+    /// [`EstimationEngine::estimate_batch`] call.
+    pub last_batch: Duration,
+}
+
+impl EngineStats {
+    /// Fraction of lookups served from cache; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One lock-guarded slice of the cache.
+struct Shard {
+    /// Generation the entries were computed against. Lookups for any other
+    /// generation miss; stores for a newer one clear the shard first.
+    generation: u64,
+    /// Voting class -> canonical key -> estimate.
+    classes: FxHashMap<u32, FxHashMap<TwigKey, f64>>,
+}
+
+/// A persistent, thread-safe estimation service over [`TreeLattice`]s.
+///
+/// ```
+/// use tl_xml::{parse_document, ParseOptions};
+/// use treelattice::{BuildConfig, EstimationEngine, Estimator, TreeLattice};
+///
+/// let doc = parse_document(
+///     b"<r><a><b/><c/></a><a><b/></a></r>",
+///     ParseOptions::default(),
+/// ).unwrap();
+/// let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(2));
+/// let engine = EstimationEngine::default();
+/// let twigs = vec![lattice.parse_query("a[b][c]").unwrap(); 8];
+/// let batch = engine.estimate_batch(
+///     &lattice,
+///     &twigs,
+///     Estimator::RecursiveVoting,
+///     &Default::default(),
+/// );
+/// assert_eq!(batch.len(), 8);
+/// assert!(engine.stats().hits > 0); // repeated queries share sub-twigs
+/// ```
+pub struct EstimationEngine {
+    shards: Box<[RwLock<Shard>]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    mask: usize,
+    threads: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    last_batch_nanos: AtomicU64,
+}
+
+impl Default for EstimationEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl EstimationEngine {
+    /// Creates an engine with an empty cache.
+    pub fn new(config: EngineConfig) -> Self {
+        let n = config.shards.max(1).next_power_of_two();
+        let shards = (0..n)
+            .map(|_| {
+                RwLock::new(Shard {
+                    generation: 0,
+                    classes: FxHashMap::default(),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            shards,
+            mask: n - 1,
+            threads: config.threads,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            last_batch_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Estimates one query through the shared cache. Returns exactly what
+    /// [`TreeLattice::estimate_with`] returns for the same inputs.
+    pub fn estimate(
+        &self,
+        lattice: &TreeLattice,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> f64 {
+        // Same unknown-label guard as TreeLattice::estimate_with: a label
+        // the document never contained cannot match anything.
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= lattice.labels().len())
+        {
+            return 0.0;
+        }
+        let mut cache = SharedCache {
+            engine: self,
+            generation: lattice.generation(),
+            class: voting_class(estimator, opts),
+            hits: 0,
+            misses: 0,
+        };
+        estimate_with_cache(lattice.summary(), twig, estimator, opts, &mut cache)
+    }
+
+    /// Estimates every twig in `batch`, in order, splitting the work over
+    /// the configured worker threads. Workers pull indices from a shared
+    /// atomic cursor, so an expensive query does not stall the others.
+    ///
+    /// Results are bit-for-bit equal to calling
+    /// [`TreeLattice::estimate_with`] per twig, regardless of thread count.
+    pub fn estimate_batch(
+        &self,
+        lattice: &TreeLattice,
+        batch: &[Twig],
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> Vec<f64> {
+        let start = Instant::now();
+        let threads = self.effective_threads(batch.len());
+        let results: Vec<f64> = if threads <= 1 {
+            batch
+                .iter()
+                .map(|t| self.estimate(lattice, t, estimator, opts))
+                .collect()
+        } else {
+            let slots: Vec<AtomicU64> = batch.iter().map(|_| AtomicU64::new(0)).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(twig) = batch.get(i) else { break };
+                        let v = self.estimate(lattice, twig, estimator, opts);
+                        slots[i].store(v.to_bits(), Ordering::Relaxed);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|bits| f64::from_bits(bits.into_inner()))
+                .collect()
+        };
+        self.last_batch_nanos
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            guard.classes.clear();
+            guard.generation = 0;
+        }
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> EngineStats {
+        let mut entries = 0usize;
+        let mut bytes = 0usize;
+        for shard in &self.shards {
+            let guard = shard.read();
+            for map in guard.classes.values() {
+                entries += map.len();
+                bytes += map.capacity() * (std::mem::size_of::<(TwigKey, f64)>() + 1)
+                    + map.keys().map(|k| k.as_bytes().len()).sum::<usize>();
+            }
+        }
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            bytes,
+            last_batch: Duration::from_nanos(self.last_batch_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn effective_threads(&self, batch_len: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        configured.min(batch_len.max(1))
+    }
+
+    fn shard_for(&self, key: &TwigKey) -> &RwLock<Shard> {
+        use std::hash::Hasher;
+        let mut h = FxHasher::default();
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) & self.mask]
+    }
+}
+
+/// The effective voting width a cached estimate was computed under.
+fn voting_class(estimator: Estimator, opts: &EstimateOptions) -> u32 {
+    match estimator {
+        // The inner recursion of both fix-sized estimators runs non-voting,
+        // identical to plain recursive decomposition (width 1).
+        Estimator::Recursive | Estimator::FixSized | Estimator::FixSizedVoting => 1,
+        Estimator::RecursiveVoting => opts.voting_cap.clamp(1, u32::MAX as usize) as u32,
+    }
+}
+
+/// Per-query adapter: routes the estimator's cache traffic to the engine's
+/// shards, batching counter updates until drop.
+struct SharedCache<'e> {
+    engine: &'e EstimationEngine,
+    generation: u64,
+    class: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl SubtwigCache for SharedCache<'_> {
+    fn lookup(&mut self, key: &TwigKey) -> Option<f64> {
+        let guard = self.engine.shard_for(key).read();
+        let value = if guard.generation == self.generation {
+            guard
+                .classes
+                .get(&self.class)
+                .and_then(|map| map.get(key))
+                .copied()
+        } else {
+            None
+        };
+        match value {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        value
+    }
+
+    fn store(&mut self, key: TwigKey, value: f64) {
+        let mut guard = self.engine.shard_for(&key).write();
+        if guard.generation != self.generation {
+            // Entries belong to a superseded summary; evict lazily.
+            guard.classes.clear();
+            guard.generation = self.generation;
+        }
+        guard
+            .classes
+            .entry(self.class)
+            .or_default()
+            .insert(key, value);
+    }
+}
+
+impl Drop for SharedCache<'_> {
+    fn drop(&mut self) {
+        self.engine.hits.fetch_add(self.hits, Ordering::Relaxed);
+        self.engine.misses.fetch_add(self.misses, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, Document, ParseOptions};
+
+    use super::*;
+    use crate::BuildConfig;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    fn sample_lattice() -> TreeLattice {
+        let mut s = String::from("<r>");
+        for _ in 0..6 {
+            s.push_str("<a><b><c/><d/></b><e/></a>");
+        }
+        s.push_str("</r>");
+        TreeLattice::build(&doc(&s), &BuildConfig::with_k(3))
+    }
+
+    #[test]
+    fn engine_matches_per_query_estimates() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let queries = ["a[b[c][d]][e]", "a/b/c", "a[b][e]", "r/a/b/c"];
+        for est in Estimator::ALL {
+            for q in queries {
+                let twig = lat.parse_query(q).unwrap();
+                let direct = lat.estimate(&twig, est);
+                let cached = engine.estimate(&lat, &twig, est, &EstimateOptions::default());
+                assert_eq!(direct.to_bits(), cached.to_bits(), "{est} {q}");
+                // Second pass answers from cache with the same bits.
+                let warm = engine.estimate(&lat, &twig, est, &EstimateOptions::default());
+                assert_eq!(direct.to_bits(), warm.to_bits(), "{est} {q} warm");
+            }
+        }
+        let stats = engine.stats();
+        assert!(stats.hits > 0, "repeat queries must hit");
+        assert!(stats.entries > 0);
+        assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn unknown_labels_estimate_zero_without_caching() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("nosuchlabel/other").unwrap();
+        assert_eq!(
+            engine.estimate(
+                &lat,
+                &twig,
+                Estimator::Recursive,
+                &EstimateOptions::default()
+            ),
+            0.0
+        );
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn voting_classes_do_not_collide() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("a[b[c][d]][e]").unwrap();
+        let opts = EstimateOptions::default();
+        // Warm the non-voting class first, then voting must not reuse it.
+        let plain = engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        let voted = engine.estimate(&lat, &twig, Estimator::RecursiveVoting, &opts);
+        assert_eq!(
+            plain.to_bits(),
+            lat.estimate(&twig, Estimator::Recursive).to_bits()
+        );
+        assert_eq!(
+            voted.to_bits(),
+            lat.estimate(&twig, Estimator::RecursiveVoting).to_bits()
+        );
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let mut lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("a[b[c][d]][e]").unwrap();
+        let opts = EstimateOptions::default();
+        let before = engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        assert!(before > 0.0);
+        let g0 = lat.generation();
+        lat.prune(0.0);
+        assert_ne!(lat.generation(), g0);
+        let after = engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        assert_eq!(
+            after.to_bits(),
+            lat.estimate(&twig, Estimator::Recursive).to_bits(),
+            "post-mutation estimates come from the new summary"
+        );
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("a[b[c][d]][e]").unwrap();
+        engine.estimate(
+            &lat,
+            &twig,
+            Estimator::Recursive,
+            &EstimateOptions::default(),
+        );
+        assert!(engine.stats().entries > 0);
+        engine.clear();
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let engine = EstimationEngine::new(EngineConfig {
+            shards: 3,
+            threads: 1,
+        });
+        assert_eq!(engine.shards.len(), 4);
+        assert_eq!(engine.mask, 3);
+    }
+}

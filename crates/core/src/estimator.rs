@@ -68,6 +68,12 @@ impl std::fmt::Display for Estimator {
 }
 
 /// Tuning knobs for estimation.
+///
+/// The same options steer both the per-query path
+/// ([`crate::TreeLattice::estimate_with`]) and the shared-cache engine
+/// ([`crate::EstimationEngine`]); the engine folds `voting_cap` into its
+/// cache key (the *voting class*), so estimates cached under one cap are
+/// never served to a query running under another.
 #[derive(Clone, Copy, Debug)]
 pub struct EstimateOptions {
     /// Upper bound on the number of removable pairs averaged per recursion
@@ -84,6 +90,32 @@ impl Default for EstimateOptions {
     }
 }
 
+/// Where resolved sub-twig estimates live during estimation.
+///
+/// The default implementation is a per-query local map (estimation state is
+/// discarded when the query completes). [`crate::engine::EstimationEngine`]
+/// substitutes a sharded cache shared across queries and worker threads;
+/// cached values are pure functions of (summary, key, effective voting
+/// width), so sharing never changes results.
+pub(crate) trait SubtwigCache {
+    /// Returns the cached estimate for `key`, if present.
+    fn lookup(&mut self, key: &TwigKey) -> Option<f64>;
+
+    /// Records the estimate for `key`.
+    fn store(&mut self, key: TwigKey, value: f64);
+}
+
+/// The per-query local memo: today's single-query behavior.
+impl SubtwigCache for FxHashMap<TwigKey, f64> {
+    fn lookup(&mut self, key: &TwigKey) -> Option<f64> {
+        self.get(key).copied()
+    }
+
+    fn store(&mut self, key: TwigKey, value: f64) {
+        self.insert(key, value);
+    }
+}
+
 /// Estimates the selectivity of `twig` from `summary`.
 ///
 /// Returns a non-negative estimate; `0.0` means the summary proves (or the
@@ -94,17 +126,30 @@ pub fn estimate(
     estimator: Estimator,
     opts: &EstimateOptions,
 ) -> f64 {
+    let mut memo: FxHashMap<TwigKey, f64> = FxHashMap::default();
+    estimate_with_cache(summary, twig, estimator, opts, &mut memo)
+}
+
+/// [`estimate`] reading and writing sub-twig estimates through `cache`.
+pub(crate) fn estimate_with_cache<C: SubtwigCache>(
+    summary: &Summary,
+    twig: &Twig,
+    estimator: Estimator,
+    opts: &EstimateOptions,
+    cache: &mut C,
+) -> f64 {
     let mut ctx = RecursiveCtx {
         summary,
-        memo: FxHashMap::default(),
+        cache,
         voting: matches!(estimator, Estimator::RecursiveVoting),
         cap: match estimator {
             Estimator::RecursiveVoting => opts.voting_cap.max(1),
             _ => 1,
         },
+        scratch: Vec::new(),
     };
     match estimator {
-        Estimator::Recursive | Estimator::RecursiveVoting => ctx.estimate_key(&key_of(twig)),
+        Estimator::Recursive | Estimator::RecursiveVoting => ctx.estimate_key(key_of(twig)),
         // Canonicalize first so the pre-order cover (and hence the result)
         // is identical for isomorphic queries.
         Estimator::FixSized => estimate_fixed(
@@ -124,34 +169,46 @@ pub fn estimate(
     }
 }
 
-/// Recursive-decomposition state: the summary plus a per-query memo table.
-struct RecursiveCtx<'s> {
+/// Recursive-decomposition state: the summary plus a sub-twig cache.
+struct RecursiveCtx<'s, 'c, C> {
     summary: &'s Summary,
-    memo: FxHashMap<TwigKey, f64>,
+    cache: &'c mut C,
     voting: bool,
     cap: usize,
+    /// Recycled twig buffers for decoding keys on cache misses, one per
+    /// active recursion depth.
+    scratch: Vec<Twig>,
 }
 
-impl RecursiveCtx<'_> {
+impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
     /// The recursive estimator of Figure 4 on a canonical key.
-    fn estimate_key(&mut self, key: &TwigKey) -> f64 {
-        if let Some(&v) = self.memo.get(key) {
+    ///
+    /// Takes the key by value: every caller builds a fresh key anyway, and
+    /// moving it into the cache avoids the clone a borrowing insert forces.
+    fn estimate_key(&mut self, key: TwigKey) -> f64 {
+        if let Some(v) = self.cache.lookup(&key) {
             return v;
         }
-        let value = match self.summary.lookup(key) {
+        let value = match self.summary.lookup(&key) {
             Lookup::Exact(c) => c as f64,
             Lookup::Derivable | Lookup::TooLarge => {
-                let twig = key.decode();
-                if twig.len() <= 2 {
+                if key.node_count() <= 2 {
                     // Levels 1–2 are never pruned; reaching here means the
                     // summary genuinely lacks the pattern.
                     0.0
                 } else {
-                    self.decompose(&twig)
+                    let mut twig = self
+                        .scratch
+                        .pop()
+                        .unwrap_or_else(|| Twig::single(key.root_label()));
+                    key.decode_into(&mut twig);
+                    let v = self.decompose(&twig);
+                    self.scratch.push(twig);
+                    v
                 }
             }
         };
-        self.memo.insert(key.clone(), value);
+        self.cache.store(key, value);
         value
     }
 
@@ -164,17 +221,17 @@ impl RecursiveCtx<'_> {
         let mut n = 0usize;
         for &(u, v) in pairs.iter().take(take) {
             let d = decompose_pair(twig, u, v);
-            let e1 = self.estimate_key(&key_of(&d.t1));
+            let e1 = self.estimate_key(key_of(&d.t1));
             if e1 <= 0.0 {
                 n += 1;
                 continue;
             }
-            let e2 = self.estimate_key(&key_of(&d.t2));
+            let e2 = self.estimate_key(key_of(&d.t2));
             if e2 <= 0.0 {
                 n += 1;
                 continue;
             }
-            let e12 = self.estimate_key(&key_of(&d.t12));
+            let e12 = self.estimate_key(key_of(&d.t12));
             if e12 > 0.0 {
                 sum += e1 * e2 / e12;
             }
@@ -189,22 +246,29 @@ impl RecursiveCtx<'_> {
 }
 
 /// The fix-sized estimator of Lemma 3.
-fn estimate_fixed(ctx: &mut RecursiveCtx<'_>, twig: &Twig, strategy: CoverStrategy) -> f64 {
+fn estimate_fixed<C: SubtwigCache>(
+    ctx: &mut RecursiveCtx<'_, '_, C>,
+    twig: &Twig,
+    strategy: CoverStrategy,
+) -> f64 {
     let k = ctx.summary.max_size();
     if twig.len() <= k {
-        return ctx.estimate_key(&key_of(twig));
+        return ctx.estimate_key(key_of(twig));
     }
-    assert!(k >= 2, "fix-sized estimation requires a summary of order >= 2");
+    assert!(
+        k >= 2,
+        "fix-sized estimation requires a summary of order >= 2"
+    );
     let mut numerator = 1.0f64;
     let mut denominator = 1.0f64;
     for step in fixed_cover_with(twig, k, strategy) {
-        let s_sub = ctx.estimate_key(&key_of(&step.subtree));
+        let s_sub = ctx.estimate_key(key_of(&step.subtree));
         if s_sub <= 0.0 {
             return 0.0;
         }
         numerator *= s_sub;
         if let Some(overlap) = &step.overlap {
-            let s_ov = ctx.estimate_key(&key_of(overlap));
+            let s_ov = ctx.estimate_key(key_of(overlap));
             if s_ov <= 0.0 {
                 return 0.0;
             }
@@ -314,7 +378,12 @@ mod tests {
         //  = 20·30/8 = 75
         // Pair (b,d): s(a[b][c])·s(a[c][d])/s(a[c]) = 10·30/6 = 50
         // Pair (c,d): s(a[b][c])·s(a[b][d])/s(a[b]) = 10·20/4 = 50
-        let est_vote = estimate(&s, &t, Estimator::RecursiveVoting, &EstimateOptions::default());
+        let est_vote = estimate(
+            &s,
+            &t,
+            Estimator::RecursiveVoting,
+            &EstimateOptions::default(),
+        );
         let expected = (75.0 + 50.0 + 50.0) / 3.0;
         assert!(
             (est_vote - expected).abs() < 1e-9,
@@ -392,7 +461,12 @@ mod tests {
         );
         let t = q(&mut it, "a/b/c/d/e");
         let plain = estimate(&s, &t, Estimator::FixSized, &EstimateOptions::default());
-        let voted = estimate(&s, &t, Estimator::FixSizedVoting, &EstimateOptions::default());
+        let voted = estimate(
+            &s,
+            &t,
+            Estimator::FixSizedVoting,
+            &EstimateOptions::default(),
+        );
         assert!(
             (plain - voted).abs() < 1e-9,
             "both cover strategies coincide on paths: {plain} vs {voted}"
@@ -421,7 +495,12 @@ mod tests {
         );
         let t = q(&mut it, "r[a[b][c]][d]");
         let plain = estimate(&s, &t, Estimator::FixSized, &EstimateOptions::default());
-        let voted = estimate(&s, &t, Estimator::FixSizedVoting, &EstimateOptions::default());
+        let voted = estimate(
+            &s,
+            &t,
+            Estimator::FixSizedVoting,
+            &EstimateOptions::default(),
+        );
         assert!(plain.is_finite() && voted.is_finite());
         // Voting is the mean of the strategy estimates; with a 4-summary
         // and a size-5 twig it may coincide, so only sanity is asserted
@@ -433,8 +512,7 @@ mod tests {
     #[test]
     fn derivable_miss_falls_back_to_decomposition() {
         // Level 3 marked pruned and a[b][c] absent: derive 12*6/4 = 18.
-        let (mut s, mut it) =
-            summary_of(&[("a", 4), ("a/b", 12), ("a/c", 6)], 3);
+        let (mut s, mut it) = summary_of(&[("a", 4), ("a/b", 12), ("a/c", 6)], 3);
         s.mark_pruned(3);
         let t = q(&mut it, "a[b][c]");
         let est = estimate(&s, &t, Estimator::Recursive, &EstimateOptions::default());

@@ -192,7 +192,10 @@ mod tests {
                 "{q}: interval mid {} vs voting {vote}",
                 iv.estimate
             );
-            assert!(iv.low <= iv.estimate + 1e-12 && iv.estimate <= iv.high + 1e-12, "{q}");
+            assert!(
+                iv.low <= iv.estimate + 1e-12 && iv.estimate <= iv.high + 1e-12,
+                "{q}"
+            );
         }
     }
 

@@ -45,6 +45,7 @@
 //! * [`serialize`] — versioned binary persistence of summaries;
 //! * [`trie`] — a prefix-tree summary store kept for the §4.2 ablation.
 
+pub mod engine;
 pub mod estimator;
 pub mod explain;
 pub mod interval;
@@ -58,6 +59,7 @@ use tl_miner::{mine, MineConfig};
 use tl_twig::{parse_twig, Twig, TwigParseError};
 use tl_xml::{Document, LabelInterner};
 
+pub use engine::{EngineConfig, EngineStats, EstimationEngine};
 pub use estimator::{estimate, EstimateOptions, Estimator};
 pub use explain::explain;
 pub use interval::{estimate_interval, IntervalEstimate};
@@ -104,6 +106,19 @@ impl BuildConfig {
 pub struct TreeLattice {
     labels: LabelInterner,
     summary: Summary,
+    /// Summary-content version, drawn from a process-wide counter. Every
+    /// mutation ([`TreeLattice::update_after_edit`], [`TreeLattice::prune`],
+    /// [`TreeLattice::set_summary`]) assigns a fresh value, which is how
+    /// [`engine::EstimationEngine`] invalidates its shared cache. Clones keep
+    /// the generation: identical summaries may share cached estimates.
+    generation: u64,
+}
+
+/// Process-wide generation source; starts at 1 so 0 can mean "never set".
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 impl TreeLattice {
@@ -124,12 +139,24 @@ impl TreeLattice {
         Self {
             labels: doc.labels().clone(),
             summary,
+            generation: next_generation(),
         }
     }
 
     /// Assembles a lattice from pre-built parts (deserialization, tests).
     pub fn from_parts(labels: LabelInterner, summary: Summary) -> Self {
-        Self { labels, summary }
+        Self {
+            labels,
+            summary,
+            generation: next_generation(),
+        }
+    }
+
+    /// The summary-content version. Changes on every mutation; equal values
+    /// imply the summaries are interchangeable for caching purposes (a
+    /// lattice and its unmutated clones share a generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The lattice order `k`.
@@ -158,12 +185,7 @@ impl TreeLattice {
     }
 
     /// Estimates the selectivity of a twig with explicit options.
-    pub fn estimate_with(
-        &self,
-        twig: &Twig,
-        estimator: Estimator,
-        opts: &EstimateOptions,
-    ) -> f64 {
+    pub fn estimate_with(&self, twig: &Twig, estimator: Estimator, opts: &EstimateOptions) -> f64 {
         // A label the document never contained cannot match anything.
         if twig
             .nodes()
@@ -253,6 +275,7 @@ impl TreeLattice {
         );
         self.labels = doc_new.labels().clone();
         self.summary = Summary::from_mined(updated);
+        self.generation = next_generation();
         report
     }
 
@@ -260,13 +283,16 @@ impl TreeLattice {
     pub fn prune(&mut self, delta: f64) -> PruneReport {
         let (kept, report) = prune_derivable(&self.summary, delta);
         self.summary = kept;
+        self.generation = next_generation();
         report
     }
 
     /// Replaces the summary (used by experiments that splice levels, e.g.
-    /// Figure 10(b)'s pruned-4-lattice + level-5 non-derivables).
+    /// Figure 10(b)'s pruned-4-lattice + level-5 non-derivables, and by the
+    /// online tuner's feedback path).
     pub fn set_summary(&mut self, summary: Summary) {
         self.summary = summary;
+        self.generation = next_generation();
     }
 
     /// Serializes to the versioned binary format.
@@ -292,12 +318,10 @@ mod tests {
 
     #[test]
     fn small_queries_are_exact() {
-        let d = doc(
-            "<computer><laptops>\
+        let d = doc("<computer><laptops>\
                <laptop><brand/><price/></laptop>\
                <laptop><brand/><price/></laptop>\
-             </laptops><desktops/></computer>",
-        );
+             </laptops><desktops/></computer>");
         let lat = TreeLattice::build(&d, &BuildConfig::with_k(3));
         for e in Estimator::ALL {
             assert_eq!(
@@ -343,9 +367,7 @@ mod tests {
     fn figure11_small_twig_is_exact_from_lattice() {
         let d = tl_datagen::figure11_document();
         let lat = TreeLattice::build(&d, &BuildConfig::with_k(3));
-        let est = lat
-            .estimate_query("b[c][d]", Estimator::Recursive)
-            .unwrap();
+        let est = lat.estimate_query("b[c][d]", Estimator::Recursive).unwrap();
         assert_eq!(est, 4.0, "the lattice answers the Figure 11 twig exactly");
     }
 

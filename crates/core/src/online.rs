@@ -99,14 +99,29 @@ impl TunedLattice {
         self.lattice.estimate_with(twig, estimator, opts)
     }
 
+    /// Estimates through a shared [`crate::engine::EstimationEngine`].
+    ///
+    /// Safe to combine with feedback: [`TunedLattice::observe`] replaces the
+    /// summary via [`TreeLattice::set_summary`], which assigns a fresh
+    /// generation, so sub-twig estimates the engine cached before the
+    /// observation can never be served afterwards.
+    pub fn estimate_engine(
+        &self,
+        engine: &crate::engine::EstimationEngine,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> f64 {
+        engine.estimate(&self.lattice, twig, estimator, opts)
+    }
+
     /// Feeds back the true selectivity of an executed query.
     pub fn observe(&mut self, twig: &Twig, true_count: u64) {
         self.stats.observed += 1;
         self.clock += 1;
         let key = key_of(twig);
         // Already exact in the mined summary? Nothing to store.
-        if self.lattice.summary().stored(&key) == Some(true_count)
-            && !self.heat.contains_key(&key)
+        if self.lattice.summary().stored(&key) == Some(true_count) && !self.heat.contains_key(&key)
         {
             return;
         }
@@ -274,7 +289,10 @@ mod tests {
         assert!(tuned.online_bytes() <= 60);
         assert!(tuned.stats().evicted > 0);
         // The hot pattern survived.
-        assert_eq!(tuned.estimate(&twigs[0], Estimator::Recursive), truth0 as f64);
+        assert_eq!(
+            tuned.estimate(&twigs[0], Estimator::Recursive),
+            truth0 as f64
+        );
     }
 
     #[test]
@@ -286,6 +304,24 @@ mod tests {
         tuned.observe(&q, truth);
         assert_eq!(tuned.stats().inserted, 0);
         assert_eq!(tuned.online_bytes(), 0);
+    }
+
+    #[test]
+    fn feedback_invalidates_engine_cache() {
+        let (doc, lattice) = setup();
+        let engine = crate::engine::EstimationEngine::default();
+        let opts = EstimateOptions::default();
+        let mut tuned = TunedLattice::new(lattice, 4096);
+        let q = tuned.lattice().parse_query("a[b][c]").unwrap();
+        let truth = tl_twig::count_matches(&doc, &q);
+        // Warm the engine cache with the pre-feedback (wrong) estimate.
+        let before = tuned.estimate_engine(&engine, &q, Estimator::Recursive, &opts);
+        assert_ne!(before, truth as f64);
+        tuned.observe(&q, truth);
+        // The observation bumped the generation: the engine must now answer
+        // from the corrected summary, not its cache.
+        let after = tuned.estimate_engine(&engine, &q, Estimator::Recursive, &opts);
+        assert_eq!(after, truth as f64);
     }
 
     #[test]
@@ -313,7 +349,10 @@ mod tests {
         let q = lattice.parse_query("a[b][c]").unwrap();
         let key = key_of(&q);
         let err = derivation_error(&lattice, &key).unwrap();
-        assert!(err < 1e-9, "independent joint pattern should be derivable: {err}");
+        assert!(
+            err < 1e-9,
+            "independent joint pattern should be derivable: {err}"
+        );
         let missing = key_of(&lattice.parse_query("r/a/b").unwrap());
         let mut reduced = lattice.summary().clone();
         reduced.remove(&missing);

@@ -132,10 +132,7 @@ mod tests {
     #[test]
     fn exactly_derivable_patterns_are_pruned_at_delta_zero() {
         // a[b][c] = 12*6/4 = 18 exactly: derivable.
-        let (s, _) = summary_of(
-            &[("a", 4), ("a/b", 12), ("a/c", 6), ("a[b][c]", 18)],
-            3,
-        );
+        let (s, _) = summary_of(&[("a", 4), ("a/b", 12), ("a/c", 6), ("a[b][c]", 18)], 3);
         let (kept, report) = prune_derivable(&s, 0.0);
         assert_eq!(report.examined, 1);
         assert_eq!(report.pruned, 1);
@@ -147,10 +144,7 @@ mod tests {
     #[test]
     fn non_derivable_patterns_are_kept() {
         // True count 10 differs from the independence estimate 18.
-        let (s, mut it) = summary_of(
-            &[("a", 4), ("a/b", 12), ("a/c", 6), ("a[b][c]", 10)],
-            3,
-        );
+        let (s, mut it) = summary_of(&[("a", 4), ("a/b", 12), ("a/c", 6), ("a[b][c]", 10)], 3);
         let (kept, report) = prune_derivable(&s, 0.0);
         assert_eq!(report.pruned, 0);
         let key = key_of(&tl_twig::parse_twig("a[b][c]", &mut it).unwrap());
@@ -218,9 +212,9 @@ mod tests {
                 ("a/b", 4),
                 ("a/c", 6),
                 ("a/d", 8),
-                ("a[b][c]", 12),  // = 4*6/2
-                ("a[b][d]", 16),  // = 4*8/2
-                ("a[c][d]", 24),  // = 6*8/2
+                ("a[b][c]", 12),    // = 4*6/2
+                ("a[b][d]", 16),    // = 4*8/2
+                ("a[c][d]", 24),    // = 6*8/2
                 ("a[b][c][d]", 48), // = 12*24/6 etc., fully independent
             ],
             4,

@@ -64,7 +64,10 @@ pub fn to_bytes(lattice: &TreeLattice) -> Vec<u8> {
         // The parser bounds names at tl_xml::parser::MAX_NAME_BYTES, far
         // below u16::MAX; a longer label here means a caller bypassed the
         // parser, and truncating would corrupt the file.
-        assert!(name.len() <= u16::MAX as usize, "label too long to serialize");
+        assert!(
+            name.len() <= u16::MAX as usize,
+            "label too long to serialize"
+        );
         out.put_u16_le(name.len() as u16);
         out.put_slice(name.as_bytes());
     }
@@ -204,7 +207,10 @@ mod tests {
         lat.prune(0.0);
         let back = from_bytes(&to_bytes(&lat)).unwrap();
         for size in 1..=lat.k() {
-            assert_eq!(back.summary().is_pruned(size), lat.summary().is_pruned(size));
+            assert_eq!(
+                back.summary().is_pruned(size),
+                lat.summary().is_pruned(size)
+            );
         }
     }
 
@@ -246,7 +252,7 @@ mod tests {
         idx += 1; // k
         idx += 1 + 4; // level 1 header
         idx += 2; // key length
-        // Corrupt the structural sentinel of the key.
+                  // Corrupt the structural sentinel of the key.
         bytes[idx + 4] = 0xEE;
         assert_eq!(from_bytes(&bytes).unwrap_err(), ReadError::BadKey);
     }

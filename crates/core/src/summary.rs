@@ -40,12 +40,7 @@ impl Summary {
     /// Wraps a mined lattice as an unpruned summary.
     pub fn from_mined(lattice: MinedLattice) -> Self {
         let levels: Vec<FxHashMap<TwigKey, u64>> = (1..=lattice.max_size())
-            .map(|s| {
-                lattice
-                    .level_map(s)
-                    .cloned()
-                    .unwrap_or_default()
-            })
+            .map(|s| lattice.level_map(s).cloned().unwrap_or_default())
             .collect();
         let pruned = vec![false; levels.len()];
         Self { levels, pruned }
@@ -106,7 +101,10 @@ impl Summary {
 
     /// Whether level `size` has been pruned.
     pub fn is_pruned(&self, size: usize) -> bool {
-        self.pruned.get(size.wrapping_sub(1)).copied().unwrap_or(false)
+        self.pruned
+            .get(size.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Iterates `(key, count)` pairs at one level.
@@ -124,10 +122,28 @@ impl Summary {
             .flat_map(|m| m.iter().map(|(k, &c)| (k, c)))
     }
 
-    /// Summary memory footprint in bytes (keys + counts), the quantity the
-    /// paper reports in Table 3 and Figure 10.
+    /// Summary memory footprint in bytes, the quantity the paper reports in
+    /// Table 3 and Figure 10.
+    ///
+    /// Accounts for the hash tables as allocated, not just the payload:
+    /// every *bucket* (allocated at capacity, whether occupied or not)
+    /// holds an inline `(TwigKey, u64)` pair plus one control byte, and
+    /// every *stored* key additionally owns its out-of-line canonical
+    /// encoding. `TwigKey::heap_bytes` already bundles the 8-byte count
+    /// with the encoding, and the count is part of the inline pair here, so
+    /// only the encoding length is added per entry.
     pub fn heap_bytes(&self) -> usize {
-        self.iter().map(|(k, _)| k.heap_bytes()).sum()
+        let bucket = std::mem::size_of::<(TwigKey, u64)>() + 1;
+        self.levels
+            .iter()
+            .map(|level| {
+                level.capacity() * bucket
+                    + level
+                        .keys()
+                        .map(|k| k.heap_bytes() - std::mem::size_of::<u64>())
+                        .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Removes `key` from its level and marks the level pruned (a removed
@@ -248,6 +264,15 @@ mod tests {
         // Another size-3 key is absent but the level is incomplete.
         let abd = key_of(&tl_twig::parse_twig("a/b/d", &mut it).unwrap());
         assert_eq!(s.lookup(&abd), Lookup::Derivable);
+    }
+
+    #[test]
+    fn heap_bytes_count_table_capacity_overhead() {
+        let (s, _) = summary_of(&[("a", 1), ("a/b", 1), ("a/b/c", 1)]);
+        // Strictly more than the bare key+count payload: the tables
+        // allocate whole buckets at capacity.
+        let payload: usize = s.iter().map(|(k, _)| k.heap_bytes()).sum();
+        assert!(s.heap_bytes() > payload);
     }
 
     #[test]

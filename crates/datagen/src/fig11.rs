@@ -57,7 +57,13 @@ mod tests {
         let doc = figure11_document();
         let labels = doc.labels();
         assert_eq!(count_matches(&doc, &parse_twig_in("b", labels).unwrap()), 3);
-        assert_eq!(count_matches(&doc, &parse_twig_in("b[c]", labels).unwrap()), 4);
-        assert_eq!(count_matches(&doc, &parse_twig_in("b[d]", labels).unwrap()), 6);
+        assert_eq!(
+            count_matches(&doc, &parse_twig_in("b[c]", labels).unwrap()),
+            4
+        );
+        assert_eq!(
+            count_matches(&doc, &parse_twig_in("b[d]", labels).unwrap()),
+            6
+        );
     }
 }

@@ -88,7 +88,9 @@ impl std::str::FromStr for Dataset {
             "imdb" => Ok(Dataset::Imdb),
             "psd" => Ok(Dataset::Psd),
             "xmark" => Ok(Dataset::Xmark),
-            other => Err(format!("unknown dataset `{other}` (expected nasa|imdb|psd|xmark)")),
+            other => Err(format!(
+                "unknown dataset `{other}` (expected nasa|imdb|psd|xmark)"
+            )),
         }
     }
 }
@@ -140,7 +142,10 @@ mod tests {
             && a.pre_order()
                 .zip(b.pre_order())
                 .all(|(x, y)| a.label_name(a.label(x)) == b.label_name(b.label(y)));
-        assert!(!same, "different seeds should not be structurally identical");
+        assert!(
+            !same,
+            "different seeds should not be structurally identical"
+        );
     }
 
     #[test]

@@ -279,6 +279,10 @@ mod tests {
             target_elements: 10_000,
         });
         let stats = tl_xml::DocStats::compute(&d);
-        assert!(stats.max_depth >= 4 && stats.max_depth <= 8, "{}", stats.max_depth);
+        assert!(
+            stats.max_depth >= 4 && stats.max_depth <= 8,
+            "{}",
+            stats.max_depth
+        );
     }
 }

@@ -12,7 +12,14 @@ use tl_xml::{Document, ValueMode};
 
 use crate::common::{Gen, GenConfig};
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates the auction-site corpus.
 pub fn generate(config: GenConfig) -> Document {

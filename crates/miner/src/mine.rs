@@ -150,8 +150,13 @@ fn generate_candidates(
 ) -> Vec<(TwigKey, Twig)> {
     let mut seen: FxHashSet<TwigKey> = FxHashSet::default();
     let mut out: Vec<(TwigKey, Twig)> = Vec::new();
+    // Scratch twigs reused across the whole enumeration: `base` receives
+    // each previous-level pattern, `sub` each one-smaller sub-pattern of a
+    // candidate during the Apriori check.
+    let mut base = Twig::single(tl_xml::LabelId(0));
+    let mut sub = Twig::single(tl_xml::LabelId(0));
     for key in prev.keys() {
-        let base = key.decode();
+        key.decode_into(&mut base);
         for q in base.nodes() {
             let parent_label = base.label(q);
             let Some(labels) = child_labels.get(parent_label.index()) else {
@@ -159,16 +164,23 @@ fn generate_candidates(
             };
             for &l in labels {
                 let mut ext = base.clone();
-                ext.add_child(q, tl_xml::LabelId(l));
+                let added = ext.add_child(q, tl_xml::LabelId(l));
                 let ext_key = key_of(&ext);
                 if !seen.insert(ext_key.clone()) {
                     continue;
                 }
                 // Apriori: every one-smaller sub-pattern must occur.
+                // Removing the node just added reproduces `base`, whose key
+                // is in `prev` by construction — no need to re-canonicalize
+                // that one.
                 let ok = ext
                     .removable_nodes()
                     .into_iter()
-                    .all(|r| prev.contains_key(&key_of(&ext.remove_node(r))));
+                    .filter(|&r| r != added)
+                    .all(|r| {
+                        ext.remove_node_into(r, &mut sub);
+                        prev.contains_key(&key_of(&sub))
+                    });
                 if ok {
                     out.push((ext_key, ext));
                 }
@@ -197,27 +209,43 @@ fn count_candidates(
             })
             .collect();
     }
-    let chunk = candidates.len().div_ceil(threads);
-    let mut results: Vec<Vec<(TwigKey, u64, Option<RootMap>)>> = Vec::new();
+    // Work-stealing over a shared cursor: candidate cost varies wildly (a
+    // deep same-label DP group can dominate a level), so a static chunk
+    // split would serialize behind the unlucky worker. Results are written
+    // back by index, keeping the output order identical to the serial path.
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(candidates.len());
+    let mut slots: Vec<Option<(TwigKey, u64, Option<RootMap>)>> = Vec::new();
+    slots.resize_with(candidates.len(), || None);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|part| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let candidates = &candidates;
                 scope.spawn(move || {
-                    part.iter()
-                        .map(|(key, twig)| {
-                            let (count, map) = count_one(doc, by_label, cache, twig, keep_maps);
-                            (key.clone(), count, map)
-                        })
-                        .collect::<Vec<_>>()
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some((key, twig)) = candidates.get(i) else {
+                            break;
+                        };
+                        let (count, map) = count_one(doc, by_label, cache, twig, keep_maps);
+                        out.push((i, key.clone(), count, map));
+                    }
+                    out
                 })
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("mining worker panicked"));
+            for (i, key, count, map) in h.join().expect("mining worker panicked") {
+                slots[i] = Some((key, count, map));
+            }
         }
     });
-    results.into_iter().flatten().collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every candidate counted"))
+        .collect()
 }
 
 /// Counts one candidate using the cached root maps of its child subtrees.
@@ -375,12 +403,10 @@ mod tests {
 
     #[test]
     fn figure1_lattice() {
-        let d = doc(
-            "<computer><laptops>\
+        let d = doc("<computer><laptops>\
                <laptop><brand/><price/></laptop>\
                <laptop><brand/><price/></laptop>\
-             </laptops><desktops/></computer>",
-        );
+             </laptops><desktops/></computer>");
         let r = mine(&d, MineConfig::with_max_size(3));
         let q = parse_twig_in("laptop[brand][price]", d.labels()).unwrap();
         assert_eq!(r.lattice.get_twig(&q), Some(2));
@@ -394,7 +420,13 @@ mod tests {
             seed: 9,
             target_elements: 800,
         });
-        let r = mine(&d, MineConfig { max_size: 4, threads: 1 });
+        let r = mine(
+            &d,
+            MineConfig {
+                max_size: 4,
+                threads: 1,
+            },
+        );
         let counter = tl_twig::MatchCounter::new(&d);
         let mut checked = 0;
         for size in 1..=4 {
@@ -418,8 +450,20 @@ mod tests {
             seed: 4,
             target_elements: 3000,
         });
-        let serial = mine(&d, MineConfig { max_size: 4, threads: 1 });
-        let parallel = mine(&d, MineConfig { max_size: 4, threads: 4 });
+        let serial = mine(
+            &d,
+            MineConfig {
+                max_size: 4,
+                threads: 1,
+            },
+        );
+        let parallel = mine(
+            &d,
+            MineConfig {
+                max_size: 4,
+                threads: 4,
+            },
+        );
         assert_eq!(serial.lattice.len(), parallel.lattice.len());
         for (key, count) in serial.lattice.iter() {
             assert_eq!(parallel.lattice.get(key), Some(count));
@@ -433,7 +477,13 @@ mod tests {
             seed: 2,
             target_elements: 1500,
         });
-        let r = mine(&d, MineConfig { max_size: 4, threads: 1 });
+        let r = mine(
+            &d,
+            MineConfig {
+                max_size: 4,
+                threads: 1,
+            },
+        );
         for size in 2..=4 {
             for (key, _) in r.lattice.iter_level(size) {
                 let twig = key.decode();

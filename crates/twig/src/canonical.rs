@@ -42,7 +42,9 @@ impl TwigKey {
     /// The label of the encoded twig's root.
     pub fn root_label(&self) -> LabelId {
         debug_assert!(self.0.len() >= 6);
-        LabelId(u32::from_be_bytes([self.0[0], self.0[1], self.0[2], self.0[3]]))
+        LabelId(u32::from_be_bytes([
+            self.0[0], self.0[1], self.0[2], self.0[3],
+        ]))
     }
 
     /// In-memory footprint in bytes (encoding plus the count it maps to),
@@ -105,23 +107,44 @@ impl TwigKey {
     /// Panics if the bytes are not a valid encoding (cannot happen for keys
     /// produced by [`key_of`]).
     pub fn decode(&self) -> Twig {
+        assert!(self.0.len() >= 6, "corrupt twig key");
+        let mut t = Twig::single(self.root_label());
+        self.decode_into(&mut t);
+        t
+    }
+
+    /// Decodes into an existing twig, reusing its buffers. Equivalent to
+    /// `*out = self.decode()` but without reallocating the node vectors;
+    /// hot estimator loops pass the same scratch twig repeatedly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`TwigKey::decode`].
+    pub fn decode_into(&self, out: &mut Twig) {
         let b = &self.0;
-        assert!(b.len() >= 6 && b.len().is_multiple_of(6), "corrupt twig key");
+        assert!(
+            b.len() >= 6 && b.len().is_multiple_of(6),
+            "corrupt twig key"
+        );
         let mut pos = 0usize;
         let root_label = read_label(b, &mut pos);
         assert_eq!(b[pos], OPEN, "corrupt twig key");
         pos += 1;
-        let mut t = Twig::single(root_label);
-        decode_children(b, &mut pos, &mut t, 0);
+        out.reset(root_label);
+        decode_children(b, &mut pos, out, 0);
         assert_eq!(b[pos], CLOSE, "corrupt twig key");
         pos += 1;
         assert_eq!(pos, b.len(), "trailing bytes in twig key");
-        t
     }
 }
 
 fn read_label(b: &[u8], pos: &mut usize) -> LabelId {
-    let l = LabelId(u32::from_be_bytes([b[*pos], b[*pos + 1], b[*pos + 2], b[*pos + 3]]));
+    let l = LabelId(u32::from_be_bytes([
+        b[*pos],
+        b[*pos + 1],
+        b[*pos + 2],
+        b[*pos + 3],
+    ]));
     *pos += 4;
     l
 }
@@ -287,6 +310,25 @@ mod tests {
     }
 
     #[test]
+    fn decode_into_reuses_buffers_and_matches_decode() {
+        let l = labels(5);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[4]);
+        t.add_child(b, l[2]);
+        t.add_child(t.root(), l[3]);
+        let big = key_of(&t);
+        let small = key_of(&Twig::path(&[l[0], l[1]]));
+        let mut scratch = Twig::single(l[0]);
+        big.decode_into(&mut scratch);
+        assert_eq!(scratch, big.decode());
+        // Shrinking reuse: a larger previous decode must not leak nodes.
+        small.decode_into(&mut scratch);
+        assert_eq!(scratch, small.decode());
+        big.decode_into(&mut scratch);
+        assert_eq!(key_of(&scratch), big);
+    }
+
+    #[test]
     fn canonicalize_is_idempotent_and_deterministic() {
         let l = labels(4);
         let mut t1 = Twig::single(l[0]);
@@ -299,7 +341,10 @@ mod tests {
         t2.add_child(t2.root(), l[3]);
         let c1 = canonicalize(&t1);
         let c2 = canonicalize(&t2);
-        assert_eq!(c1, c2, "canonical copies of isomorphic twigs are equal values");
+        assert_eq!(
+            c1, c2,
+            "canonical copies of isomorphic twigs are equal values"
+        );
         assert_eq!(canonicalize(&c1), c1, "idempotent");
     }
 
@@ -337,7 +382,9 @@ mod tests {
 
         // Corrupt framing variants.
         let raw = key.as_bytes().to_vec();
-        assert!(TwigKey::from_raw(raw[..raw.len() - 1].into()).try_decode().is_none());
+        assert!(TwigKey::from_raw(raw[..raw.len() - 1].into())
+            .try_decode()
+            .is_none());
         let mut flipped = raw.clone();
         flipped[4] = 0x07; // clobber the root OPEN sentinel
         assert!(TwigKey::from_raw(flipped.into()).try_decode().is_none());
@@ -345,7 +392,9 @@ mod tests {
         let last = unbalanced.len() - 1;
         unbalanced[last] = 0x01; // CLOSE -> OPEN
         assert!(TwigKey::from_raw(unbalanced.into()).try_decode().is_none());
-        assert!(TwigKey::from_raw(Box::from(&b""[..])).try_decode().is_none());
+        assert!(TwigKey::from_raw(Box::from(&b""[..]))
+            .try_decode()
+            .is_none());
     }
 
     #[test]

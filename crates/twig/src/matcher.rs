@@ -121,8 +121,7 @@ impl<'d> MatchCounter<'d> {
         let groups = child_groups(twig);
 
         // m(q, v) for already-processed query nodes, sparse per query node.
-        let mut maps: Vec<FxHashMap<u32, u64>> =
-            vec![FxHashMap::default(); twig.len()];
+        let mut maps: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); twig.len()];
 
         // Process query nodes children-first (reverse pre-order works:
         // pre-order emits parents before children).
@@ -155,14 +154,12 @@ impl<'d> MatchCounter<'d> {
             unreachable!("single-node twigs returned early");
         }
         if let Some(roots) = roots {
-            roots.extend(
-                maps[root as usize]
-                    .iter()
-                    .map(|(&v, &m)| (NodeId(v), m)),
-            );
+            roots.extend(maps[root as usize].iter().map(|(&v, &m)| (NodeId(v), m)));
             roots.sort_unstable_by_key(|&(v, _)| v.0);
         }
-        maps[root as usize].values().fold(0u64, |a, &b| a.saturating_add(b))
+        maps[root as usize]
+            .values()
+            .fold(0u64, |a, &b| a.saturating_add(b))
     }
 
     /// Number of matches of `q`'s subtree with root mapped to `u`.
@@ -236,9 +233,7 @@ impl<'d> MatchCounter<'d> {
                     let i = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     if weights[i] != 0 {
-                        add = add.saturating_add(
-                            f[mask ^ (1 << i)].saturating_mul(weights[i]),
-                        );
+                        add = add.saturating_add(f[mask ^ (1 << i)].saturating_mul(weights[i]));
                     }
                 }
                 f[mask] = f[mask].saturating_add(add);
@@ -297,7 +292,10 @@ mod tests {
         // Unknown labels mean zero matches; count() handles them because
         // by_label simply has no entry.
         let counter = MatchCounter::new(d);
-        if twig.nodes().any(|n| twig.label(n).index() >= d.labels().len()) {
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= d.labels().len())
+        {
             return 0;
         }
         counter.count(&twig)
@@ -305,12 +303,10 @@ mod tests {
 
     #[test]
     fn figure1_example() {
-        let d = doc(
-            "<computer><laptops>\
+        let d = doc("<computer><laptops>\
                <laptop><brand/><price/></laptop>\
                <laptop><brand/><price/></laptop>\
-             </laptops><desktops/></computer>",
-        );
+             </laptops><desktops/></computer>");
         assert_eq!(count(&d, "laptop[brand][price]"), 2);
         assert_eq!(count(&d, "laptop"), 2);
         assert_eq!(count(&d, "laptops/laptop/brand"), 2);

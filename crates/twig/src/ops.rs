@@ -264,7 +264,10 @@ mod tests {
         let (t, it) = twig("a/b/c/d/e");
         let steps = fixed_cover(&t, 3);
         assert_eq!(steps.len(), 3); // 5 - 3 + 1
-        let subs: Vec<String> = steps.iter().map(|s| s.subtree.to_query_string(&it)).collect();
+        let subs: Vec<String> = steps
+            .iter()
+            .map(|s| s.subtree.to_query_string(&it))
+            .collect();
         assert_eq!(subs, ["a[b[c]]", "b[c[d]]", "c[d[e]]"]);
         let overlaps: Vec<String> = steps
             .iter()

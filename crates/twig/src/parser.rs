@@ -94,7 +94,9 @@ pub fn parse_twig_in(query: &str, labels: &LabelInterner) -> Result<Twig, TwigPa
         values: None,
     }
     .parse(&mut |name| {
-        labels.get(name).ok_or_else(|| format!("unknown label `{name}`"))
+        labels
+            .get(name)
+            .ok_or_else(|| format!("unknown label `{name}`"))
     })
 }
 
@@ -211,9 +213,8 @@ impl Parser<'_> {
         self.skip_ws();
         let literal = self.read_string_literal()?;
         let Some(value_label) = mode.value_label(&literal) else {
-            return Err(self.error(
-                "value predicate literal is empty or values are ignored by the ValueMode",
-            ));
+            return Err(self
+                .error("value predicate literal is empty or values are ignored by the ValueMode"));
         };
         let label = intern(&value_label).map_err(|m| self.error(m))?;
         twig.add_child(node, label);
@@ -256,7 +257,11 @@ impl Parser<'_> {
     fn read_name(&mut self) -> Result<String, TwigParseError> {
         let start = self.pos;
         let first = self.peek().ok_or_else(|| self.error("expected a name"))?;
-        if !(first.is_ascii_alphabetic() || first == b'_' || first == b'@' || first == b':' || first >= 0x80)
+        if !(first.is_ascii_alphabetic()
+            || first == b'_'
+            || first == b'@'
+            || first == b':'
+            || first >= 0x80)
         {
             return Err(self.error("expected a name"));
         }
@@ -415,8 +420,7 @@ mod tests {
     fn escapes_in_literals() {
         use tl_xml::ValueMode;
         let mut it = LabelInterner::new();
-        let t =
-            parse_twig_valued("a[=\"say \\\"hi\\\"\"]", &mut it, ValueMode::AsLabels).unwrap();
+        let t = parse_twig_valued("a[=\"say \\\"hi\\\"\"]", &mut it, ValueMode::AsLabels).unwrap();
         assert_eq!(it.resolve(t.label(t.children(t.root())[0])), "=say \"hi\"");
     }
 

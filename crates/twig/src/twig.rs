@@ -110,6 +110,21 @@ impl Twig {
         id
     }
 
+    /// Resets the twig to a single root labeled `label`, retaining the
+    /// allocated node buffers. Decode-heavy paths (the estimators' cache
+    /// misses) use this to reuse one scratch twig across many decodes.
+    pub fn reset(&mut self, label: LabelId) {
+        self.labels.clear();
+        self.labels.push(label);
+        self.parents.clear();
+        self.parents.push(Self::NO_PARENT);
+        self.children.truncate(1);
+        match self.children.first_mut() {
+            Some(kids) => kids.clear(),
+            None => self.children.push(Vec::new()),
+        }
+    }
+
     /// All node ids, in storage order.
     pub fn nodes(&self) -> impl Iterator<Item = TwigNodeId> {
         0..self.labels.len() as u32
@@ -130,7 +145,9 @@ impl Twig {
 
     /// Nodes with no children.
     pub fn leaves(&self) -> Vec<TwigNodeId> {
-        self.nodes().filter(|&n| self.children(n).is_empty()).collect()
+        self.nodes()
+            .filter(|&n| self.children(n).is_empty())
+            .collect()
     }
 
     /// Nodes eligible for removal in the recursive decomposition: all leaf
@@ -167,6 +184,41 @@ impl Twig {
         self.subtwig(&keep)
     }
 
+    /// [`Twig::remove_node`] into a caller-provided twig, reusing its
+    /// buffers. Because a removable node is a leaf or a degree-1 root, the
+    /// remainder can be rebuilt by a direct pre-order walk that skips `n`,
+    /// with none of [`Twig::subtwig`]'s scratch allocations — this is the
+    /// hot path of Apriori candidate pruning in the miner.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Twig::remove_node`].
+    pub fn remove_node_into(&self, n: TwigNodeId, out: &mut Twig) {
+        assert!(self.len() >= 2, "cannot remove the last node");
+        assert!(self.is_removable(n), "node {n} is not removable");
+        let root = if n == self.root() {
+            self.children(self.root())[0]
+        } else {
+            self.root()
+        };
+        out.reset(self.label(root));
+        // Pre-order DFS skipping `n`; stack holds (old node, new parent).
+        let mut stack: Vec<(TwigNodeId, u32)> = Vec::with_capacity(self.len());
+        for &c in self.children(root).iter().rev() {
+            if c != n {
+                stack.push((c, 0));
+            }
+        }
+        while let Some((m, p)) = stack.pop() {
+            let id = out.add_child(p, self.label(m));
+            for &c in self.children(m).iter().rev() {
+                if c != n {
+                    stack.push((c, id));
+                }
+            }
+        }
+    }
+
     /// Extracts the sub-twig induced by `nodes`, which must be connected and
     /// contain exactly one node whose parent is outside the set (the new
     /// root). Node order in the result is pre-order.
@@ -189,7 +241,10 @@ impl Twig {
             Some(p) => !in_set[p as usize],
         });
         let root = roots.next().expect("node set has no root");
-        assert!(roots.next().is_none(), "node set is not connected (two roots)");
+        assert!(
+            roots.next().is_none(),
+            "node set is not connected (two roots)"
+        );
 
         let mut out = Twig::single(self.label(root));
         let mut map = vec![u32::MAX; self.len()];
@@ -295,7 +350,10 @@ mod tests {
 
     fn interner() -> (LabelInterner, Vec<LabelId>) {
         let mut it = LabelInterner::new();
-        let ids = ["a", "b", "c", "d", "e"].iter().map(|s| it.intern(s)).collect();
+        let ids = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| it.intern(s))
+            .collect();
         (it, ids)
     }
 
@@ -415,6 +473,32 @@ mod tests {
     fn query_string_rendering() {
         let (t, it) = sample();
         assert_eq!(t.to_query_string(&it), "a[b[d]][c]");
+    }
+
+    #[test]
+    fn reset_clears_to_single_root() {
+        let (mut t, _) = sample();
+        let label = t.label(1);
+        t.reset(label);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.label(t.root()), label);
+        assert_eq!(t.parent(t.root()), None);
+        assert!(t.children(t.root()).is_empty());
+        // The reset twig is fully usable for fresh construction.
+        t.add_child(t.root(), label);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_node_into_matches_remove_node() {
+        let (t, _) = sample();
+        let mut scratch = Twig::single(t.label(t.root()));
+        // Pollute the scratch so stale state would be caught.
+        scratch.add_child(scratch.root(), t.label(1));
+        for n in t.removable_nodes() {
+            t.remove_node_into(n, &mut scratch);
+            assert_eq!(scratch, t.remove_node(n), "removing node {n}");
+        }
     }
 
     #[test]

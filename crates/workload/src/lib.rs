@@ -175,7 +175,11 @@ mod tests {
         let doc = sample_doc();
         for size in [3usize, 5, 7] {
             let w = positive_workload(&doc, size, 30, 1);
-            assert!(w.cases.len() >= 10, "size {size}: only {} cases", w.cases.len());
+            assert!(
+                w.cases.len() >= 10,
+                "size {size}: only {} cases",
+                w.cases.len()
+            );
             let mut keys = tl_xml::FxHashSet::default();
             for case in &w.cases {
                 assert_eq!(case.twig.len(), size);
@@ -205,8 +209,16 @@ mod tests {
         let doc = sample_doc();
         let w1 = positive_workload(&doc, 5, 20, 1);
         let w2 = positive_workload(&doc, 5, 20, 2);
-        let k1: Vec<_> = w1.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
-        let k2: Vec<_> = w2.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        let k1: Vec<_> = w1
+            .cases
+            .iter()
+            .map(|c| tl_twig::canonical::key_of(&c.twig))
+            .collect();
+        let k2: Vec<_> = w2
+            .cases
+            .iter()
+            .map(|c| tl_twig::canonical::key_of(&c.twig))
+            .collect();
         assert_ne!(k1, k2);
     }
 
@@ -241,8 +253,16 @@ mod tests {
             );
         }
         let w3 = enumerated_workload(&doc, 4, 12, 4);
-        let k1: Vec<_> = w1.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
-        let k3: Vec<_> = w3.cases.iter().map(|c| tl_twig::canonical::key_of(&c.twig)).collect();
+        let k1: Vec<_> = w1
+            .cases
+            .iter()
+            .map(|c| tl_twig::canonical::key_of(&c.twig))
+            .collect();
+        let k3: Vec<_> = w3
+            .cases
+            .iter()
+            .map(|c| tl_twig::canonical::key_of(&c.twig))
+            .collect();
         assert_ne!(k1, k3, "different seeds sample differently");
     }
 

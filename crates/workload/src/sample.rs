@@ -126,7 +126,11 @@ impl LabelWeights {
 /// draws.
 pub fn perturb_labels(twig: &Twig, weights: &LabelWeights, rng: &mut StdRng) -> Twig {
     let mut out = twig.clone();
-    let replacements = if twig.len() > 2 && rng.gen_bool(0.4) { 2 } else { 1 };
+    let replacements = if twig.len() > 2 && rng.gen_bool(0.4) {
+        2
+    } else {
+        1
+    };
     // Rebuild with substituted labels (Twig has no label setter by design:
     // derived twigs stay normalized).
     let mut labels: Vec<LabelId> = out.nodes().map(|n| out.label(n)).collect();
@@ -206,9 +210,7 @@ mod tests {
         let w = label_weights(&d);
         let mut rng = StdRng::seed_from_u64(2);
         let b = d.labels().get("b").unwrap();
-        let hits = (0..1000)
-            .filter(|_| w.sample(&mut rng) == b)
-            .count();
+        let hits = (0..1000).filter(|_| w.sample(&mut rng) == b).count();
         assert!(hits > 600, "b drawn {hits}/1000 times");
     }
 

@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn empty_stream_is_an_error() {
-        assert_eq!(DocumentBuilder::new().finish().unwrap_err(), BuildError::Empty);
+        assert_eq!(
+            DocumentBuilder::new().finish().unwrap_err(),
+            BuildError::Empty
+        );
     }
 
     #[test]

@@ -36,16 +36,11 @@ pub fn append_subtree(doc: &Document, parent: NodeId, record: &Document) -> Edit
     // callers compare patterns keyed by old ids against the new document.
     *b.interner_mut() = doc.labels().clone();
     let mut touched = Vec::new();
-    copy_into(
-        doc,
-        doc.root(),
-        &mut b,
-        &mut |node, builder| {
-            if node == parent {
-                touched = copy_record(record, builder);
-            }
-        },
-    );
+    copy_into(doc, doc.root(), &mut b, &mut |node, builder| {
+        if node == parent {
+            touched = copy_record(record, builder);
+        }
+    });
     EditResult {
         document: b.finish().expect("copy of a document is a document"),
         touched: dedup_labels(touched),

@@ -93,7 +93,11 @@ impl DocStats {
             elements: n,
             distinct_labels: doc.labels().len(),
             max_depth,
-            mean_depth: if n > 0 { depth_sum as f64 / n as f64 } else { 0.0 },
+            mean_depth: if n > 0 {
+                depth_sum as f64 / n as f64
+            } else {
+                0.0
+            },
             mean_fanout,
             fanout_variance: fanout_variance.max(0.0),
             max_fanout,

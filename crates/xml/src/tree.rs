@@ -303,7 +303,10 @@ mod tests {
             .filter(|&n| d.is_leaf(n))
             .map(|n| d.label_name(d.label(n)).to_owned())
             .collect();
-        assert_eq!(leaf_labels, ["brand", "price", "brand", "price", "desktops"]);
+        assert_eq!(
+            leaf_labels,
+            ["brand", "price", "brand", "price", "desktops"]
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ mod tests {
         let distinct: std::collections::HashSet<String> = (0..100)
             .map(|i| mode.value_label(&format!("value-{i}")).unwrap())
             .collect();
-        assert!(distinct.len() > 90, "only {} distinct buckets", distinct.len());
+        assert!(
+            distinct.len() > 90,
+            "only {} distinct buckets",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ fn value_text(doc: &Document, node: NodeId) -> Option<&str> {
 
 /// Escapes the three characters XML text content cannot contain raw.
 fn escape_text(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders `doc` to a `String` (convenience over [`write_document`]).

@@ -34,7 +34,10 @@ fn main() {
     let session = [
         ("movie/cast/actor", "all actor credits"),
         ("movie[cast/actor]", "actor credits, as a branching twig"),
-        ("movie[cast/actor[role]][genres]", "credits with a role, in movies listing genres"),
+        (
+            "movie[cast/actor[role]][genres]",
+            "credits with a role, in movies listing genres",
+        ),
         (
             "movie[cast/actor[role]][genres/genre][ratings]",
             "...expanded per genre, with ratings",

@@ -53,7 +53,10 @@ fn main() {
     plan.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"));
 
     let counter = MatchCounter::new(&doc);
-    println!("{:<45} {:>12} {:>12}", "predicate (chosen order)", "estimate", "true");
+    println!(
+        "{:<45} {:>12} {:>12}",
+        "predicate (chosen order)", "estimate", "true"
+    );
     let mut true_order_ok = true;
     let mut prev_truth = 0u64;
     for (q, est) in &plan {
@@ -67,6 +70,10 @@ fn main() {
     }
     println!(
         "\nplan order agrees with true selectivity order: {}",
-        if true_order_ok { "yes" } else { "no (estimation inversion)" }
+        if true_order_ok {
+            "yes"
+        } else {
+            "no (estimation inversion)"
+        }
     );
 }

@@ -21,7 +21,11 @@ fn main() {
                   </desktops>\
                 </computer>";
     let doc = parse_document(xml, ParseOptions::default()).expect("well-formed XML");
-    println!("document: {} elements, {} labels", doc.len(), doc.labels().len());
+    println!(
+        "document: {} elements, {} labels",
+        doc.len(),
+        doc.labels().len()
+    );
 
     // Build a 3-lattice: exact counts of every twig pattern up to 3 nodes.
     let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
@@ -33,10 +37,10 @@ fn main() {
 
     // Estimate a few queries and compare with exact counts.
     let queries = [
-        "//laptop[brand][price]",   // Figure 1(b)
+        "//laptop[brand][price]", // Figure 1(b)
         "laptops/laptop/brand",
         "computer[laptops][desktops]",
-        "laptop[brand][price][nosuchtag]", // impossible
+        "laptop[brand][price][nosuchtag]",       // impossible
         "computer/laptops/laptop[brand][price]", // size 5 > k: decomposed
     ];
     println!("{:<45} {:>9} {:>9}", "query", "estimate", "true");

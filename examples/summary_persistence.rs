@@ -43,10 +43,18 @@ fn main() {
         loaded.summary().len()
     );
 
-    let queries = ["dataset/reference/source", "dataset[title][identifier]", "field[name][units]"];
+    let queries = [
+        "dataset/reference/source",
+        "dataset[title][identifier]",
+        "field[name][units]",
+    ];
     for q in queries {
-        let before = lattice.estimate_query(q, Estimator::RecursiveVoting).unwrap();
-        let after = loaded.estimate_query(q, Estimator::RecursiveVoting).unwrap();
+        let before = lattice
+            .estimate_query(q, Estimator::RecursiveVoting)
+            .unwrap();
+        let after = loaded
+            .estimate_query(q, Estimator::RecursiveVoting)
+            .unwrap();
         assert_eq!(before, after, "round trip must preserve estimates");
         println!("{q:<35} -> {after:.1}");
     }

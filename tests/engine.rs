@@ -1,0 +1,196 @@
+//! Integration tests for the batched estimation engine.
+//!
+//! The engine contract under test:
+//! * `estimate_batch` is bit-for-bit identical to a sequential
+//!   `TreeLattice::estimate_with` loop, for every estimator and any thread
+//!   count, warm or cold cache;
+//! * summary mutations (`update_after_edit`, `prune`) invalidate the shared
+//!   cache through the generation counter;
+//! * one engine serves concurrent batches from multiple OS threads without
+//!   data races or cross-talk.
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_workload::{negative_workload, positive_workload};
+use tl_xml::{append_subtree, parse_document, Document, ParseOptions};
+use treelattice::{
+    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+};
+
+fn dataset() -> Document {
+    Dataset::Xmark.generate(GenConfig {
+        seed: 7,
+        target_elements: 3000,
+    })
+}
+
+/// A mixed workload with structural overlap: positives at two sizes plus
+/// negatives, so the shared cache has something to share.
+fn mixed_twigs(doc: &Document) -> Vec<tl_twig::Twig> {
+    let mut twigs = Vec::new();
+    for (size, n, seed) in [(5, 25, 11), (6, 25, 12)] {
+        twigs.extend(
+            positive_workload(doc, size, n, seed)
+                .cases
+                .into_iter()
+                .map(|c| c.twig),
+        );
+    }
+    twigs.extend(
+        negative_workload(doc, 5, 10, 13)
+            .cases
+            .into_iter()
+            .map(|c| c.twig),
+    );
+    assert!(twigs.len() >= 40, "workload generation came up short");
+    twigs
+}
+
+#[test]
+fn batch_is_bitwise_equal_to_sequential_for_all_estimators_and_threads() {
+    let doc = dataset();
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let twigs = mixed_twigs(&doc);
+    let opts = EstimateOptions::default();
+    for estimator in Estimator::ALL {
+        let expected: Vec<u64> = twigs
+            .iter()
+            .map(|t| lattice.estimate_with(t, estimator, &opts).to_bits())
+            .collect();
+        for threads in [1, 4] {
+            let engine = EstimationEngine::new(EngineConfig { shards: 8, threads });
+            // Cold cache, then warm cache: both must be exact.
+            for pass in ["cold", "warm"] {
+                let got = engine.estimate_batch(&lattice, &twigs, estimator, &opts);
+                assert_eq!(got.len(), twigs.len());
+                for (i, v) in got.iter().enumerate() {
+                    assert_eq!(
+                        v.to_bits(),
+                        expected[i],
+                        "{estimator}, threads={threads}, {pass} pass, query {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn update_after_edit_invalidates_the_shared_cache() {
+    let base = parse_document(
+        b"<r><a><b/><c/></a><a><b/><c/></a><a><b/></a></r>",
+        ParseOptions::default(),
+    )
+    .unwrap();
+    let mut lattice = TreeLattice::build(&base, &BuildConfig::with_k(3));
+    let engine = EstimationEngine::default();
+    let opts = EstimateOptions::default();
+    let twig = lattice.parse_query("a[b][c]").unwrap();
+
+    let before = engine.estimate(&lattice, &twig, Estimator::Recursive, &opts);
+    assert_eq!(before, 2.0);
+    let generation_before = lattice.generation();
+
+    // Append another a[b][c] record: the true count becomes 3.
+    let record = parse_document(b"<a><b/><c/></a>", ParseOptions::default()).unwrap();
+    let edit = append_subtree(&base, base.root(), &record);
+    lattice.update_after_edit(&edit.document, &edit.touched);
+    assert_ne!(lattice.generation(), generation_before);
+
+    let after = engine.estimate(&lattice, &twig, Estimator::Recursive, &opts);
+    assert_eq!(after, 3.0, "stale cached estimate served after an edit");
+}
+
+#[test]
+fn prune_invalidates_the_shared_cache() {
+    let doc = dataset();
+    let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let engine = EstimationEngine::default();
+    let opts = EstimateOptions::default();
+    let twigs = mixed_twigs(&doc);
+
+    // Warm the cache on the unpruned summary.
+    engine.estimate_batch(&lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    lattice.prune(0.05);
+
+    // Every post-prune engine answer must match a fresh per-query run
+    // against the pruned summary.
+    let got = engine.estimate_batch(&lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    for (i, twig) in twigs.iter().enumerate() {
+        let direct = lattice.estimate_with(twig, Estimator::RecursiveVoting, &opts);
+        assert_eq!(got[i].to_bits(), direct.to_bits(), "query {i}");
+    }
+}
+
+#[test]
+fn concurrent_batches_share_one_engine_race_free() {
+    let doc = dataset();
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let engine = EstimationEngine::new(EngineConfig {
+        shards: 4,
+        threads: 4,
+    });
+    let opts = EstimateOptions::default();
+    let twigs_a = mixed_twigs(&doc);
+    let twigs_b: Vec<tl_twig::Twig> = positive_workload(&doc, 6, 30, 99)
+        .cases
+        .into_iter()
+        .map(|c| c.twig)
+        .collect();
+    let expected_a: Vec<u64> = twigs_a
+        .iter()
+        .map(|t| {
+            lattice
+                .estimate_with(t, Estimator::Recursive, &opts)
+                .to_bits()
+        })
+        .collect();
+    let expected_b: Vec<u64> = twigs_b
+        .iter()
+        .map(|t| {
+            lattice
+                .estimate_with(t, Estimator::Recursive, &opts)
+                .to_bits()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let run_a =
+            scope.spawn(|| engine.estimate_batch(&lattice, &twigs_a, Estimator::Recursive, &opts));
+        let run_b =
+            scope.spawn(|| engine.estimate_batch(&lattice, &twigs_b, Estimator::Recursive, &opts));
+        let got_a = run_a.join().unwrap();
+        let got_b = run_b.join().unwrap();
+        for (i, v) in got_a.iter().enumerate() {
+            assert_eq!(v.to_bits(), expected_a[i], "batch A query {i}");
+        }
+        for (i, v) in got_b.iter().enumerate() {
+            assert_eq!(v.to_bits(), expected_b[i], "batch B query {i}");
+        }
+    });
+}
+
+#[test]
+fn stats_report_hits_entries_and_batch_time() {
+    let doc = dataset();
+    let lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+    let engine = EstimationEngine::new(EngineConfig {
+        shards: 8,
+        threads: 2,
+    });
+    let opts = EstimateOptions::default();
+    let twigs = mixed_twigs(&doc);
+
+    engine.estimate_batch(&lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    let cold = engine.stats();
+    assert!(cold.misses > 0, "cold batch must compute entries");
+    assert!(cold.entries > 0);
+    assert!(cold.bytes > 0);
+
+    engine.estimate_batch(&lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    let warm = engine.stats();
+    assert!(warm.hits > cold.hits, "warm batch must hit the cache");
+    assert!(warm.hit_rate() > 0.0);
+
+    engine.clear();
+    assert_eq!(engine.stats().entries, 0);
+}

@@ -43,7 +43,10 @@ fn delta_trades_space_for_accuracy() {
     for delta in [0.0, 0.1, 0.3] {
         let mut lat = full.clone();
         lat.prune(delta);
-        assert!(lat.summary_bytes() <= prev_bytes, "delta {delta} grew the summary");
+        assert!(
+            lat.summary_bytes() <= prev_bytes,
+            "delta {delta} grew the summary"
+        );
         prev_bytes = lat.summary_bytes();
         let estimates: Vec<f64> = w
             .cases
@@ -123,15 +126,10 @@ fn online_insertion_of_observed_patterns_improves_future_answers() {
     let before = lattice.estimate(&case.twig, Estimator::Recursive);
     // Feed back the observed truth.
     let mut tuned_summary = lattice.summary().clone();
-    tuned_summary.insert(
-        tl_twig::canonical::key_of(&case.twig),
-        case.true_count,
-    );
+    tuned_summary.insert(tl_twig::canonical::key_of(&case.twig), case.true_count);
     let tuned = TreeLattice::from_parts(lattice.labels().clone(), tuned_summary);
     let after = tuned.estimate(&case.twig, Estimator::Recursive);
     assert_eq!(after, case.true_count as f64);
     // `before` may or may not have been exact; tuning never hurts.
-    assert!(
-        (after - case.true_count as f64).abs() <= (before - case.true_count as f64).abs()
-    );
+    assert!((after - case.true_count as f64).abs() <= (before - case.true_count as f64).abs());
 }

@@ -1,0 +1,195 @@
+//! Offline shim for `criterion` 0.5 (see `vendor/README.md`).
+//!
+//! Provides the macro/builder surface the workspace benches use and times
+//! each benchmark with a plain wall-clock mean (short warm-up, fixed-budget
+//! measurement loop). Results are printed one line per benchmark; there are
+//! no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark throughput annotation; printed next to the timing.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; benchmarks report as `group/function`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    /// Times a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.measurement;
+        run_one(&id.into(), None, 50, budget, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales the measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let budget = self.criterion.measurement * (self.sample_size as u32) / 50;
+        run_one(
+            &full,
+            self.throughput,
+            self.sample_size,
+            budget.max(Duration::from_millis(50)),
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times and records the total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    budget: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration: time one iteration to size the real run.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budgeted = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let iters = budgeted.min(sample_size as u64 * 100).max(1);
+
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            " ({:.1} MiB/s)",
+            n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+        ),
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / mean_ns * 1e9),
+    });
+    println!(
+        "{id:<48} {:>12.1} ns/iter  [{} iters]{}",
+        mean_ns,
+        iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a group function running each target with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(1))
+            .bench_function("counter", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for the `serde` facade (see `vendor/README.md`).
+//!
+//! Re-exports the no-op derives; the marker traits exist so `use
+//! serde::{Deserialize, Serialize}` resolves in both namespaces.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented or called).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented or called).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` for API compatibility
+//! but ships its own binary format (`treelattice::serialize`) and never
+//! invokes a serde serializer, so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
