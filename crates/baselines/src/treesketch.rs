@@ -24,7 +24,7 @@
 //! analyzes.
 
 use tl_twig::{Twig, TwigNodeId};
-use tl_xml::{Document, FxHashMap, FxHashSet, LabelId, NodeId};
+use tl_xml::{DocIndex, Document, FxHashMap, FxHashSet, LabelId, NodeId};
 
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -57,7 +57,13 @@ pub struct TreeSketch {
 impl TreeSketch {
     /// Builds the synopsis for `doc` under `config.budget_bytes`.
     pub fn build(doc: &Document, config: SketchConfig) -> Self {
-        Agglomerator::new(doc).run(config.budget_bytes)
+        Self::build_with_index(doc, &DocIndex::new(doc), config)
+    }
+
+    /// [`build`](TreeSketch::build) over a pre-built document index; the
+    /// count-stable partition pass reads children from its CSR slices.
+    pub fn build_with_index(doc: &Document, index: &DocIndex, config: SketchConfig) -> Self {
+        Agglomerator::new(doc, index).run(config.budget_bytes)
     }
 
     /// Number of clusters.
@@ -138,7 +144,7 @@ struct Agglomerator {
 }
 
 impl Agglomerator {
-    fn new(doc: &Document) -> Self {
+    fn new(doc: &Document, index: &DocIndex) -> Self {
         // Count-stable initial partition: the cluster of a node is
         // determined by its label and the *multiset of child clusters with
         // counts*, computed in one bottom-up pass (children have larger
@@ -150,7 +156,7 @@ impl Agglomerator {
         for raw in (0..doc.len() as u32).rev() {
             let v = NodeId(raw);
             let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
-            for u in doc.children(v) {
+            for &u in index.children(v) {
                 *counts.entry(assignment[u.index()]).or_insert(0) += 1;
             }
             let mut sig: Vec<(u32, u32)> = counts.into_iter().collect();

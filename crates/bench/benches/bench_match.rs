@@ -1,25 +1,48 @@
 //! Exact twig-match counting (ground-truth selectivity).
+//!
+//! The unsuffixed benches time the production dense CSR kernel (the names
+//! predate the rewrite, so criterion's history tracks the speedup); the
+//! `_reference` benches time the preserved hash-map kernel on identical
+//! workloads, making the old-vs-new ratio visible inside a single run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tl_datagen::{Dataset, GenConfig};
-use tl_twig::MatchCounter;
-use tl_workload::positive_workload;
+use tl_twig::{MatchCounter, ReferenceMatchCounter};
+use tl_workload::positive_workload_with_index;
+use tl_xml::DocIndex;
 
 fn bench_match(c: &mut Criterion) {
     let doc = Dataset::Xmark.generate(GenConfig {
         seed: 3,
         target_elements: 30_000,
     });
-    let counter = MatchCounter::new(&doc);
+    let index = DocIndex::new(&doc);
+    let counter = MatchCounter::with_index(&doc, &index);
+    let reference = ReferenceMatchCounter::new(&doc);
     let mut group = c.benchmark_group("exact_match");
     for size in [3usize, 5, 8] {
-        let w = positive_workload(&doc, size, 10, 5);
+        let w = positive_workload_with_index(&doc, &index, size, 10, 5);
         assert!(!w.cases.is_empty());
+        let dense_total: u64 = w.cases.iter().map(|c| counter.count(&c.twig)).sum();
+        let reference_total: u64 = w.cases.iter().map(|c| reference.count(&c.twig)).sum();
+        assert_eq!(
+            dense_total, reference_total,
+            "kernels disagree at size {size}"
+        );
         group.bench_function(format!("xmark_size{size}"), |b| {
             b.iter(|| {
                 let mut total = 0u64;
                 for case in &w.cases {
                     total = total.wrapping_add(counter.count(&case.twig));
+                }
+                std::hint::black_box(total)
+            })
+        });
+        group.bench_function(format!("xmark_size{size}_reference"), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for case in &w.cases {
+                    total = total.wrapping_add(reference.count(&case.twig));
                 }
                 std::hint::black_box(total)
             })

@@ -1,0 +1,6 @@
+//! Kernel comparison runner; see `tl_bench::experiments::matcher`.
+
+fn main() {
+    let cfg = tl_bench::ExpConfig::from_args();
+    tl_bench::experiments::matcher::run(&cfg);
+}

@@ -8,8 +8,8 @@ use std::time::{Duration, Instant};
 
 use tl_baselines::{SketchConfig, TreeSketch};
 use tl_datagen::Dataset;
-use tl_workload::{positive_workload, Workload};
-use tl_xml::Document;
+use tl_workload::{positive_workload_with_index, Workload};
+use tl_xml::{DocIndex, Document};
 use treelattice::{
     BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
 };
@@ -69,20 +69,26 @@ pub struct Estimators {
     /// cells so sub-twig overlap between sizes accumulates (Figure 9's
     /// cached-engine column).
     pub engine: EstimationEngine,
+    /// The one document index shared by mining, the baseline build, and
+    /// the workload ground-truth labeling.
+    pub index: DocIndex,
 }
 
 impl Estimators {
-    /// Builds both systems.
+    /// Builds both systems (indexing the document once for everything).
     pub fn build(cfg: &ExpConfig, doc: &Document) -> Self {
+        let index = DocIndex::new(doc);
         Self {
-            lattice: TreeLattice::build(doc, &BuildConfig::with_k(cfg.k)),
-            sketch: TreeSketch::build(
+            lattice: TreeLattice::build_with_index(doc, &index, &BuildConfig::with_k(cfg.k)),
+            sketch: TreeSketch::build_with_index(
                 doc,
+                &index,
                 SketchConfig {
                     budget_bytes: cfg.sketch_budget,
                 },
             ),
             engine: EstimationEngine::new(EngineConfig::default()),
+            index,
         }
     }
 
@@ -160,8 +166,13 @@ pub fn sweep(cfg: &ExpConfig, dataset: Dataset, doc: &Document) -> DatasetSweep 
 }
 
 fn run_cell(cfg: &ExpConfig, est: &Estimators, doc: &Document, size: usize) -> SizeResult {
-    let workload: Workload =
-        positive_workload(doc, size, cfg.queries, cfg.seed.wrapping_add(size as u64));
+    let workload: Workload = positive_workload_with_index(
+        doc,
+        &est.index,
+        size,
+        cfg.queries,
+        cfg.seed.wrapping_add(size as u64),
+    );
     let truths = workload.true_counts();
     let mut estimates: [Vec<f64>; 4] = Default::default();
     let mut times = [Duration::ZERO; 4];
@@ -205,6 +216,7 @@ fn run_cell(cfg: &ExpConfig, est: &Estimators, doc: &Document, size: usize) -> S
 mod tests {
     use super::*;
     use crate::data::one_dataset;
+    use tl_workload::positive_workload;
 
     #[test]
     fn sweep_produces_full_grid() {

@@ -7,6 +7,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod matcher;
 pub mod negative;
 pub mod scale_sweep;
 pub mod table1;
@@ -34,4 +35,5 @@ pub fn run_all(cfg: &ExpConfig) {
     ablation::run_k(cfg);
     values::run(cfg);
     scale_sweep::run(cfg);
+    matcher::run(cfg);
 }

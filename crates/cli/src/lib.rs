@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use tl_datagen::{Dataset, GenConfig};
-use tl_twig::{count_matches, parse_twig};
+use tl_twig::parse_twig;
 use tl_xml::{parse_document, ParseOptions, ValueMode};
 use treelattice::{
     BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
@@ -446,22 +446,6 @@ fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
         mode => tl_twig::parse_twig_valued(&query, &mut labels, mode),
     }
     .map_err(|e| CliError::usage(format!("query: {e}")))?;
-    // The exact counter's injective subset-DP is exponential in the largest
-    // same-label sibling group; reject hostile queries instead of panicking.
-    for n in twig.nodes() {
-        let mut by_label: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
-        for &c in twig.children(n) {
-            *by_label.entry(twig.label(c)).or_insert(0) += 1;
-        }
-        if let Some((_, &g)) = by_label.iter().max_by_key(|(_, &g)| g) {
-            if g > tl_twig::matcher::MAX_SIBLING_GROUP {
-                return Err(CliError::usage(format!(
-                    "query has {g} same-label sibling steps; exact counting supports at most {}",
-                    tl_twig::matcher::MAX_SIBLING_GROUP
-                )));
-            }
-        }
-    }
     // Labels unknown to the document cannot match.
     let count = if twig
         .nodes()
@@ -469,7 +453,12 @@ fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
     {
         0
     } else {
-        count_matches(&doc, &twig)
+        // The exact kernel rejects hostile queries (an oversized same-label
+        // sibling group makes the injective subset-DP exponential); surface
+        // that as a usage error instead of a count.
+        tl_twig::MatchCounter::new(&doc)
+            .try_count(&twig)
+            .map_err(|e| CliError::usage(format!("query: {e}")))?
     };
     let _ = writeln!(out, "{count}");
     Ok(())
@@ -655,6 +644,26 @@ mod tests {
             .unwrap();
         assert_eq!(est, truth, "size-2 query is exact");
 
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn truth_rejects_oversized_sibling_groups_as_usage_error() {
+        let dir = tempdir();
+        let xml = dir.join("hostile.xml");
+        std::fs::write(&xml, "<a><b/><b/></a>").unwrap();
+        // One more same-label step than the kernel's subset-DP bound.
+        let mut query = String::from("a");
+        for _ in 0..=tl_twig::MAX_SIBLING_GROUP {
+            query.push_str("[b]");
+        }
+        let err = call(&["truth", xml.to_str().unwrap(), &query]).unwrap_err();
+        assert_eq!(err.code, 2, "usage error, not a panic");
+        assert!(
+            err.message.contains("same-label sibling"),
+            "{}",
+            err.message
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

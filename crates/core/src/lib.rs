@@ -55,9 +55,9 @@ pub mod serialize;
 pub mod summary;
 pub mod trie;
 
-use tl_miner::{mine, MineConfig};
+use tl_miner::{mine_with_index, MineConfig};
 use tl_twig::{parse_twig, Twig, TwigParseError};
-use tl_xml::{Document, LabelInterner};
+use tl_xml::{DocIndex, Document, LabelInterner};
 
 pub use engine::{EngineConfig, EngineStats, EstimationEngine};
 pub use estimator::{estimate, EstimateOptions, Estimator};
@@ -124,8 +124,14 @@ fn next_generation() -> u64 {
 impl TreeLattice {
     /// Mines `doc` and builds the summary.
     pub fn build(doc: &Document, config: &BuildConfig) -> Self {
-        let report = mine(
-            doc,
+        Self::build_with_index(doc, &DocIndex::new(doc), config)
+    }
+
+    /// [`build`](TreeLattice::build) over a pre-built document index, so one
+    /// index per document serves mining, ground truth, and baselines.
+    pub fn build_with_index(doc: &Document, index: &DocIndex, config: &BuildConfig) -> Self {
+        let report = mine_with_index(
+            index,
             MineConfig {
                 max_size: config.k,
                 threads: config.threads,

@@ -2,11 +2,15 @@
 
 use tl_twig::canonical::{key_of, key_of_subtree};
 use tl_twig::{Twig, TwigKey};
-use tl_xml::{Document, FxHashMap, FxHashSet, NodeId};
+use tl_xml::{DocIndex, Document, FxHashMap, FxHashSet, LabelId};
 
-/// Map from document node id to the number of matches of a pattern rooted
-/// at that node (only nodes with a positive count are stored).
-type RootMap = FxHashMap<u32, u64>;
+/// Sparse root map of a pattern: `(rank, m)` pairs, sorted ascending, where
+/// `rank` is the within-label rank (see [`DocIndex::rank`]) of a document
+/// node hosting `m ≥ 1` matches of the pattern. Rank-keyed so counting can
+/// scatter a map into a dense per-label vector and read it back with plain
+/// indexing; sparse at rest so the level cache stays proportional to the
+/// number of *occurrences*, not to the document.
+type RootMap = Vec<(u32, u64)>;
 
 /// Configuration for [`mine`].
 #[derive(Clone, Copy, Debug)]
@@ -58,6 +62,9 @@ pub struct MineReport {
 /// Mines all occurred twig patterns of `doc` up to `config.max_size` nodes,
 /// with exact selectivities.
 ///
+/// Builds a throwaway [`DocIndex`]; callers that already hold one (the
+/// lattice builder, the bench harness) use [`mine_with_index`] to share it.
+///
 /// # Examples
 ///
 /// ```
@@ -73,19 +80,28 @@ pub struct MineReport {
 /// assert!(q3.is_ok());
 /// ```
 pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
+    mine_with_index(&DocIndex::new(doc), config)
+}
+
+/// [`mine`] over a pre-built document index.
+///
+/// Everything the miner asks of the document — label populations, per-label
+/// child slices, the label-level adjacency bounding candidate generation —
+/// comes from the index, so one index per document serves mining, ground
+/// truth, and the experiment harness without re-indexing.
+pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
     assert!(config.max_size >= 1, "max_size must be at least 1");
-    let by_label = doc.nodes_by_label();
-    let child_labels = child_label_index(doc);
 
     let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(config.max_size);
     let mut candidates_per_level: Vec<usize> = Vec::with_capacity(config.max_size);
 
     // Level 1: one pattern per occurring label.
     let mut level1 = FxHashMap::default();
-    for (label_idx, nodes) in by_label.iter().enumerate() {
-        if !nodes.is_empty() {
-            let t = Twig::single(tl_xml::LabelId(label_idx as u32));
-            level1.insert(key_of(&t), nodes.len() as u64);
+    for l in 0..index.n_labels() {
+        let label = LabelId(l as u32);
+        let count = index.label_count(label);
+        if count > 0 {
+            level1.insert(key_of(&Twig::single(label)), count);
         }
     }
     candidates_per_level.push(level1.len());
@@ -96,12 +112,11 @@ pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
     let mut cache: FxHashMap<TwigKey, RootMap> = FxHashMap::default();
 
     for size in 2..=config.max_size {
-        let candidates = generate_candidates(&levels[size - 2], &child_labels);
+        let candidates = generate_candidates(&levels[size - 2], index);
         candidates_per_level.push(candidates.len());
         let keep_maps = size < config.max_size;
         let counted = count_candidates(
-            doc,
-            &by_label,
+            index,
             &cache,
             candidates,
             config.effective_threads(),
@@ -130,60 +145,49 @@ pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
     }
 }
 
-/// Distinct child labels per parent label, from the document's edges.
-fn child_label_index(doc: &Document) -> Vec<FxHashSet<u32>> {
-    let mut index = vec![FxHashSet::default(); doc.labels().len()];
-    for v in doc.pre_order() {
-        if let Some(p) = doc.parent(v) {
-            index[doc.label(p).index()].insert(doc.label(v).0);
-        }
-    }
-    index
-}
-
 /// Extends every level-(n−1) pattern by one child edge, deduplicates by
 /// canonical key, and Apriori-prunes candidates with a non-occurring
-/// sub-pattern. Returns canonical twigs sorted by key for determinism.
-fn generate_candidates(
-    prev: &FxHashMap<TwigKey, u64>,
-    child_labels: &[FxHashSet<u32>],
-) -> Vec<(TwigKey, Twig)> {
+/// sub-pattern. Extension labels come from the index's label-level
+/// adjacency. Returns canonical twigs sorted by key for determinism.
+fn generate_candidates(prev: &FxHashMap<TwigKey, u64>, index: &DocIndex) -> Vec<(TwigKey, Twig)> {
     let mut seen: FxHashSet<TwigKey> = FxHashSet::default();
     let mut out: Vec<(TwigKey, Twig)> = Vec::new();
     // Scratch twigs reused across the whole enumeration: `base` receives
     // each previous-level pattern, `sub` each one-smaller sub-pattern of a
     // candidate during the Apriori check.
-    let mut base = Twig::single(tl_xml::LabelId(0));
-    let mut sub = Twig::single(tl_xml::LabelId(0));
+    let mut base = Twig::single(LabelId(0));
+    let mut sub = Twig::single(LabelId(0));
     for key in prev.keys() {
         key.decode_into(&mut base);
-        for q in base.nodes() {
-            let parent_label = base.label(q);
-            let Some(labels) = child_labels.get(parent_label.index()) else {
-                continue;
-            };
-            for &l in labels {
-                let mut ext = base.clone();
-                let added = ext.add_child(q, tl_xml::LabelId(l));
-                let ext_key = key_of(&ext);
-                if !seen.insert(ext_key.clone()) {
+        let n = base.len() as u32;
+        for q in 0..n {
+            for &l in index.child_labels_of(base.label(q)) {
+                // Extend the scratch twig in place; `pop_leaf` backs the
+                // extension out at the bottom of the loop, so a clone is
+                // paid only for candidates that survive every filter.
+                let added = base.add_child(q, l);
+                let ext_key = key_of(&base);
+                if seen.contains(&ext_key) {
+                    base.pop_leaf(added);
                     continue;
                 }
                 // Apriori: every one-smaller sub-pattern must occur.
-                // Removing the node just added reproduces `base`, whose key
-                // is in `prev` by construction — no need to re-canonicalize
-                // that one.
-                let ok = ext
+                // Removing the node just added reproduces the unextended
+                // pattern, whose key is in `prev` by construction — no need
+                // to re-canonicalize that one.
+                let ok = base
                     .removable_nodes()
                     .into_iter()
                     .filter(|&r| r != added)
                     .all(|r| {
-                        ext.remove_node_into(r, &mut sub);
+                        base.remove_node_into(r, &mut sub);
                         prev.contains_key(&key_of(&sub))
                     });
                 if ok {
-                    out.push((ext_key, ext));
+                    out.push((ext_key.clone(), base.clone()));
                 }
+                seen.insert(ext_key);
+                base.pop_leaf(added);
             }
         }
     }
@@ -191,20 +195,93 @@ fn generate_candidates(
     out
 }
 
+/// How one same-label child group of the current candidate produces its
+/// per-root factor `f`.
+#[derive(Clone, Copy)]
+enum GroupF {
+    /// Single leaf child: `f(v)` = number of children of `v` with the
+    /// group's label, read from the per-(parent label, child label) count
+    /// vector in [`Scratch::pair_cache`].
+    Leaf,
+    /// Single non-leaf child: `f(v)` = sum of the child map's `m` over the
+    /// children of `v`, pre-accumulated into `Scratch::facc[slot]` by one
+    /// pass over the map (each occurrence walks up to its parent).
+    Cached(usize),
+    /// Same-label sibling group: injective subset DP over the document
+    /// children, using the per-member dense vectors in `Scratch::dense`.
+    Dp,
+}
+
+/// Per-child-label count vector for one (parent label, child label) pair:
+/// `cnt[r]` = how many children with the child label the `r`-th parent-label
+/// node has; `support` lists the ranks with `cnt > 0`, sorted.
+struct PairCounts {
+    cnt: Vec<u64>,
+    support: Vec<u32>,
+}
+
+/// Per-worker reusable buffers for [`count_one`]: pools of dense vectors
+/// (all-zero between uses — each use scatters data in and un-scatters it on
+/// the way out), the subset-DP table and weights, the per-candidate small
+/// vectors that would otherwise be reallocated for every candidate, and a
+/// cache of per-(parent label, child label) child counts shared by every
+/// candidate the worker processes. Borrows from the level cache live `'c`.
+#[derive(Default)]
+struct Scratch<'c> {
+    /// Dense child m-vectors for DP groups, indexed by within-label rank of
+    /// the *child* label.
+    dense: Vec<Vec<u64>>,
+    dp: Vec<u64>,
+    weights: Vec<u64>,
+    cached: Vec<Option<&'c RootMap>>,
+    dense_slot: Vec<usize>,
+    roots: Vec<u32>,
+    group_labels: Vec<LabelId>,
+    group_members: Vec<Vec<usize>>,
+    group_kind: Vec<GroupF>,
+    /// Accumulated factors for [`GroupF::Cached`] groups, indexed by
+    /// within-label rank of the *root* label, plus their nonzero ranks.
+    facc: Vec<Vec<u64>>,
+    facc_support: Vec<Vec<u32>>,
+    pair_cache: FxHashMap<(u32, u32), PairCounts>,
+}
+
+impl PairCounts {
+    /// Counts, for every node of `root_label`, its children labeled
+    /// `child_label` — one pass over the child label's population.
+    fn build(index: &DocIndex, root_label: LabelId, child_label: LabelId) -> Self {
+        let parents = index.nodes_with_label(root_label);
+        let mut cnt = vec![0u64; parents.len()];
+        let mut support = Vec::new();
+        for &u in index.nodes_with_label(child_label) {
+            let Some(p) = index.parent(u) else { continue };
+            let r = index.rank(p) as usize;
+            if parents.get(r) == Some(&p) {
+                if cnt[r] == 0 {
+                    support.push(r as u32);
+                }
+                cnt[r] += 1;
+            }
+        }
+        support.sort_unstable();
+        Self { cnt, support }
+    }
+}
+
 /// Counts each candidate; optionally returns its root map for the cache.
 fn count_candidates(
-    doc: &Document,
-    by_label: &[Vec<NodeId>],
+    index: &DocIndex,
     cache: &FxHashMap<TwigKey, RootMap>,
     candidates: Vec<(TwigKey, Twig)>,
     threads: usize,
     keep_maps: bool,
 ) -> Vec<(TwigKey, u64, Option<RootMap>)> {
     if threads <= 1 || candidates.len() < 64 {
+        let mut scratch = Scratch::default();
         return candidates
             .into_iter()
             .map(|(key, twig)| {
-                let (count, map) = count_one(doc, by_label, cache, &twig, keep_maps);
+                let (count, map) = count_one(index, cache, &twig, keep_maps, &mut scratch);
                 (key, count, map)
             })
             .collect();
@@ -212,10 +289,11 @@ fn count_candidates(
     // Work-stealing over a shared cursor: candidate cost varies wildly (a
     // deep same-label DP group can dominate a level), so a static chunk
     // split would serialize behind the unlucky worker. Results are written
-    // back by index, keeping the output order identical to the serial path.
+    // back by index; keys never cross threads — they are moved out of the
+    // owned candidates vec afterwards, pairing each with its slot.
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.min(candidates.len());
-    let mut slots: Vec<Option<(TwigKey, u64, Option<RootMap>)>> = Vec::new();
+    let mut slots: Vec<Option<(u64, Option<RootMap>)>> = Vec::new();
     slots.resize_with(candidates.len(), || None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -223,133 +301,269 @@ fn count_candidates(
                 let cursor = &cursor;
                 let candidates = &candidates;
                 scope.spawn(move || {
+                    let mut scratch = Scratch::default();
                     let mut out = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some((key, twig)) = candidates.get(i) else {
+                        let Some((_, twig)) = candidates.get(i) else {
                             break;
                         };
-                        let (count, map) = count_one(doc, by_label, cache, twig, keep_maps);
-                        out.push((i, key.clone(), count, map));
+                        let (count, map) = count_one(index, cache, twig, keep_maps, &mut scratch);
+                        out.push((i, count, map));
                     }
                     out
                 })
             })
             .collect();
         for h in handles {
-            for (i, key, count, map) in h.join().expect("mining worker panicked") {
-                slots[i] = Some((key, count, map));
+            for (i, count, map) in h.join().expect("mining worker panicked") {
+                slots[i] = Some((count, map));
             }
         }
     });
-    slots
+    candidates
         .into_iter()
-        .map(|s| s.expect("every candidate counted"))
+        .zip(slots)
+        .map(|((key, _), slot)| {
+            let (count, map) = slot.expect("every candidate counted");
+            (key, count, map)
+        })
         .collect()
 }
 
 /// Counts one candidate using the cached root maps of its child subtrees.
-fn count_one(
-    doc: &Document,
-    by_label: &[Vec<NodeId>],
-    cache: &FxHashMap<TwigKey, RootMap>,
+///
+/// Cached maps are sparse `(rank, m)` pairs; each non-leaf child's map is
+/// scattered into a dense per-label vector from `scratch` for the duration
+/// of the call (and zeroed again on the way out), so the inner loops index
+/// by [`DocIndex::rank`] with no hash probes.
+///
+/// When the candidate has at least one non-leaf child, the root loop runs
+/// only over the *parents* of that child's map entries (the smallest map is
+/// chosen) instead of every node carrying the root label: any other root
+/// has no match of that subtree below it and would contribute zero anyway.
+/// For selective patterns this shrinks the scan from the root label's
+/// population to the subtree's occurrence count.
+fn count_one<'c>(
+    index: &DocIndex,
+    cache: &'c FxHashMap<TwigKey, RootMap>,
     twig: &Twig,
     keep_map: bool,
+    scratch: &mut Scratch<'c>,
 ) -> (u64, Option<RootMap>) {
     let root = twig.root();
-    // Child subtrees: label, size, and (for size > 1) cached root map.
-    struct Child<'c> {
-        label: tl_xml::LabelId,
-        map: Option<&'c RootMap>, // None = leaf (size 1)
+    let candidates = index.nodes_with_label(twig.label(root));
+    if candidates.is_empty() {
+        return (0, keep_map.then(RootMap::new));
     }
-    let mut children: Vec<Child<'_>> = Vec::with_capacity(twig.children(root).len());
-    for &c in twig.children(root) {
-        let map = if twig.children(c).is_empty() {
-            None
+
+    // Pass 1 — resolve cached maps before touching any scratch buffer, so
+    // the missing-subtree early-out leaves the scratch invariant intact.
+    let root_children = twig.children(root);
+    scratch.cached.clear();
+    for &c in root_children {
+        if twig.children(c).is_empty() {
+            scratch.cached.push(None); // Leaf: m = 1 on label match.
         } else {
-            let key = key_of_subtree(twig, c);
-            match cache.get(&key) {
-                Some(m) => Some(m),
+            match cache.get(&key_of_subtree(twig, c)) {
+                Some(pairs) => scratch.cached.push(Some(pairs)),
                 // Subtree does not occur => the candidate cannot occur.
-                None => return (0, keep_map.then(RootMap::default)),
+                None => return (0, keep_map.then(RootMap::new)),
             }
-        };
-        children.push(Child {
-            label: twig.label(c),
-            map,
-        });
-    }
-    // Group child indices by label.
-    let mut groups: Vec<(tl_xml::LabelId, Vec<usize>)> = Vec::new();
-    for (i, ch) in children.iter().enumerate() {
-        match groups.iter_mut().find(|(l, _)| *l == ch.label) {
-            Some((_, v)) => v.push(i),
-            None => groups.push((ch.label, vec![i])),
         }
     }
+    let root_label = twig.label(root);
+    let Scratch {
+        dense,
+        dp,
+        weights,
+        cached,
+        dense_slot,
+        roots,
+        group_labels,
+        group_members,
+        group_kind,
+        facc,
+        facc_support,
+        pair_cache,
+    } = scratch;
 
-    let child_m = |i: usize, u: NodeId| -> u64 {
-        let ch = &children[i];
-        match ch.map {
-            None => 1, // label already checked by the caller of child_m
-            Some(m) => m.get(&u.0).copied().unwrap_or(0),
-        }
-    };
-
-    let candidates = by_label
-        .get(twig.label(root).index())
-        .map(Vec::as_slice)
-        .unwrap_or(&[]);
-    let mut total: u64 = 0;
-    let mut map = RootMap::default();
-    let mut doc_children: Vec<NodeId> = Vec::new();
-    for &v in candidates {
-        doc_children.clear();
-        doc_children.extend(doc.children(v));
-        let mut m_v: u64 = 1;
-        for (label, members) in &groups {
-            let f = if members.len() == 1 {
-                let i = members[0];
-                let mut sum = 0u64;
-                for &u in &doc_children {
-                    if doc.label(u) == *label {
-                        sum = sum.saturating_add(child_m(i, u));
-                    }
+    // Group child indices by label (first-appearance order), reusing the
+    // member vectors across calls.
+    group_labels.clear();
+    for (i, &c) in root_children.iter().enumerate() {
+        let label = twig.label(c);
+        match group_labels.iter().position(|&l| l == label) {
+            Some(g) => group_members[g].push(i),
+            None => {
+                group_labels.push(label);
+                if group_members.len() < group_labels.len() {
+                    group_members.push(Vec::new());
                 }
-                sum
-            } else {
-                // Injective subset DP over the same-label group.
-                let g = members.len();
-                let full = (1usize << g) - 1;
-                let mut f = vec![0u64; full + 1];
-                f[0] = 1;
-                let mut w = vec![0u64; g];
-                for &u in &doc_children {
-                    if doc.label(u) != *label {
-                        continue;
+                let g = group_labels.len() - 1;
+                group_members[g].clear();
+                group_members[g].push(i);
+            }
+        }
+    }
+    let n_groups = group_labels.len();
+
+    // Pass 2 — prepare each group's factor source. Leaf singletons read the
+    // shared pair-count cache; cached singletons accumulate their map into a
+    // dense per-root vector by walking each occurrence up to its parent (so
+    // the root loop below never touches child lists for them); DP groups
+    // scatter their members' maps by child rank, as the DP reads per-child
+    // weights.
+    dense_slot.clear();
+    dense_slot.resize(root_children.len(), usize::MAX);
+    group_kind.clear();
+    let (mut n_dense, mut n_facc) = (0usize, 0usize);
+    for g in 0..n_groups {
+        let label = group_labels[g];
+        let members = &group_members[g];
+        if members.len() > 1 {
+            // DP group: dense per-member child m-vectors.
+            for &i in members {
+                let Some(pairs) = cached[i] else { continue };
+                if dense.len() == n_dense {
+                    dense.push(Vec::new());
+                }
+                let buf = &mut dense[n_dense];
+                let need = index.label_count(label) as usize;
+                if buf.len() < need {
+                    buf.resize(need, 0);
+                }
+                for &(rank, m) in pairs.iter() {
+                    buf[rank as usize] = m;
+                }
+                dense_slot[i] = n_dense;
+                n_dense += 1;
+            }
+            group_kind.push(GroupF::Dp);
+        } else if let Some(pairs) = cached[members[0]] {
+            // Cached singleton: accumulate m onto parents with root label.
+            if facc.len() == n_facc {
+                facc.push(Vec::new());
+                facc_support.push(Vec::new());
+            }
+            let buf = &mut facc[n_facc];
+            if buf.len() < candidates.len() {
+                buf.resize(candidates.len(), 0);
+            }
+            let sup = &mut facc_support[n_facc];
+            sup.clear();
+            let child_nodes = index.nodes_with_label(label);
+            for &(rank, m) in pairs.iter() {
+                let Some(p) = index.parent(child_nodes[rank as usize]) else {
+                    continue;
+                };
+                // `p` carries the root label iff its rank points back at
+                // it inside the root label group.
+                let r = index.rank(p) as usize;
+                if candidates.get(r) == Some(&p) {
+                    if buf[r] == 0 {
+                        sup.push(r as u32);
                     }
-                    let mut any = false;
-                    for (slot, &i) in members.iter().enumerate() {
-                        w[slot] = child_m(i, u);
-                        any |= w[slot] != 0;
-                    }
-                    if !any {
-                        continue;
-                    }
-                    for mask in (1..=full).rev() {
-                        let mut add = 0u64;
-                        let mut bits = mask;
-                        while bits != 0 {
-                            let s = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            if w[s] != 0 {
-                                add = add.saturating_add(f[mask ^ (1 << s)].saturating_mul(w[s]));
+                    buf[r] = buf[r].saturating_add(m); // m ≥ 1 keeps it > 0.
+                }
+            }
+            group_kind.push(GroupF::Cached(n_facc));
+            n_facc += 1;
+        } else {
+            // Leaf singleton: per-(root label, child label) child counts,
+            // built once per worker and shared by every candidate.
+            pair_cache
+                .entry((root_label.0, label.0))
+                .or_insert_with(|| PairCounts::build(index, root_label, label));
+            group_kind.push(GroupF::Leaf);
+        }
+    }
+    // All pair-cache insertions are done; immutable borrows are safe now.
+    let leaf_counts: Vec<Option<&PairCounts>> = (0..n_groups)
+        .map(|g| match group_kind[g] {
+            GroupF::Leaf => Some(&pair_cache[&(root_label.0, group_labels[g].0)]),
+            _ => None,
+        })
+        .collect();
+
+    // Candidate roots: the smallest known support among the groups, or the
+    // whole root label group when every group is a DP group. Roots outside
+    // any group's support have that factor equal to zero and contribute
+    // nothing, so restricting the loop leaves the count unchanged.
+    let mut best: Option<&[u32]> = None;
+    for g in 0..n_groups {
+        let sup: &[u32] = match group_kind[g] {
+            GroupF::Leaf => &leaf_counts[g].expect("leaf counts").support,
+            GroupF::Cached(slot) => &facc_support[slot],
+            GroupF::Dp => continue,
+        };
+        if best.is_none_or(|b| sup.len() < b.len()) {
+            best = Some(sup);
+        }
+    }
+    roots.clear();
+    match best {
+        None => roots.extend(0..candidates.len() as u32),
+        Some(sup) => {
+            roots.extend_from_slice(sup);
+            roots.sort_unstable(); // Facc supports are built unsorted.
+        }
+    }
+
+    let mut total: u64 = 0;
+    let mut map = RootMap::new();
+    for &rank_v in roots.iter() {
+        let mut m_v: u64 = 1;
+        for g in 0..n_groups {
+            let f = match group_kind[g] {
+                GroupF::Leaf => leaf_counts[g].expect("leaf counts").cnt[rank_v as usize],
+                GroupF::Cached(slot) => facc[slot][rank_v as usize],
+                GroupF::Dp => {
+                    // Injective subset DP over the same-label group.
+                    let v = candidates[rank_v as usize];
+                    let members = &group_members[g];
+                    let doc_children = index.children_with_label(v, group_labels[g]);
+                    let n = members.len();
+                    if doc_children.len() < n {
+                        0
+                    } else {
+                        let full = (1usize << n) - 1;
+                        dp.clear();
+                        dp.resize(full + 1, 0);
+                        dp[0] = 1;
+                        weights.clear();
+                        weights.resize(n, 0);
+                        for &u in doc_children {
+                            let rank = index.rank(u) as usize;
+                            let mut any = false;
+                            for (slot, &i) in members.iter().enumerate() {
+                                weights[slot] = match dense_slot[i] {
+                                    usize::MAX => 1,
+                                    s => dense[s][rank],
+                                };
+                                any |= weights[slot] != 0;
+                            }
+                            if !any {
+                                continue;
+                            }
+                            for mask in (1..=full).rev() {
+                                let mut add = 0u64;
+                                let mut bits = mask;
+                                while bits != 0 {
+                                    let s = bits.trailing_zeros() as usize;
+                                    bits &= bits - 1;
+                                    if weights[s] != 0 {
+                                        add = add.saturating_add(
+                                            dp[mask ^ (1 << s)].saturating_mul(weights[s]),
+                                        );
+                                    }
+                                }
+                                dp[mask] = dp[mask].saturating_add(add);
                             }
                         }
-                        f[mask] = f[mask].saturating_add(add);
+                        dp[full]
                     }
                 }
-                f[full]
             };
             if f == 0 {
                 m_v = 0;
@@ -360,10 +574,30 @@ fn count_one(
         if m_v > 0 {
             total = total.saturating_add(m_v);
             if keep_map {
-                map.insert(v.0, m_v);
+                map.push((rank_v, m_v)); // rank_v == index.rank(v).
             }
         }
     }
+
+    // Pass 3 — un-scatter: restore the all-zero invariant of the dense and
+    // facc pools by zeroing exactly the slots each map touched (O(nnz)).
+    for (i, pairs) in cached.iter().enumerate() {
+        let Some(pairs) = pairs else { continue };
+        if dense_slot[i] == usize::MAX {
+            continue; // Accumulated into facc, not scattered into dense.
+        }
+        let buf = &mut dense[dense_slot[i]];
+        for &(rank, _) in pairs.iter() {
+            buf[rank as usize] = 0;
+        }
+    }
+    for slot in 0..n_facc {
+        let buf = &mut facc[slot];
+        for &r in &facc_support[slot] {
+            buf[r as usize] = 0;
+        }
+    }
+
     (total, keep_map.then_some(map))
 }
 
@@ -410,6 +644,26 @@ mod tests {
         let r = mine(&d, MineConfig::with_max_size(3));
         let q = parse_twig_in("laptop[brand][price]", d.labels()).unwrap();
         assert_eq!(r.lattice.get_twig(&q), Some(2));
+    }
+
+    #[test]
+    fn shared_index_mine_matches_owned() {
+        let d = Dataset::Xmark.generate(GenConfig {
+            seed: 11,
+            target_elements: 1200,
+        });
+        let index = DocIndex::new(&d);
+        let cfg = MineConfig {
+            max_size: 3,
+            threads: 1,
+        };
+        let owned = mine(&d, cfg);
+        let shared = mine_with_index(&index, cfg);
+        assert_eq!(owned.lattice.len(), shared.lattice.len());
+        for (key, count) in owned.lattice.iter() {
+            assert_eq!(shared.lattice.get(key), Some(count));
+        }
+        assert_eq!(owned.candidates_per_level, shared.candidates_per_level);
     }
 
     /// Brute-force check: every mined count equals the exact matcher's

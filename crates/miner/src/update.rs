@@ -20,7 +20,7 @@
 
 use tl_twig::canonical::key_of;
 use tl_twig::{MatchCounter, Twig, TwigKey};
-use tl_xml::{Document, FxHashMap, FxHashSet, LabelId};
+use tl_xml::{DocIndex, Document, FxHashMap, FxHashSet, LabelId};
 
 use crate::lattice::MinedLattice;
 use crate::mine::MineConfig;
@@ -47,43 +47,46 @@ pub fn update_mined(
     touched: &[LabelId],
     config: MineConfig,
 ) -> (MinedLattice, UpdateReport) {
+    update_mined_with_index(doc_new, &DocIndex::new(doc_new), prev, touched, config)
+}
+
+/// [`update_mined`] over a pre-built index of `doc_new`, for callers that
+/// already indexed the post-edit document (e.g. to serve queries from it).
+pub fn update_mined_with_index(
+    doc_new: &Document,
+    index: &DocIndex,
+    prev: &MinedLattice,
+    touched: &[LabelId],
+    config: MineConfig,
+) -> (MinedLattice, UpdateReport) {
     assert!(config.max_size >= 1);
     let touched_set: FxHashSet<u32> = touched.iter().map(|l| l.0).collect();
-    let counter = MatchCounter::new(doc_new);
-    let by_label = doc_new.nodes_by_label();
+    let counter = MatchCounter::with_index(doc_new, index);
     let mut report = UpdateReport::default();
 
     // Level 1 from the new document directly.
     let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(config.max_size);
     let mut level1 = FxHashMap::default();
-    for (idx, nodes) in by_label.iter().enumerate() {
-        if !nodes.is_empty() {
-            let t = Twig::single(LabelId(idx as u32));
-            level1.insert(key_of(&t), nodes.len() as u64);
+    for idx in 0..index.n_labels() {
+        let label = LabelId(idx as u32);
+        let count = index.label_count(label);
+        if count > 0 {
+            level1.insert(key_of(&Twig::single(label)), count);
         }
     }
     levels.push(level1);
 
-    // Child-label adjacency of the *new* document bounds candidates.
-    let mut child_labels: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); doc_new.labels().len()];
-    for v in doc_new.pre_order() {
-        if let Some(p) = doc_new.parent(v) {
-            child_labels[doc_new.label(p).index()].insert(doc_new.label(v).0);
-        }
-    }
-
+    // The index's label-level adjacency (of the *new* document) bounds
+    // candidate generation.
     for size in 2..=config.max_size {
         let mut level = FxHashMap::default();
         let mut seen: FxHashSet<TwigKey> = FxHashSet::default();
         for base_key in levels[size - 2].keys() {
             let base = base_key.decode();
             for q in base.nodes() {
-                let Some(labels) = child_labels.get(base.label(q).index()) else {
-                    continue;
-                };
-                for &l in labels {
+                for &l in index.child_labels_of(base.label(q)) {
                     let mut ext = base.clone();
-                    ext.add_child(q, LabelId(l));
+                    ext.add_child(q, l);
                     let key = key_of(&ext);
                     if !seen.insert(key.clone()) {
                         continue;

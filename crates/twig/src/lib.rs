@@ -21,9 +21,11 @@ pub mod canonical;
 pub mod matcher;
 pub mod ops;
 pub mod parser;
+pub mod reference;
 pub mod twig;
 
 pub use canonical::TwigKey;
-pub use matcher::{count_matches, MatchCounter};
+pub use matcher::{count_matches, MatchCounter, MatchError, MAX_SIBLING_GROUP};
 pub use parser::{parse_twig, parse_twig_in, parse_twig_valued, TwigParseError};
+pub use reference::ReferenceMatchCounter;
 pub use twig::{Twig, TwigNodeId};

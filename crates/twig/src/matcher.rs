@@ -20,11 +20,30 @@
 //! document subtrees, so per-level injectivity implies global injectivity;
 //! the group-wise product is exact for all twigs, not an approximation.
 //!
+//! # Memory layout
+//!
+//! The kernel runs on a shared [`DocIndex`] (see `tl_xml::index`): the
+//! `m(q, ·)` table of each query node is a **dense `Vec<u64>`** indexed by
+//! within-label rank (not a hash map keyed by node id), candidate document
+//! nodes are the index's contiguous label group, and the document children
+//! of a candidate that carry one query-child label are a contiguous CSR
+//! slice — no sibling-link walking, no per-child label filtering, no hash
+//! probes anywhere in the inner loops. The pre-CSR hash-map kernel survives
+//! as [`reference::ReferenceMatchCounter`](crate::reference) for
+//! benchmarking and differential testing.
+//!
 //! Counts use saturating `u64` arithmetic: a query whose true count exceeds
 //! `u64::MAX` (possible only on adversarial inputs) reports `u64::MAX`
-//! rather than wrapping.
+//! rather than wrapping. Similarly, a query with more than
+//! [`MAX_SIBLING_GROUP`] same-label sibling nodes (the subset DP is `2^g`)
+//! makes [`MatchCounter::try_count`] return
+//! [`MatchError::GroupTooLarge`]; the infallible [`MatchCounter::count`]
+//! reports such queries as the saturated `u64::MAX` instead of panicking,
+//! so adversarial queries can never abort a mining run from library code.
 
-use tl_xml::{Document, FxHashMap, LabelId, NodeId};
+use std::fmt;
+
+use tl_xml::{DocIndex, Document, LabelId, NodeId};
 
 use crate::twig::{Twig, TwigNodeId};
 
@@ -32,11 +51,47 @@ use crate::twig::{Twig, TwigNodeId};
 /// accepts (the subset DP is `2^g`).
 pub const MAX_SIBLING_GROUP: usize = 20;
 
+/// Why the exact kernel refused a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchError {
+    /// The query has a same-label sibling group larger than
+    /// [`MAX_SIBLING_GROUP`]; the injective subset DP would need `2^size`
+    /// states.
+    GroupTooLarge {
+        /// Observed group size.
+        size: usize,
+        /// The supported maximum ([`MAX_SIBLING_GROUP`]).
+        max: usize,
+    },
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MatchError::GroupTooLarge { size, max } => write!(
+                f,
+                "query has {size} same-label sibling nodes; exact counting supports at most {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// Owned-or-borrowed document index. The owned arm is boxed so counters
+/// borrowing a shared index don't carry the full `DocIndex` inline.
+enum IndexStore<'d> {
+    Owned(Box<DocIndex>),
+    Shared(&'d DocIndex),
+}
+
 /// Reusable exact match counter over one document.
 ///
-/// Construction builds the label→nodes index once (`O(|T|)`); each
-/// [`count`](MatchCounter::count) then touches only document nodes whose
-/// label occurs in the query.
+/// [`new`](MatchCounter::new) builds a private [`DocIndex`] (`O(|T|)`);
+/// [`with_index`](MatchCounter::with_index) borrows a shared one so a
+/// document indexed once can serve mining, ground truth, and workload
+/// labeling without re-indexing. Each [`count`](MatchCounter::count) then
+/// touches only document nodes whose label occurs in the query.
 ///
 /// # Examples
 ///
@@ -58,15 +113,35 @@ pub const MAX_SIBLING_GROUP: usize = 20;
 /// ```
 pub struct MatchCounter<'d> {
     doc: &'d Document,
-    by_label: Vec<Vec<NodeId>>,
+    index: IndexStore<'d>,
+}
+
+/// Reusable DP buffers, allocated once per `count` call.
+struct Scratch {
+    /// Subset-DP table (`2^g` entries for the active group).
+    dp: Vec<u64>,
+    /// Per-member weights for the document child under consideration.
+    weights: Vec<u64>,
 }
 
 impl<'d> MatchCounter<'d> {
-    /// Builds the counter (indexes the document by label).
+    /// Builds the counter, indexing the document (`O(|T|)`).
     pub fn new(doc: &'d Document) -> Self {
         Self {
             doc,
-            by_label: doc.nodes_by_label(),
+            index: IndexStore::Owned(Box::new(DocIndex::new(doc))),
+        }
+    }
+
+    /// Builds the counter over a pre-built shared index of `doc`.
+    ///
+    /// The index must have been built from this exact document; the counter
+    /// trusts its node and label numbering.
+    pub fn with_index(doc: &'d Document, index: &'d DocIndex) -> Self {
+        debug_assert_eq!(index.len(), doc.len(), "index built from another document");
+        Self {
+            doc,
+            index: IndexStore::Shared(index),
         }
     }
 
@@ -75,11 +150,19 @@ impl<'d> MatchCounter<'d> {
         self.doc
     }
 
+    /// The document index the kernel runs on.
+    #[inline]
+    pub fn index(&self) -> &DocIndex {
+        match &self.index {
+            IndexStore::Owned(idx) => idx,
+            IndexStore::Shared(idx) => idx,
+        }
+    }
+
     /// Number of document nodes labeled `label`.
+    #[inline]
     pub fn label_count(&self, label: LabelId) -> u64 {
-        self.by_label
-            .get(label.index())
-            .map_or(0, |v| v.len() as u64)
+        self.index().label_count(label)
     }
 
     /// Per-root match counts: each `(v, m)` pair is a document node `v`
@@ -87,138 +170,172 @@ impl<'d> MatchCounter<'d> {
     /// The sum of all `m` equals [`count`](MatchCounter::count). This is
     /// the executor-facing API: an approximate-answering layer can return
     /// the actual anchor nodes, not just the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on queries [`try_count`](MatchCounter::try_count) rejects;
+    /// use [`try_count_by_root`](MatchCounter::try_count_by_root) to handle
+    /// adversarial queries gracefully.
     pub fn count_by_root(&self, twig: &Twig) -> Vec<(NodeId, u64)> {
+        self.try_count_by_root(twig)
+            .expect("query exceeds exact-kernel limits")
+    }
+
+    /// Fallible form of [`count_by_root`](MatchCounter::count_by_root).
+    pub fn try_count_by_root(&self, twig: &Twig) -> Result<Vec<(NodeId, u64)>, MatchError> {
         let mut out = Vec::new();
-        self.count_inner(twig, Some(&mut out));
-        out
+        self.count_inner(twig, Some(&mut out))?;
+        Ok(out)
     }
 
     /// Exact selectivity of `twig` in the document.
+    ///
+    /// Queries the kernel cannot afford (a same-label sibling group larger
+    /// than [`MAX_SIBLING_GROUP`]) report the saturated `u64::MAX`, in line
+    /// with the saturating arithmetic used for overflowing counts; callers
+    /// that need to distinguish them use [`try_count`](MatchCounter::try_count).
     pub fn count(&self, twig: &Twig) -> u64 {
+        self.count_inner(twig, None).unwrap_or(u64::MAX)
+    }
+
+    /// Exact selectivity of `twig`, or an error for queries outside the
+    /// kernel's limits.
+    pub fn try_count(&self, twig: &Twig) -> Result<u64, MatchError> {
         self.count_inner(twig, None)
     }
 
-    fn count_inner(&self, twig: &Twig, mut roots: Option<&mut Vec<(NodeId, u64)>>) -> u64 {
+    fn count_inner(
+        &self,
+        twig: &Twig,
+        mut roots: Option<&mut Vec<(NodeId, u64)>>,
+    ) -> Result<u64, MatchError> {
+        let index = self.index();
         // Any label absent from the document zeroes the count immediately.
         for n in twig.nodes() {
-            if self.label_count(twig.label(n)) == 0 {
-                return 0;
+            if index.label_count(twig.label(n)) == 0 {
+                return Ok(0);
             }
         }
         if twig.len() == 1 {
+            let group = index.nodes_with_label(twig.label(twig.root()));
             if let Some(roots) = roots.as_deref_mut() {
-                roots.extend(
-                    self.by_label[twig.label(twig.root()).index()]
-                        .iter()
-                        .map(|&v| (v, 1)),
-                );
+                roots.extend(group.iter().map(|&v| (v, 1)));
             }
-            return self.label_count(twig.label(twig.root()));
+            return Ok(group.len() as u64);
         }
 
         // Children of each query node, grouped by label; groups with one
         // member take the product fast path.
         let groups = child_groups(twig);
+        for per_node in &groups {
+            for group in per_node {
+                let g = group.members.len();
+                if g > MAX_SIBLING_GROUP {
+                    return Err(MatchError::GroupTooLarge {
+                        size: g,
+                        max: MAX_SIBLING_GROUP,
+                    });
+                }
+            }
+        }
 
-        // m(q, v) for already-processed query nodes, sparse per query node.
-        let mut maps: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); twig.len()];
+        // m(q, ·) for already-processed query nodes: dense vectors indexed
+        // by within-label rank (leaves stay empty — m(leaf, v) = 1 on label
+        // match, which the CSR slices guarantee).
+        let mut m: Vec<Vec<u64>> = vec![Vec::new(); twig.len()];
+        let mut scratch = Scratch {
+            dp: Vec::new(),
+            weights: Vec::new(),
+        };
 
         // Process query nodes children-first (reverse pre-order works:
         // pre-order emits parents before children).
         let order = twig.pre_order();
-        let mut child_buf: Vec<NodeId> = Vec::new();
         for &q in order.iter().rev() {
             if twig.children(q).is_empty() {
-                continue; // Leaves are implicit: m(leaf, v) = 1 on label match.
+                continue;
             }
-            let candidates = &self.by_label[twig.label(q).index()];
-            let mut map = FxHashMap::default();
-            'cand: for &v in candidates {
-                child_buf.clear();
-                child_buf.extend(self.doc.children(v));
+            let candidates = index.nodes_with_label(twig.label(q));
+            let mut m_q = vec![0u64; candidates.len()];
+            'cand: for (slot, &v) in candidates.iter().enumerate() {
                 let mut total: u64 = 1;
                 for group in &groups[q as usize] {
-                    let f = self.group_count(twig, &maps, group, &child_buf);
+                    let f = self.group_count(twig, &m, group, v, &mut scratch);
                     if f == 0 {
                         continue 'cand;
                     }
                     total = total.saturating_mul(f);
                 }
-                map.insert(v.0, total);
+                m_q[slot] = total;
             }
-            maps[q as usize] = map;
+            m[q as usize] = m_q;
         }
 
         let root = twig.root();
-        if twig.children(root).is_empty() {
-            unreachable!("single-node twigs returned early");
-        }
+        let m_root = &m[root as usize];
         if let Some(roots) = roots {
-            roots.extend(maps[root as usize].iter().map(|(&v, &m)| (NodeId(v), m)));
-            roots.sort_unstable_by_key(|&(v, _)| v.0);
+            // Label groups are in document order, so the output is already
+            // sorted by node id.
+            let candidates = index.nodes_with_label(twig.label(root));
+            roots.extend(
+                candidates
+                    .iter()
+                    .zip(m_root)
+                    .filter(|&(_, &count)| count > 0)
+                    .map(|(&v, &count)| (v, count)),
+            );
         }
-        maps[root as usize]
-            .values()
-            .fold(0u64, |a, &b| a.saturating_add(b))
+        Ok(m_root.iter().fold(0u64, |a, &b| a.saturating_add(b)))
     }
 
-    /// Number of matches of `q`'s subtree with root mapped to `u`.
-    #[inline]
-    fn node_count(
-        &self,
-        twig: &Twig,
-        maps: &[FxHashMap<u32, u64>],
-        q: TwigNodeId,
-        u: NodeId,
-    ) -> u64 {
-        if self.doc.label(u) != twig.label(q) {
-            return 0;
-        }
-        if twig.children(q).is_empty() {
-            1
-        } else {
-            maps[q as usize].get(&u.0).copied().unwrap_or(0)
-        }
-    }
-
-    /// Counts assignments for one same-label child group under document
-    /// children `doc_children`.
+    /// Counts assignments for one same-label child group under the document
+    /// children of `v` carrying the group's label (a contiguous CSR slice).
+    ///
+    /// Group sizes above [`MAX_SIBLING_GROUP`] are rejected up front in
+    /// `count_inner`, so this sees only affordable groups.
     fn group_count(
         &self,
         twig: &Twig,
-        maps: &[FxHashMap<u32, u64>],
+        m: &[Vec<u64>],
         group: &ChildGroup,
-        doc_children: &[NodeId],
+        v: NodeId,
+        scratch: &mut Scratch,
     ) -> u64 {
-        let label = group.label;
+        let index = self.index();
+        let doc_children = index.children_with_label(v, group.label);
         if group.members.len() == 1 {
             let q = group.members[0];
-            let mut sum: u64 = 0;
-            for &u in doc_children {
-                if self.doc.label(u) == label {
-                    sum = sum.saturating_add(self.node_count(twig, maps, q, u));
-                }
+            if twig.children(q).is_empty() {
+                return doc_children.len() as u64;
             }
-            return sum;
+            let m_q = &m[q as usize];
+            return doc_children
+                .iter()
+                .fold(0u64, |a, &u| a.saturating_add(m_q[index.rank(u) as usize]));
         }
         let g = group.members.len();
-        assert!(
-            g <= MAX_SIBLING_GROUP,
-            "more than {MAX_SIBLING_GROUP} same-label sibling query nodes"
-        );
+        if doc_children.len() < g {
+            return 0; // Injectivity needs g distinct document children.
+        }
         // Subset DP: f[mask] = #injective assignments of the query children
         // in `mask` to the document children examined so far.
         let full = (1usize << g) - 1;
-        let mut f = vec![0u64; full + 1];
-        f[0] = 1;
-        let mut weights = vec![0u64; g];
+        scratch.dp.clear();
+        scratch.dp.resize(full + 1, 0);
+        scratch.dp[0] = 1;
+        scratch.weights.clear();
+        scratch.weights.resize(g, 0);
+        let f = &mut scratch.dp;
+        let weights = &mut scratch.weights;
         for &u in doc_children {
-            if self.doc.label(u) != label {
-                continue;
-            }
+            let rank = index.rank(u) as usize;
             let mut any = false;
             for (i, &q) in group.members.iter().enumerate() {
-                weights[i] = self.node_count(twig, maps, q, u);
+                weights[i] = if twig.children(q).is_empty() {
+                    1
+                } else {
+                    m[q as usize][rank]
+                };
                 any |= weights[i] != 0;
             }
             if !any {
@@ -290,7 +407,7 @@ mod tests {
         let mut labels = d.labels().clone();
         let twig = parse_twig(q, &mut labels).unwrap();
         // Unknown labels mean zero matches; count() handles them because
-        // by_label simply has no entry.
+        // the index simply has no entry.
         let counter = MatchCounter::new(d);
         if twig
             .nodes()
@@ -445,6 +562,17 @@ mod tests {
     }
 
     #[test]
+    fn count_by_root_is_sorted_by_node_id() {
+        let d = doc("<r><a><b/></a><x><a><b/></a></x><a><b/></a></r>");
+        let counter = MatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        let q = parse_twig("a/b", &mut labels).unwrap();
+        let by_root = counter.count_by_root(&q);
+        assert_eq!(by_root.len(), 3);
+        assert!(by_root.windows(2).all(|w| w[0].0 .0 < w[1].0 .0));
+    }
+
+    #[test]
     fn count_by_root_empty_for_zero_queries() {
         let d = doc("<r><a/></r>");
         let counter = MatchCounter::new(&d);
@@ -463,6 +591,62 @@ mod tests {
         assert_eq!(counter.count(&q1), 2);
         assert_eq!(counter.count(&q2), 2);
         assert_eq!(counter.count(&q1), 2, "counter is stateless across queries");
+    }
+
+    #[test]
+    fn shared_index_counter_matches_owning_counter() {
+        let d = doc("<r><a><b/><c/></a><a><b/></a><b><c/></b></r>");
+        let index = tl_xml::DocIndex::new(&d);
+        let shared = MatchCounter::with_index(&d, &index);
+        let owned = MatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        for q in ["a", "a/b", "a[b][c]", "b/c", "r/a/b"] {
+            let twig = parse_twig(q, &mut labels).unwrap();
+            assert_eq!(shared.count(&twig), owned.count(&twig), "query {q}");
+        }
+        assert_eq!(index.heap_bytes(), shared.index().heap_bytes());
+    }
+
+    #[test]
+    fn oversized_sibling_group_errors_gracefully() {
+        let d = doc("<a><b/></a>");
+        let labels = d.labels().clone();
+        let (a, b) = (labels.get("a").unwrap(), labels.get("b").unwrap());
+        let mut q = crate::twig::Twig::single(a);
+        for _ in 0..=MAX_SIBLING_GROUP {
+            q.add_child(q.root(), b);
+        }
+        let counter = MatchCounter::new(&d);
+        assert_eq!(
+            counter.try_count(&q),
+            Err(MatchError::GroupTooLarge {
+                size: MAX_SIBLING_GROUP + 1,
+                max: MAX_SIBLING_GROUP,
+            })
+        );
+        // The infallible API saturates instead of panicking.
+        assert_eq!(counter.count(&q), u64::MAX);
+        let msg = MatchError::GroupTooLarge {
+            size: MAX_SIBLING_GROUP + 1,
+            max: MAX_SIBLING_GROUP,
+        }
+        .to_string();
+        assert!(msg.contains("same-label sibling"), "{msg}");
+    }
+
+    #[test]
+    fn max_group_boundary_is_accepted() {
+        // Exactly MAX_SIBLING_GROUP same-label children is in range; the
+        // document has fewer b's than the group needs, so the count is 0
+        // (fewer document children than query children).
+        let d = doc("<a><b/><b/></a>");
+        let labels = d.labels().clone();
+        let (a, b) = (labels.get("a").unwrap(), labels.get("b").unwrap());
+        let mut q = crate::twig::Twig::single(a);
+        for _ in 0..MAX_SIBLING_GROUP {
+            q.add_child(q.root(), b);
+        }
+        assert_eq!(MatchCounter::new(&d).try_count(&q), Ok(0));
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The pre-index exact-match kernel, retained as a reference.
+//!
+//! This is the hash-map formulation [`MatchCounter`](crate::MatchCounter)
+//! used before the dense CSR rewrite: per-query-node m-tables are sparse
+//! `FxHashMap<u32, u64>` keyed by document node id, document children are
+//! gathered by walking sibling links and filtered by label inline, and the
+//! label index is a freshly built `Vec<Vec<NodeId>>`. It is kept for two
+//! jobs:
+//!
+//! * the `bench_match` criterion group and the `bench_matcher` harness
+//!   time it against the dense kernel so the speedup stays measured, not
+//!   assumed;
+//! * the property tests cross-check both kernels against the brute-force
+//!   enumerator, so a bug would have to hit three independent
+//!   implementations identically to go unseen.
+//!
+//! Semantics match [`MatchCounter`](crate::MatchCounter) exactly, including
+//! saturating arithmetic and the [`MAX_SIBLING_GROUP`] group bound (this
+//! kernel saturates to `u64::MAX` on oversized groups instead of erroring).
+
+use tl_xml::{Document, FxHashMap, LabelId, NodeId};
+
+use crate::matcher::MAX_SIBLING_GROUP;
+use crate::twig::{Twig, TwigNodeId};
+
+/// Reusable sparse (hash-map) exact match counter over one document.
+pub struct ReferenceMatchCounter<'d> {
+    doc: &'d Document,
+    by_label: Vec<Vec<NodeId>>,
+}
+
+impl<'d> ReferenceMatchCounter<'d> {
+    /// Builds the counter (indexes the document by label).
+    pub fn new(doc: &'d Document) -> Self {
+        Self {
+            doc,
+            by_label: doc.nodes_by_label(),
+        }
+    }
+
+    /// Number of document nodes labeled `label`.
+    fn label_count(&self, label: LabelId) -> u64 {
+        self.by_label
+            .get(label.index())
+            .map_or(0, |v| v.len() as u64)
+    }
+
+    /// Exact selectivity of `twig` in the document.
+    pub fn count(&self, twig: &Twig) -> u64 {
+        for n in twig.nodes() {
+            if self.label_count(twig.label(n)) == 0 {
+                return 0;
+            }
+        }
+        if twig.len() == 1 {
+            return self.label_count(twig.label(twig.root()));
+        }
+
+        let groups = child_groups(twig);
+        let mut maps: Vec<FxHashMap<u32, u64>> = vec![FxHashMap::default(); twig.len()];
+        let order = twig.pre_order();
+        let mut child_buf: Vec<NodeId> = Vec::new();
+        for &q in order.iter().rev() {
+            if twig.children(q).is_empty() {
+                continue;
+            }
+            let candidates = &self.by_label[twig.label(q).index()];
+            let mut map = FxHashMap::default();
+            'cand: for &v in candidates {
+                child_buf.clear();
+                child_buf.extend(self.doc.children(v));
+                let mut total: u64 = 1;
+                for group in &groups[q as usize] {
+                    let f = self.group_count(twig, &maps, group, &child_buf);
+                    if f == 0 {
+                        continue 'cand;
+                    }
+                    total = total.saturating_mul(f);
+                }
+                map.insert(v.0, total);
+            }
+            maps[q as usize] = map;
+        }
+
+        maps[twig.root() as usize]
+            .values()
+            .fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    fn node_count(
+        &self,
+        twig: &Twig,
+        maps: &[FxHashMap<u32, u64>],
+        q: TwigNodeId,
+        u: NodeId,
+    ) -> u64 {
+        if self.doc.label(u) != twig.label(q) {
+            return 0;
+        }
+        if twig.children(q).is_empty() {
+            1
+        } else {
+            maps[q as usize].get(&u.0).copied().unwrap_or(0)
+        }
+    }
+
+    fn group_count(
+        &self,
+        twig: &Twig,
+        maps: &[FxHashMap<u32, u64>],
+        group: &ChildGroup,
+        doc_children: &[NodeId],
+    ) -> u64 {
+        let label = group.label;
+        if group.members.len() == 1 {
+            let q = group.members[0];
+            let mut sum: u64 = 0;
+            for &u in doc_children {
+                if self.doc.label(u) == label {
+                    sum = sum.saturating_add(self.node_count(twig, maps, q, u));
+                }
+            }
+            return sum;
+        }
+        let g = group.members.len();
+        if g > MAX_SIBLING_GROUP {
+            return u64::MAX;
+        }
+        let full = (1usize << g) - 1;
+        let mut f = vec![0u64; full + 1];
+        f[0] = 1;
+        let mut weights = vec![0u64; g];
+        for &u in doc_children {
+            if self.doc.label(u) != label {
+                continue;
+            }
+            let mut any = false;
+            for (i, &q) in group.members.iter().enumerate() {
+                weights[i] = self.node_count(twig, maps, q, u);
+                any |= weights[i] != 0;
+            }
+            if !any {
+                continue;
+            }
+            for mask in (1..=full).rev() {
+                let mut add: u64 = 0;
+                let mut bits = mask;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if weights[i] != 0 {
+                        add = add.saturating_add(f[mask ^ (1 << i)].saturating_mul(weights[i]));
+                    }
+                }
+                f[mask] = f[mask].saturating_add(add);
+            }
+        }
+        f[full]
+    }
+}
+
+struct ChildGroup {
+    label: LabelId,
+    members: Vec<TwigNodeId>,
+}
+
+fn child_groups(twig: &Twig) -> Vec<Vec<ChildGroup>> {
+    let mut all = Vec::with_capacity(twig.len());
+    for q in twig.nodes() {
+        let mut groups: Vec<ChildGroup> = Vec::new();
+        for &c in twig.children(q) {
+            let label = twig.label(c);
+            match groups.iter_mut().find(|g| g.label == label) {
+                Some(g) => g.members.push(c),
+                None => groups.push(ChildGroup {
+                    label,
+                    members: vec![c],
+                }),
+            }
+        }
+        all.push(groups);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_xml::{parse_document, ParseOptions};
+
+    use crate::matcher::MatchCounter;
+    use crate::parser::parse_twig;
+
+    use super::*;
+
+    #[test]
+    fn reference_agrees_with_dense_kernel() {
+        let d = parse_document(
+            b"<r><a><b/><b/><c/></a><a><b><c/></b></a><a/><b><c/><c/></b></r>",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        let dense = MatchCounter::new(&d);
+        let sparse = ReferenceMatchCounter::new(&d);
+        let mut labels = d.labels().clone();
+        for q in ["a", "a/b", "b/c", "a[b][c]", "a[b][b]", "r[a][a]", "a/b/c"] {
+            let twig = parse_twig(q, &mut labels).unwrap();
+            assert_eq!(dense.count(&twig), sparse.count(&twig), "query {q}");
+        }
+    }
+}

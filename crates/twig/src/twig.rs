@@ -110,6 +110,25 @@ impl Twig {
         id
     }
 
+    /// Removes node `n`, which must be the most recent [`Twig::add_child`]
+    /// result and still childless — the exact inverse of that call. Lets
+    /// the miner's candidate enumeration grow and shrink one scratch twig
+    /// in place instead of cloning per extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not the last-added node or has children.
+    pub fn pop_leaf(&mut self, n: TwigNodeId) {
+        assert_eq!(n as usize, self.labels.len() - 1, "not the last node");
+        assert!(self.children[n as usize].is_empty(), "not a leaf");
+        let parent = self.parents[n as usize];
+        let popped = self.children[parent as usize].pop();
+        debug_assert_eq!(popped, Some(n));
+        self.labels.pop();
+        self.parents.pop();
+        self.children.pop();
+    }
+
     /// Resets the twig to a single root labeled `label`, retaining the
     /// allocated node buffers. Decode-heavy paths (the estimators' cache
     /// misses) use this to reuse one scratch twig across many decodes.
@@ -355,6 +374,19 @@ mod tests {
             .map(|s| it.intern(s))
             .collect();
         (it, ids)
+    }
+
+    #[test]
+    fn pop_leaf_inverts_add_child() {
+        let (_, ids) = interner();
+        let mut t = Twig::single(ids[0]);
+        let b = t.add_child(t.root(), ids[1]);
+        let snapshot = t.clone();
+        let c = t.add_child(b, ids[2]);
+        t.pop_leaf(c);
+        assert_eq!(t.len(), snapshot.len());
+        assert_eq!(t.children(b), snapshot.children(b));
+        assert_eq!(t.children(t.root()), snapshot.children(snapshot.root()));
     }
 
     /// a[b[d]][c] — 4 nodes.

@@ -22,7 +22,7 @@ pub mod sample;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tl_twig::{MatchCounter, Twig};
-use tl_xml::Document;
+use tl_xml::{DocIndex, Document};
 
 pub use metrics::{average_relative_error_pct, error_cdf, relative_error_pct, sanity_bound};
 pub use sample::extract_pattern;
@@ -57,9 +57,21 @@ impl Workload {
 /// Returns fewer than `n` cases when the document does not contain enough
 /// distinct patterns of that size (attempts are bounded).
 pub fn positive_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Workload {
+    positive_workload_with_index(doc, &DocIndex::new(doc), size, n, seed)
+}
+
+/// [`positive_workload`] over a pre-built document index (the ground-truth
+/// labeling reuses it instead of re-indexing the document).
+pub fn positive_workload_with_index(
+    doc: &Document,
+    index: &DocIndex,
+    size: usize,
+    n: usize,
+    seed: u64,
+) -> Workload {
     assert!(size >= 1, "query size must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
-    let counter = MatchCounter::new(doc);
+    let counter = MatchCounter::with_index(doc, index);
     let mut seen = tl_xml::FxHashSet::default();
     let mut cases = Vec::with_capacity(n);
     let max_attempts = n.saturating_mul(60).max(512);
@@ -125,9 +137,20 @@ pub fn enumerated_workload(doc: &Document, size: usize, n: usize, seed: u64) -> 
 /// Builds up to `n` zero-selectivity queries of `size` nodes by label
 /// perturbation of occurred patterns.
 pub fn negative_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Workload {
+    negative_workload_with_index(doc, &DocIndex::new(doc), size, n, seed)
+}
+
+/// [`negative_workload`] over a pre-built document index.
+pub fn negative_workload_with_index(
+    doc: &Document,
+    index: &DocIndex,
+    size: usize,
+    n: usize,
+    seed: u64,
+) -> Workload {
     assert!(size >= 1, "query size must be positive");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-    let counter = MatchCounter::new(doc);
+    let counter = MatchCounter::with_index(doc, index);
     let weights = sample::label_weights(doc);
     let mut seen = tl_xml::FxHashSet::default();
     let mut cases = Vec::with_capacity(n);

@@ -1,0 +1,425 @@
+//! Dense struct-of-arrays document index (CSR layout).
+//!
+//! Every structural query the workspace's counting kernels ask of a
+//! [`Document`] — "all nodes labeled `l`", "the children of `v` labeled
+//! `l`", "the position of `v` among the nodes sharing its label" — is
+//! answered here from three flat arrays built in one `O(|T|)` pass:
+//!
+//! * **label-grouped nodes**: `node_ids` holds every node id grouped by
+//!   label (document order within a group); `label_offsets` delimits the
+//!   groups, so the nodes labeled `l` are one contiguous slice;
+//! * **rank array**: `rank[v]` is the position of node `v` inside its label
+//!   group, letting per-label data live in dense vectors indexed by rank
+//!   instead of hash maps keyed by node id;
+//! * **label-partitioned child CSR**: `child_ids` stores each node's
+//!   children grouped by label, with a per-node directory of
+//!   [`ChildGroup`] ranges — the children of `v` labeled `l` are one
+//!   contiguous slice, found without walking sibling links or filtering
+//!   by label.
+//!
+//! A fourth array records the label-level adjacency (the distinct child
+//! labels observed under each parent label, sorted), which bounds candidate
+//! generation in the pattern miner.
+//!
+//! Build one index per document and share it: the exact match counter, the
+//! lattice miner, the incremental updater, the workload samplers, and the
+//! synopsis baselines all accept a borrowed `DocIndex`.
+
+use crate::label::LabelId;
+use crate::tree::{Document, NodeId};
+
+/// One same-label run inside a node's child list: the children of the
+/// owning node labeled [`label`](ChildGroup::label), as a range into the
+/// index's child array.
+#[derive(Clone, Copy, Debug)]
+pub struct ChildGroup {
+    /// The shared label of every child in this group.
+    pub label: LabelId,
+    /// Range start in [`DocIndex`]'s child array.
+    start: u32,
+    /// Range end (exclusive).
+    end: u32,
+}
+
+impl ChildGroup {
+    /// Number of children in the group.
+    #[inline]
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the group is empty (never stored; groups have ≥ 1 member).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Dense CSR index over one [`Document`]. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tl_xml::{parse_document, DocIndex, ParseOptions};
+///
+/// let doc = parse_document(
+///     b"<a><b/><c/><b/></a>",
+///     ParseOptions::default(),
+/// ).unwrap();
+/// let idx = DocIndex::new(&doc);
+/// let b = doc.labels().get("b").unwrap();
+/// assert_eq!(idx.label_count(b), 2);
+/// // Both <b/> children of the root are one contiguous slice.
+/// assert_eq!(idx.children_with_label(doc.root(), b).len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DocIndex {
+    /// Nodes grouped by label: group `l` is
+    /// `node_ids[label_offsets[l] .. label_offsets[l + 1]]`, document order.
+    label_offsets: Vec<u32>,
+    node_ids: Vec<NodeId>,
+    /// `rank[v]` = position of node `v` within its label group.
+    rank: Vec<u32>,
+    /// `parents[v]` = parent of node `v` (`NodeId::NONE` for the root).
+    /// Lets map-driven kernels walk from a child occurrence up to its
+    /// candidate root without consulting the [`Document`].
+    parents: Vec<u32>,
+    /// Per-node child-group directory: node `v`'s groups are
+    /// `groups[group_offsets[v] .. group_offsets[v + 1]]`.
+    group_offsets: Vec<u32>,
+    groups: Vec<ChildGroup>,
+    /// All children, grouped by (parent, label), document order inside a
+    /// group; `ChildGroup` ranges index into this.
+    child_ids: Vec<NodeId>,
+    /// Distinct child labels under each parent label (sorted): label `l`'s
+    /// child labels are
+    /// `label_child_ids[label_child_offsets[l] .. label_child_offsets[l+1]]`.
+    label_child_offsets: Vec<u32>,
+    label_child_ids: Vec<LabelId>,
+}
+
+impl DocIndex {
+    /// Builds the index in one pass over the document (`O(|T|)` time and
+    /// space, plus an `O(E log E)` sort of the label-level edge set, which
+    /// is tiny — it is bounded by distinct label pairs).
+    pub fn new(doc: &Document) -> Self {
+        let n = doc.len();
+        let n_labels = doc.labels().len();
+
+        // Label-grouped nodes + rank, by counting sort on labels.
+        let mut label_offsets = vec![0u32; n_labels + 1];
+        for v in doc.pre_order() {
+            label_offsets[doc.label(v).index() + 1] += 1;
+        }
+        for l in 0..n_labels {
+            label_offsets[l + 1] += label_offsets[l];
+        }
+        let mut cursor = label_offsets.clone();
+        let mut node_ids = vec![NodeId(0); n];
+        let mut rank = vec![0u32; n];
+        let mut parents = vec![NodeId::NONE; n];
+        for v in doc.pre_order() {
+            let l = doc.label(v).index();
+            let slot = cursor[l];
+            cursor[l] += 1;
+            node_ids[slot as usize] = v;
+            rank[v.index()] = slot - label_offsets[l];
+            if let Some(p) = doc.parent(v) {
+                parents[v.index()] = p.0;
+            }
+        }
+
+        // Label-partitioned child CSR. Children are gathered per node and
+        // stably sorted by label, preserving document order within a label.
+        let mut group_offsets = Vec::with_capacity(n + 1);
+        group_offsets.push(0u32);
+        let mut groups = Vec::new();
+        let mut child_ids = Vec::with_capacity(n.saturating_sub(1));
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for v in doc.pre_order() {
+            scratch.clear();
+            scratch.extend(doc.children(v));
+            scratch.sort_by_key(|&c| doc.label(c)); // stable: doc order kept
+            let mut i = 0;
+            while i < scratch.len() {
+                let label = doc.label(scratch[i]);
+                let start = child_ids.len() as u32;
+                while i < scratch.len() && doc.label(scratch[i]) == label {
+                    child_ids.push(scratch[i]);
+                    i += 1;
+                }
+                groups.push(ChildGroup {
+                    label,
+                    start,
+                    end: child_ids.len() as u32,
+                });
+            }
+            group_offsets.push(groups.len() as u32);
+        }
+
+        // Label-level adjacency: sorted, deduplicated (parent, child) label
+        // pairs, folded into a CSR.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for v in doc.pre_order() {
+            if let Some(p) = doc.parent(v) {
+                pairs.push((doc.label(p).0, doc.label(v).0));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut label_child_offsets = vec![0u32; n_labels + 1];
+        let mut label_child_ids = Vec::with_capacity(pairs.len());
+        for &(parent, child) in &pairs {
+            label_child_offsets[parent as usize + 1] += 1;
+            label_child_ids.push(LabelId(child));
+        }
+        for l in 0..n_labels {
+            label_child_offsets[l + 1] += label_child_offsets[l];
+        }
+
+        Self {
+            label_offsets,
+            node_ids,
+            rank,
+            parents,
+            group_offsets,
+            groups,
+            child_ids,
+            label_child_offsets,
+            label_child_ids,
+        }
+    }
+
+    /// Number of indexed nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_ids.len()
+    }
+
+    /// Whether the indexed document had no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_ids.is_empty()
+    }
+
+    /// Number of labels the index covers.
+    #[inline]
+    pub fn n_labels(&self) -> usize {
+        self.label_offsets.len() - 1
+    }
+
+    /// All nodes labeled `label`, in document order. Empty for labels the
+    /// index does not know (e.g. query-only labels interned later).
+    #[inline]
+    pub fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
+        let l = label.index();
+        if l >= self.n_labels() {
+            return &[];
+        }
+        &self.node_ids[self.label_offsets[l] as usize..self.label_offsets[l + 1] as usize]
+    }
+
+    /// Number of nodes labeled `label` (0 for unknown labels).
+    #[inline]
+    pub fn label_count(&self, label: LabelId) -> u64 {
+        self.nodes_with_label(label).len() as u64
+    }
+
+    /// The position of node `v` within its label group: if
+    /// `label(v) == l`, then `nodes_with_label(l)[rank(v)] == v`.
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v.index()]
+    }
+
+    /// The parent of node `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parents[v.index()];
+        (p != NodeId::NONE).then_some(NodeId(p))
+    }
+
+    /// The same-label child groups of `v`, each a contiguous run.
+    #[inline]
+    pub fn child_groups(&self, v: NodeId) -> &[ChildGroup] {
+        &self.groups
+            [self.group_offsets[v.index()] as usize..self.group_offsets[v.index() + 1] as usize]
+    }
+
+    /// The member nodes of one child group.
+    #[inline]
+    pub fn group_nodes(&self, group: ChildGroup) -> &[NodeId] {
+        &self.child_ids[group.start as usize..group.end as usize]
+    }
+
+    /// The children of `v` labeled `label`, as one contiguous slice
+    /// (document order). Empty when `v` has no such child.
+    #[inline]
+    pub fn children_with_label(&self, v: NodeId, label: LabelId) -> &[NodeId] {
+        for &g in self.child_groups(v) {
+            if g.label == label {
+                return self.group_nodes(g);
+            }
+        }
+        &[]
+    }
+
+    /// All children of `v` (every label), grouped by label; within a group
+    /// the order is document order.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        let gs = self.child_groups(v);
+        match (gs.first(), gs.last()) {
+            (Some(first), Some(last)) => &self.child_ids[first.start as usize..last.end as usize],
+            _ => &[],
+        }
+    }
+
+    /// The distinct labels occurring on children of `label`-labeled nodes,
+    /// sorted by label id. Empty for unknown labels.
+    #[inline]
+    pub fn child_labels_of(&self, label: LabelId) -> &[LabelId] {
+        let l = label.index();
+        if l >= self.n_labels() {
+            return &[];
+        }
+        &self.label_child_ids
+            [self.label_child_offsets[l] as usize..self.label_child_offsets[l + 1] as usize]
+    }
+
+    /// Approximate heap footprint in bytes (all arrays).
+    pub fn heap_bytes(&self) -> usize {
+        self.label_offsets.len() * 4
+            + self.node_ids.len() * 4
+            + self.rank.len() * 4
+            + self.parents.len() * 4
+            + self.group_offsets.len() * 4
+            + self.groups.len() * std::mem::size_of::<ChildGroup>()
+            + self.child_ids.len() * 4
+            + self.label_child_offsets.len() * 4
+            + self.label_child_ids.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn doc(s: &str) -> Document {
+        parse_document(s.as_bytes(), ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn label_groups_match_nodes_by_label() {
+        let d = doc("<a><b><c/></b><b/><c/><b><c/><c/></b></a>");
+        let idx = DocIndex::new(&d);
+        let reference = d.nodes_by_label();
+        assert_eq!(idx.n_labels(), d.labels().len());
+        for (l, expected) in reference.iter().enumerate() {
+            let label = LabelId(l as u32);
+            assert_eq!(idx.nodes_with_label(label), expected.as_slice());
+            assert_eq!(idx.label_count(label), expected.len() as u64);
+        }
+    }
+
+    #[test]
+    fn rank_inverts_label_groups() {
+        let d = doc("<a><b/><c/><b/><c/><b/></a>");
+        let idx = DocIndex::new(&d);
+        for v in d.pre_order() {
+            let group = idx.nodes_with_label(d.label(v));
+            assert_eq!(group[idx.rank(v) as usize], v);
+        }
+    }
+
+    #[test]
+    fn parent_mirrors_the_document() {
+        let d = doc("<a><b><c/></b><b/><c/></a>");
+        let idx = DocIndex::new(&d);
+        for v in d.pre_order() {
+            assert_eq!(idx.parent(v), d.parent(v));
+        }
+        assert_eq!(idx.parent(d.root()), None);
+    }
+
+    #[test]
+    fn child_groups_partition_children_by_label() {
+        let d = doc("<a><b/><c/><b/><d/><c/></a>");
+        let idx = DocIndex::new(&d);
+        let root = d.root();
+        let groups = idx.child_groups(root);
+        assert_eq!(groups.len(), 3, "labels b, c, d");
+        let mut seen = 0usize;
+        for &g in groups {
+            assert!(!g.is_empty());
+            for &u in idx.group_nodes(g) {
+                assert_eq!(d.label(u), g.label);
+            }
+            seen += g.len();
+        }
+        assert_eq!(seen, d.child_count(root));
+        // Contiguous slices per label, document order within the label.
+        let b = d.labels().get("b").unwrap();
+        let bs = idx.children_with_label(root, b);
+        assert_eq!(bs.len(), 2);
+        assert!(bs[0].0 < bs[1].0);
+    }
+
+    #[test]
+    fn children_with_label_is_empty_for_absent_labels() {
+        let d = doc("<a><b/></a>");
+        let idx = DocIndex::new(&d);
+        let a = d.labels().get("a").unwrap();
+        assert!(idx.children_with_label(d.root(), a).is_empty());
+        // Out-of-range label ids are tolerated.
+        assert!(idx.nodes_with_label(LabelId(99)).is_empty());
+        assert!(idx.child_labels_of(LabelId(99)).is_empty());
+        assert_eq!(idx.label_count(LabelId(99)), 0);
+    }
+
+    #[test]
+    fn children_covers_all_labels() {
+        let d = doc("<a><b/><c/><b/></a>");
+        let idx = DocIndex::new(&d);
+        let all = idx.children(d.root());
+        assert_eq!(all.len(), 3);
+        let leaf = all[0];
+        assert!(idx.children(leaf).is_empty());
+    }
+
+    #[test]
+    fn label_level_adjacency_is_sorted_and_complete() {
+        let d = doc("<a><b><c/><a/></b><b><d/></b></a>");
+        let idx = DocIndex::new(&d);
+        let a = d.labels().get("a").unwrap();
+        let b = d.labels().get("b").unwrap();
+        let under_b = idx.child_labels_of(b);
+        assert_eq!(under_b.len(), 3, "a, c, d occur under b");
+        assert!(under_b.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(idx.child_labels_of(a), &[b]);
+    }
+
+    #[test]
+    fn single_node_document() {
+        let d = doc("<only/>");
+        let idx = DocIndex::new(&d);
+        assert_eq!(idx.len(), 1);
+        assert!(idx.child_groups(d.root()).is_empty());
+        assert!(idx.children(d.root()).is_empty());
+        assert_eq!(idx.label_count(d.label(d.root())), 1);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_document() {
+        let small = DocIndex::new(&doc("<a><b/></a>"));
+        let mut s = String::from("<a>");
+        for _ in 0..100 {
+            s.push_str("<b/>");
+        }
+        s.push_str("</a>");
+        let large = DocIndex::new(&doc(&s));
+        assert!(large.heap_bytes() > small.heap_bytes());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`LabelInterner`] / [`LabelId`] — string interning for element tags;
 //! * [`Document`] / [`NodeId`] — the arena tree with parent /
 //!   first-child / next-sibling links and pre-order node numbering;
+//! * [`DocIndex`] — a dense CSR view of one document (nodes grouped by
+//!   label, label-partitioned child adjacency, within-label rank array)
+//!   shared by the counting kernels across the workspace;
 //! * [`DocumentBuilder`] — incremental construction (used by the parser and
 //!   by the synthetic data generators);
 //! * [`parser`] — a small, dependency-free XML parser covering the element
@@ -25,6 +28,7 @@
 pub mod builder;
 pub mod graft;
 pub mod hash;
+pub mod index;
 pub mod label;
 pub mod parser;
 pub mod stats;
@@ -35,6 +39,7 @@ pub mod writer;
 pub use builder::DocumentBuilder;
 pub use graft::{append_subtree, remove_subtree, EditResult};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use index::{ChildGroup, DocIndex};
 pub use label::{LabelId, LabelInterner};
 pub use parser::{parse_document, ParseError, ParseOptions};
 pub use stats::DocStats;

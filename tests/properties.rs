@@ -173,10 +173,66 @@ proptest! {
     }
 
     #[test]
+    fn dense_kernel_agrees_with_brute_force_and_reference(
+        doc_spec in arb_tree(40, 3),
+        twig_spec in arb_tree(6, 3),
+    ) {
+        let doc = build_doc(&doc_spec);
+        let twig = build_twig(&twig_spec, &doc);
+        let index = tl_xml::DocIndex::new(&doc);
+        let dense = tl_twig::MatchCounter::with_index(&doc, &index);
+        let reference = tl_twig::ReferenceMatchCounter::new(&doc);
+        let oracle = brute_force_count(&doc, &twig);
+        prop_assert_eq!(dense.count(&twig), oracle, "dense vs oracle, twig {:?}", &twig);
+        prop_assert_eq!(reference.count(&twig), oracle, "reference vs oracle");
+        // Per-root counts: sorted by node id, correctly labeled, sum = total.
+        let by_root = dense.count_by_root(&twig);
+        prop_assert!(by_root.windows(2).all(|w| w[0].0.0 < w[1].0.0));
+        let want = twig.label(twig.root());
+        for &(v, m) in &by_root {
+            prop_assert_eq!(doc.label(v), want);
+            prop_assert!(m >= 1);
+        }
+        let total = by_root.iter().fold(0u64, |a, &(_, m)| a.saturating_add(m));
+        prop_assert_eq!(total, oracle);
+    }
+
+    // A 2-letter alphabet forces duplicate-sibling-label twigs, so the
+    // injective subset DP is exercised constantly rather than occasionally.
+    #[test]
+    fn dense_kernel_duplicate_sibling_labels(
+        doc_spec in arb_tree(40, 2),
+        twig_spec in arb_tree(6, 2),
+    ) {
+        let doc = build_doc(&doc_spec);
+        let twig = build_twig(&twig_spec, &doc);
+        let dense = tl_twig::MatchCounter::new(&doc);
+        let reference = tl_twig::ReferenceMatchCounter::new(&doc);
+        let oracle = brute_force_count(&doc, &twig);
+        prop_assert_eq!(dense.count(&twig), oracle, "dense vs oracle, twig {:?}", &twig);
+        prop_assert_eq!(reference.count(&twig), oracle, "reference vs oracle");
+    }
+
+    #[test]
     fn mined_counts_agree_with_matcher(doc_spec in arb_tree(30, 3)) {
         let doc = build_doc(&doc_spec);
-        let report = tl_miner::mine(&doc, tl_miner::MineConfig { max_size: 3, threads: 1 });
-        for size in 1..=3 {
+        let report = tl_miner::mine(&doc, tl_miner::MineConfig { max_size: 4, threads: 1 });
+        for size in 1..=4 {
+            for (key, count) in report.lattice.iter_level(size) {
+                let twig = key.decode();
+                prop_assert_eq!(count_matches(&doc, &twig), count);
+            }
+        }
+    }
+
+    /// Two-label documents force duplicate-sibling-label candidates, so the
+    /// miner's subset-DP path (with cached sub-twig maps as weights) is
+    /// exercised alongside the leaf and accumulated factor paths.
+    #[test]
+    fn mined_counts_agree_with_matcher_two_labels(doc_spec in arb_tree(30, 2)) {
+        let doc = build_doc(&doc_spec);
+        let report = tl_miner::mine(&doc, tl_miner::MineConfig { max_size: 4, threads: 1 });
+        for size in 1..=4 {
             for (key, count) in report.lattice.iter_level(size) {
                 let twig = key.decode();
                 prop_assert_eq!(count_matches(&doc, &twig), count);
