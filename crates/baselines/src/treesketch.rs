@@ -66,6 +66,18 @@ impl TreeSketch {
         Agglomerator::new(doc, index).run(config.budget_bytes)
     }
 
+    /// [`build_with_index`](TreeSketch::build_with_index), timing the
+    /// synopsis construction under the `baseline.build` span.
+    pub fn build_observed(
+        doc: &Document,
+        index: &DocIndex,
+        config: SketchConfig,
+        rec: &dyn tl_obs::Recorder,
+    ) -> Self {
+        let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_BASELINE_BUILD);
+        Self::build_with_index(doc, index, config)
+    }
+
     /// Number of clusters.
     pub fn cluster_count(&self) -> usize {
         self.labels.len()

@@ -1,0 +1,73 @@
+//! CI accuracy gate; see `tl_bench::gates`.
+//!
+//! ```text
+//! gate_accuracy [--thresholds <path>] [--write-thresholds]
+//! ```
+//!
+//! Measures estimator accuracy and engine cache hit rate on the fixed
+//! deterministic fixture, then compares against the committed thresholds
+//! (default `tests/gates/accuracy.json`). Exits 1 on any regression.
+//! `--write-thresholds` regenerates the thresholds file from the current
+//! build instead of checking.
+
+use std::path::PathBuf;
+
+use tl_bench::gates;
+
+fn main() {
+    let mut thresholds: Option<PathBuf> = None;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(p) => thresholds = Some(PathBuf::from(p)),
+                None => usage("--thresholds needs a value"),
+            },
+            "--write-thresholds" => write = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let path =
+        thresholds.unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/accuracy.json"));
+
+    let cfg = gates::accuracy_config();
+    println!(
+        "accuracy gate: xmark scale {} seed {} k {} ({} queries/size)",
+        cfg.scale, cfg.seed, cfg.k, cfg.queries
+    );
+    let measured = gates::measure_accuracy(&cfg);
+
+    if write {
+        let snap = gates::accuracy_thresholds(&measured, &cfg);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = gates::check_accuracy(&measured, &snapshot);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.passed() {
+        eprintln!("accuracy gate FAILED ({} check(s))", report.failures.len());
+        std::process::exit(1);
+    }
+    println!("accuracy gate passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_accuracy [--thresholds <path>] [--write-thresholds]");
+    std::process::exit(2);
+}

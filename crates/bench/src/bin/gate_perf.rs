@@ -1,0 +1,80 @@
+//! CI perf smoke gate; see `tl_bench::gates`.
+//!
+//! ```text
+//! gate_perf [--baseline <path>] [--factor F] [--write-baseline]
+//! ```
+//!
+//! Times the `bench matcher` comparison on a tiny fixture and fails when
+//! it runs more than `F`× (default 3) slower than the committed baseline
+//! (default `tests/gates/perf_baseline.json`). `--write-baseline`
+//! regenerates the baseline from this machine instead of checking.
+
+use std::path::PathBuf;
+
+use tl_bench::gates;
+
+fn main() {
+    let mut baseline: Option<PathBuf> = None;
+    let mut factor = 3.0f64;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => usage("--baseline needs a value"),
+            },
+            "--factor" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 => factor = f,
+                _ => usage("--factor needs a positive number"),
+            },
+            "--write-baseline" => write = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let path = baseline
+        .unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/perf_baseline.json"));
+
+    let cfg = gates::perf_config();
+    println!(
+        "perf gate: matcher build at scale {} seed {} k {} ({} queries)",
+        cfg.scale, cfg.seed, cfg.k, cfg.queries
+    );
+    // One warm-up then the measured run, so first-touch costs (page cache,
+    // lazy allocations) do not count against the gate.
+    let _ = gates::measure_perf(&cfg);
+    let measured_ms = gates::measure_perf(&cfg);
+
+    if write {
+        let snap = gates::perf_baseline(measured_ms, &cfg);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {} ({measured_ms:.1}ms)", path.display());
+        return;
+    }
+
+    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = gates::check_perf(measured_ms, &snapshot, factor);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.passed() {
+        eprintln!("perf gate FAILED");
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_perf [--baseline <path>] [--factor F] [--write-baseline]");
+    std::process::exit(2);
+}

@@ -7,9 +7,9 @@
 //! the lattices are identical), and records everything in
 //! `BENCH_matcher.json` at the workspace root so the repo's perf trajectory
 //! is tracked in-tree, not just in criterion's local target directory.
+//! The record uses the `tl-metrics/1` snapshot schema, so `treelattice
+//! metrics report BENCH_matcher.json` renders it like any other snapshot.
 
-use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::Instant;
 
 use tl_datagen::{Dataset, GenConfig};
@@ -185,48 +185,34 @@ pub fn build(cfg: &ExpConfig) -> MatcherBench {
     }
 }
 
-/// Serializes the result as JSON (hand-rolled; the workspace carries no
-/// JSON dependency).
-pub fn to_json(b: &MatcherBench) -> String {
-    let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"bench\": \"matcher\",");
-    let _ = writeln!(s, "  \"scale\": {},", b.scale);
-    let _ = writeln!(s, "  \"seed\": {},", b.seed);
-    let _ = writeln!(s, "  \"kernel\": [");
-    for (i, r) in b.kernel.iter().enumerate() {
-        let comma = if i + 1 < b.kernel.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"dataset\": \"{}\", \"size\": {}, \"queries\": {}, \
-             \"reference_ms\": {:.3}, \"dense_ms\": {:.3}, \"speedup\": {:.2}}}{comma}",
-            r.dataset, r.size, r.queries, r.reference_ms, r.dense_ms, r.speedup
-        );
+/// Renders the result as a `tl-metrics/1` snapshot: timings as gauges,
+/// sizes as counters, configuration echo as meta.
+pub fn to_snapshot(b: &MatcherBench) -> tl_obs::Snapshot {
+    let mut snap = tl_obs::Snapshot::default();
+    snap.meta.insert("bench".into(), "matcher".into());
+    snap.meta.insert("scale".into(), b.scale.to_string());
+    snap.meta.insert("seed".into(), b.seed.to_string());
+    for r in &b.kernel {
+        let p = format!("bench.matcher.kernel.{}.s{}", r.dataset, r.size);
+        snap.counters
+            .insert(format!("{p}.queries"), r.queries as u64);
+        snap.gauges
+            .insert(format!("{p}.reference_ms"), r.reference_ms);
+        snap.gauges.insert(format!("{p}.dense_ms"), r.dense_ms);
+        snap.gauges.insert(format!("{p}.speedup"), r.speedup);
     }
-    let _ = writeln!(s, "  ],");
-    let _ = writeln!(s, "  \"mine\": [");
-    for (i, r) in b.mine.iter().enumerate() {
-        let comma = if i + 1 < b.mine.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"dataset\": \"{}\", \"k\": {}, \"threads\": {}, \
-             \"ms\": {:.3}, \"patterns\": {}}}{comma}",
-            r.dataset, r.k, r.threads, r.ms, r.patterns
-        );
+    for r in &b.mine {
+        let p = format!("bench.matcher.mine.{}.k{}.t{}", r.dataset, r.k, r.threads);
+        snap.gauges.insert(format!("{p}.ms"), r.ms);
+        snap.counters
+            .insert(format!("{p}.patterns"), r.patterns as u64);
     }
-    let _ = writeln!(s, "  ]");
-    s.push('}');
-    s.push('\n');
-    s
+    snap
 }
 
-/// The workspace root (where `BENCH_matcher.json` lives).
-fn workspace_root() -> PathBuf {
-    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
-        if let Some(ws) = std::path::Path::new(&manifest).ancestors().nth(2) {
-            return ws.to_path_buf();
-        }
-    }
-    PathBuf::from(".")
+/// [`to_snapshot`] serialized as JSON.
+pub fn to_json(b: &MatcherBench) -> String {
+    to_snapshot(b).to_json()
 }
 
 /// Runs, prints, and writes `BENCH_matcher.json`.
@@ -268,7 +254,7 @@ pub fn run(cfg: &ExpConfig) -> MatcherBench {
         ]);
     }
     m.print();
-    let path = workspace_root().join("BENCH_matcher.json");
+    let path = crate::workspace_root().join("BENCH_matcher.json");
     match std::fs::write(&path, to_json(&b)) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -294,15 +280,21 @@ mod tests {
             assert!(r.dense_ms >= 0.0 && r.reference_ms >= 0.0);
             assert!(r.speedup.is_finite());
         }
-        let json = to_json(&b);
-        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
-        assert!(json.contains("\"bench\": \"matcher\""));
-        assert!(json.contains("\"kernel\": ["));
-        assert!(json.contains("\"mine\": ["));
-        // Balanced braces/brackets (cheap well-formedness check).
-        let opens = json.matches('{').count();
-        let closes = json.matches('}').count();
-        assert_eq!(opens, closes);
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The record is a valid tl-metrics/1 snapshot and round-trips.
+        let snap = to_snapshot(&b);
+        let parsed = tl_obs::Snapshot::from_json(&to_json(&b)).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(snap.meta.get("bench").map(String::as_str), Some("matcher"));
+        assert_eq!(
+            snap.gauges.len(),
+            6 * 3 + 4,
+            "3 per kernel cell, 1 per mine row"
+        );
+        assert!(snap
+            .gauges
+            .contains_key("bench.matcher.kernel.xmark.s3.dense_ms"));
+        assert!(snap
+            .counters
+            .contains_key("bench.matcher.mine.psd.k4.t4.patterns"));
     }
 }

@@ -1,0 +1,351 @@
+//! CI regression gates (accuracy and perf smoke).
+//!
+//! Both gates compare a fresh, fully deterministic measurement against
+//! thresholds committed under `tests/gates/` in the `tl-metrics/1`
+//! snapshot schema, so the same tooling (`treelattice metrics report`)
+//! renders thresholds, baselines, and live metrics alike.
+//!
+//! * **Accuracy** ([`measure_accuracy`] / [`check_accuracy`]): mines a
+//!   fixed synthetic XMark document, estimates a canned positive workload
+//!   with both recursive estimators, and fails when the mean relative
+//!   error exceeds `gate.accuracy.max_mean_error_pct.<estimator>` or the
+//!   shared-cache engine's hit rate falls below `gate.engine.min_hit_rate`.
+//! * **Perf smoke** ([`measure_perf`] / [`check_perf`]): times the
+//!   `bench matcher` comparison on a tiny fixture and fails when it runs
+//!   more than `factor`× slower than `gate.perf.matcher_build_ms`.
+//!
+//! Every quantity the gates measure is seeded and single-threaded, so the
+//! committed thresholds can be tight: reruns of the same build produce the
+//! same workload, the same estimates, and the same hit counts.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_obs::Snapshot;
+use tl_workload::{average_relative_error_pct, positive_workload_with_index};
+use tl_xml::DocIndex;
+use treelattice::{
+    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+};
+
+use crate::{experiments::matcher, ExpConfig};
+
+/// Threshold gauge name prefix for per-estimator mean error ceilings.
+pub const MAX_MEAN_ERROR_PCT: &str = "gate.accuracy.max_mean_error_pct";
+/// Threshold gauge name for the engine hit-rate floor.
+pub const MIN_HIT_RATE: &str = "gate.engine.min_hit_rate";
+/// Baseline gauge name for the perf smoke wall-clock.
+pub const MATCHER_BUILD_MS: &str = "gate.perf.matcher_build_ms";
+
+/// The fixed configuration the accuracy gate runs with. Changing it
+/// invalidates `tests/gates/accuracy.json`; regenerate with
+/// `gate_accuracy --write-thresholds`.
+pub fn accuracy_config() -> ExpConfig {
+    ExpConfig {
+        scale: 8_000,
+        seed: 42,
+        queries: 30,
+        k: 4,
+        ..ExpConfig::default()
+    }
+}
+
+/// The tiny fixture the perf smoke gate times. Small enough that the gate
+/// adds seconds, not minutes, to CI.
+pub fn perf_config() -> ExpConfig {
+    ExpConfig {
+        scale: 1_500,
+        seed: 42,
+        queries: 5,
+        k: 3,
+        ..ExpConfig::default()
+    }
+}
+
+/// What the accuracy gate measured on this build.
+#[derive(Clone, Debug)]
+pub struct AccuracyMeasurement {
+    /// Mean relative error (percent) keyed by estimator name.
+    pub mean_error_pct: BTreeMap<&'static str, f64>,
+    /// Shared-cache engine hit rate over the whole workload, in [0, 1].
+    pub hit_rate: f64,
+    /// Total queries in the canned workload.
+    pub queries: usize,
+}
+
+/// Runs the deterministic accuracy measurement: XMark at `cfg.scale`,
+/// positive workloads of sizes 4–6, both recursive estimators, and one
+/// single-threaded engine batch for the cache hit rate.
+pub fn measure_accuracy(cfg: &ExpConfig) -> AccuracyMeasurement {
+    let doc = Dataset::Xmark.generate(GenConfig {
+        seed: cfg.seed,
+        target_elements: cfg.scale,
+    });
+    let index = DocIndex::new(&doc);
+    let lattice = TreeLattice::build_with_index(
+        &doc,
+        &index,
+        &BuildConfig {
+            k: cfg.k,
+            threads: 0,
+            prune_delta: None,
+        },
+    );
+
+    let mut twigs = Vec::new();
+    let mut truths = Vec::new();
+    for size in [4usize, 5, 6] {
+        let w = positive_workload_with_index(
+            &doc,
+            &index,
+            size,
+            cfg.queries,
+            cfg.seed.wrapping_add(size as u64),
+        );
+        for case in w.cases {
+            truths.push(case.true_count);
+            twigs.push(case.twig);
+        }
+    }
+    assert!(!twigs.is_empty(), "accuracy gate workload is empty");
+
+    let opts = EstimateOptions::default();
+    let mut mean_error_pct = BTreeMap::new();
+    for (name, estimator) in [
+        ("recursive", Estimator::Recursive),
+        ("voting", Estimator::RecursiveVoting),
+    ] {
+        let estimates: Vec<f64> = twigs
+            .iter()
+            .map(|t| lattice.estimate_with(t, estimator, &opts))
+            .collect();
+        mean_error_pct.insert(name, average_relative_error_pct(&truths, &estimates));
+    }
+
+    // One worker: concurrent workers can race to the same uncached key and
+    // double-count misses, and a gate must measure the same value every run.
+    let engine = EstimationEngine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let _ = engine.estimate_batch(&lattice, &twigs, Estimator::RecursiveVoting, &opts);
+    let stats = engine.stats();
+
+    AccuracyMeasurement {
+        mean_error_pct,
+        hit_rate: stats.hit_rate(),
+        queries: twigs.len(),
+    }
+}
+
+/// Renders the measurement as a thresholds snapshot with headroom:
+/// error ceilings at `1.15×` measured (floored at 1pp above), hit-rate
+/// floor at measured `− 0.05`.
+pub fn accuracy_thresholds(m: &AccuracyMeasurement, cfg: &ExpConfig) -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "accuracy".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("scale".into(), cfg.scale.to_string());
+    snap.meta.insert("seed".into(), cfg.seed.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.meta
+        .insert("queries_per_size".into(), cfg.queries.to_string());
+    for (name, &err) in &m.mean_error_pct {
+        snap.gauges.insert(
+            format!("{MAX_MEAN_ERROR_PCT}.{name}"),
+            (err * 1.15).max(err + 1.0),
+        );
+    }
+    snap.gauges
+        .insert(MIN_HIT_RATE.into(), (m.hit_rate - 0.05).max(0.0));
+    snap
+}
+
+/// The outcome of one gate check: human-readable lines for every
+/// comparison, plus the subset that failed.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// One line per comparison, pass or fail.
+    pub lines: Vec<String>,
+    /// Failure messages (empty means the gate passed).
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether every comparison passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn check(&mut self, ok: bool, line: String) {
+        self.lines
+            .push(format!("{} {line}", if ok { "PASS" } else { "FAIL" }));
+        if !ok {
+            self.failures.push(line);
+        }
+    }
+}
+
+/// Compares a measurement against a thresholds snapshot. A threshold the
+/// snapshot does not carry is itself a failure: a gate that silently
+/// checks nothing is worse than a missing gate.
+pub fn check_accuracy(m: &AccuracyMeasurement, thresholds: &Snapshot) -> GateReport {
+    let mut report = GateReport::default();
+    for (name, &err) in &m.mean_error_pct {
+        let key = format!("{MAX_MEAN_ERROR_PCT}.{name}");
+        match thresholds.gauges.get(&key) {
+            Some(&max) => report.check(
+                err <= max,
+                format!("{name}: mean error {err:.2}% (max {max:.2}%)"),
+            ),
+            None => report.check(false, format!("thresholds missing gauge `{key}`")),
+        }
+    }
+    match thresholds.gauges.get(MIN_HIT_RATE) {
+        Some(&min) => report.check(
+            m.hit_rate >= min,
+            format!(
+                "engine: cache hit rate {:.3} over {} queries (min {min:.3})",
+                m.hit_rate, m.queries
+            ),
+        ),
+        None => report.check(false, format!("thresholds missing gauge `{MIN_HIT_RATE}`")),
+    }
+    report
+}
+
+/// Times one `bench matcher` comparison run (generation, workloads, both
+/// kernels, mining) in milliseconds.
+pub fn measure_perf(cfg: &ExpConfig) -> f64 {
+    let start = Instant::now();
+    let b = matcher::build(cfg);
+    std::hint::black_box(b.kernel.len());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Renders a measured perf run as a baseline snapshot (raw, no headroom:
+/// the slack lives in the comparison factor, not the stored number).
+pub fn perf_baseline(measured_ms: f64, cfg: &ExpConfig) -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "perf".into());
+    snap.meta.insert("scale".into(), cfg.scale.to_string());
+    snap.meta.insert("seed".into(), cfg.seed.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.meta.insert("queries".into(), cfg.queries.to_string());
+    snap.gauges.insert(MATCHER_BUILD_MS.into(), measured_ms);
+    snap
+}
+
+/// Compares a measured wall-clock against the committed baseline, allowing
+/// `factor`× headroom for shared-runner noise.
+pub fn check_perf(measured_ms: f64, baseline: &Snapshot, factor: f64) -> GateReport {
+    let mut report = GateReport::default();
+    match baseline.gauges.get(MATCHER_BUILD_MS) {
+        Some(&base) => report.check(
+            measured_ms <= base * factor,
+            format!(
+                "matcher build {measured_ms:.1}ms vs baseline {base:.1}ms (allowed {:.1}ms = {factor}x)",
+                base * factor
+            ),
+        ),
+        None => report.check(
+            false,
+            format!("baseline missing gauge `{MATCHER_BUILD_MS}`"),
+        ),
+    }
+    report
+}
+
+/// Loads a thresholds/baseline snapshot from disk.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Snapshot::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExpConfig {
+        ExpConfig {
+            scale: 1_500,
+            seed: 42,
+            queries: 5,
+            k: 3,
+            ..ExpConfig::default()
+        }
+    }
+
+    #[test]
+    fn accuracy_measurement_is_deterministic() {
+        let cfg = tiny_config();
+        let a = measure_accuracy(&cfg);
+        let b = measure_accuracy(&cfg);
+        assert_eq!(a.mean_error_pct, b.mean_error_pct);
+        assert_eq!(a.hit_rate, b.hit_rate);
+        assert_eq!(a.queries, b.queries);
+        assert!(a.queries > 0);
+        assert!(a.hit_rate > 0.0, "repeated sub-twigs should hit the cache");
+    }
+
+    #[test]
+    fn generated_thresholds_pass_their_own_measurement() {
+        let cfg = tiny_config();
+        let m = measure_accuracy(&cfg);
+        let thresholds = accuracy_thresholds(&m, &cfg);
+        let report = check_accuracy(&m, &thresholds);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.lines.len(), 3, "two estimators + hit rate");
+    }
+
+    #[test]
+    fn tightened_thresholds_fail() {
+        let cfg = tiny_config();
+        let m = measure_accuracy(&cfg);
+        let mut thresholds = accuracy_thresholds(&m, &cfg);
+        for v in thresholds.gauges.values_mut() {
+            *v = match *v {
+                // Error ceilings shrink below measurement...
+                x if x > 1.0 => x / 100.0,
+                // ...and the hit-rate floor rises above it.
+                _ => 1.01,
+            };
+        }
+        let report = check_accuracy(&m, &thresholds);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 3);
+    }
+
+    #[test]
+    fn missing_threshold_gauges_fail_closed() {
+        let cfg = tiny_config();
+        let m = measure_accuracy(&cfg);
+        let report = check_accuracy(&m, &Snapshot::default());
+        assert!(!report.passed());
+        assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
+    }
+
+    #[test]
+    fn perf_gate_passes_against_own_baseline_and_fails_tightened() {
+        let baseline = perf_baseline(100.0, &tiny_config());
+        assert!(check_perf(100.0, &baseline, 3.0).passed());
+        assert!(check_perf(299.0, &baseline, 3.0).passed());
+        assert!(!check_perf(301.0, &baseline, 3.0).passed());
+        assert!(!check_perf(100.0, &Snapshot::default(), 3.0).passed());
+    }
+
+    #[test]
+    fn thresholds_round_trip_through_snapshot_json() {
+        let cfg = tiny_config();
+        let m = measure_accuracy(&cfg);
+        let thresholds = accuracy_thresholds(&m, &cfg);
+        let parsed = Snapshot::from_json(&thresholds.to_json()).unwrap();
+        assert_eq!(parsed, thresholds);
+        assert_eq!(
+            parsed.meta.get("gate").map(String::as_str),
+            Some("accuracy")
+        );
+    }
+}

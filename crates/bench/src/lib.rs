@@ -24,7 +24,20 @@
 pub mod config;
 pub mod data;
 pub mod experiments;
+pub mod gates;
 pub mod report;
 
 pub use config::ExpConfig;
 pub use report::{write_csv, Table};
+
+/// The workspace root, resolved from this crate's manifest directory
+/// (`crates/bench` → two levels up). In-tree artifacts (`BENCH_*.json`,
+/// `tests/gates/*.json`) live there.
+pub fn workspace_root() -> std::path::PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(ws) = std::path::Path::new(&manifest).ancestors().nth(2) {
+            return ws.to_path_buf();
+        }
+    }
+    std::path::PathBuf::from(".")
+}

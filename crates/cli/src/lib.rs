@@ -11,6 +11,7 @@
 //! treelattice inspect <summary.tlat>
 //! treelattice prune <summary.tlat> -o <out.tlat> --delta D
 //! treelattice gen <nasa|imdb|psd|xmark> -o <out.xml> [--scale N] [--seed N] [--values MODE]
+//! treelattice metrics report <metrics.json>
 //! ```
 //!
 //! `workload` estimates one query per line of `<queries.txt>` (blank lines
@@ -24,15 +25,25 @@
 //! (`item[incategory="category3"]`) resolve to the labels the summary was
 //! built with.
 //!
+//! Every command accepts a global `--metrics <path>` flag that records the
+//! invocation in a [`tl_obs::MetricsRecorder`] and writes a `tl-metrics/1`
+//! JSON snapshot to `<path>` on success; `metrics report` renders such a
+//! snapshot as a table. `estimate` also accepts an `.xml` file in place of
+//! a summary: it builds a throwaway in-memory lattice (`--k`, default 4)
+//! and reports the exact match count alongside the estimate, so one
+//! invocation exercises — and with `--metrics`, measures — the whole
+//! pipeline.
+//!
 //! All command logic lives in [`run`], which writes to an injected sink so
 //! the test suite can drive the full tool without spawning processes.
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 use tl_datagen::{Dataset, GenConfig};
 use tl_twig::parse_twig;
-use tl_xml::{parse_document, ParseOptions, ValueMode};
+use tl_xml::{parse_document_observed, DocIndex, ParseOptions, ValueMode};
 use treelattice::{
     BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
 };
@@ -76,36 +87,105 @@ treelattice — twig selectivity estimation over XML documents
 
 USAGE:
   treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
-  treelattice estimate <summary.tlat> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
+  treelattice estimate <summary.tlat|input.xml> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N] [--k N]
   treelattice workload <summary.tlat> <queries.txt> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
   treelattice explain <summary.tlat> <query>
   treelattice truth <input.xml> <query> [--values MODE]
   treelattice inspect <summary.tlat>
   treelattice prune <summary.tlat> -o <out.tlat> --delta D
   treelattice gen <nasa|imdb|psd|xmark> -o <out.xml> [--scale N] [--seed N] [--values MODE]
+  treelattice metrics report <metrics.json>
 
 Queries use the twig syntax: a/b/c, //laptop[brand][price], a[b[d]][c/e];
 with --values, equality predicates like item[incategory=\"category3\"].
 MODE is ignore (default), exact, or bucket:<N>.
 `workload` reads one query per line; --engine-cache shares sub-twig
 estimates across the whole batch and reports the cache hit rate.
+Any command also takes --metrics <path>: on success a tl-metrics/1 JSON
+snapshot (parse/index/mine/match/cache/latency metrics) is written there;
+render one with `metrics report`. Passing an .xml file to `estimate`
+builds a throwaway in-memory lattice (--k, default 4) and reports the
+exact match count alongside the estimate.
 ";
+
+/// Per-invocation observability: holds a live [`tl_obs::MetricsRecorder`]
+/// when `--metrics <path>` was given, and the no-op recorder otherwise.
+struct Obs {
+    recorder: Option<Arc<tl_obs::MetricsRecorder>>,
+    path: Option<String>,
+}
+
+impl Obs {
+    /// The recorder to thread through `*_observed` APIs.
+    fn rec(&self) -> &dyn tl_obs::Recorder {
+        match &self.recorder {
+            Some(r) => r.as_ref(),
+            None => &tl_obs::NOOP,
+        }
+    }
+
+    /// A shared handle for the estimation engine's worker threads.
+    fn shared(&self) -> Arc<dyn tl_obs::Recorder> {
+        match &self.recorder {
+            Some(r) => r.clone(),
+            None => Arc::new(tl_obs::Noop),
+        }
+    }
+
+    /// Writes the snapshot to the requested path, if any.
+    fn write(&self) -> Result<(), CliError> {
+        if let (Some(rec), Some(path)) = (&self.recorder, &self.path) {
+            write_file(path, rec.snapshot().to_json().as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the global `--metrics <path>` flag from anywhere in the
+/// argument list, returning the remaining arguments and the observability
+/// context.
+fn strip_metrics(args: &[String]) -> Result<(Vec<String>, Obs), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::usage("--metrics needs a value"))?;
+            path = Some(value.clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let recorder = path
+        .as_ref()
+        .map(|_| Arc::new(tl_obs::MetricsRecorder::with_schema()));
+    Ok((rest, Obs { recorder, path }))
+}
 
 /// Runs one invocation; `args` excludes the program name.
 pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
+    let (args, obs) = strip_metrics(args)?;
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
+    if let Some(rec) = &obs.recorder {
+        rec.set_meta("command", command.as_str());
+    }
     let rest = &args[1..];
     match command.as_str() {
-        "build" => cmd_build(rest, out),
-        "estimate" => cmd_estimate(rest, out),
-        "workload" => cmd_workload(rest, out),
+        "build" => cmd_build(rest, out, &obs),
+        "estimate" => cmd_estimate(rest, out, &obs),
+        "workload" => cmd_workload(rest, out, &obs),
         "explain" => cmd_explain(rest, out),
-        "truth" => cmd_truth(rest, out),
+        "truth" => cmd_truth(rest, out, &obs),
         "inspect" => cmd_inspect(rest, out),
         "prune" => cmd_prune(rest, out),
-        "gen" => cmd_gen(rest, out),
+        "gen" => cmd_gen(rest, out, &obs),
+        "metrics" => cmd_metrics(rest, out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
             Ok(())
@@ -113,7 +193,8 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
-    }
+    }?;
+    obs.write()
 }
 
 /// Minimal flag cursor: positionals in order, flags anywhere.
@@ -206,14 +287,19 @@ fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     std::fs::write(path, bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
 }
 
-fn load_document_with(path: &str, values: ValueMode) -> Result<tl_xml::Document, CliError> {
+fn load_document_with(
+    path: &str,
+    values: ValueMode,
+    rec: &dyn tl_obs::Recorder,
+) -> Result<tl_xml::Document, CliError> {
     let bytes = read_file(path)?;
-    parse_document(
+    parse_document_observed(
         &bytes,
         ParseOptions {
             values,
             ..Default::default()
         },
+        rec,
     )
     .map_err(|e| CliError::runtime(format!("{path}: XML parse error at {e}")))
 }
@@ -253,7 +339,7 @@ fn parse_estimator(name: Option<&str>) -> Result<Estimator, CliError> {
     }
 }
 
-fn cmd_build(rest: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_build(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let output = args
         .flag_value("-o")?
@@ -272,15 +358,18 @@ fn cmd_build(rest: &[String], out: &mut String) -> Result<(), CliError> {
         return Err(CliError::usage("--k must be at least 2"));
     }
 
-    let doc = load_document_with(&input, values)?;
+    let doc = load_document_with(&input, values, obs.rec())?;
     let start = std::time::Instant::now();
-    let lattice = TreeLattice::build(
+    let index = DocIndex::new_observed(&doc, obs.rec());
+    let lattice = TreeLattice::build_with_index_observed(
         &doc,
+        &index,
         &BuildConfig {
             k,
             threads,
             prune_delta: delta,
         },
+        obs.rec(),
     );
     let elapsed = start.elapsed();
     write_file(&output, &lattice.to_bytes())?;
@@ -295,7 +384,7 @@ fn cmd_build(rest: &[String], out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_estimate(rest: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let estimator = {
         let value = args.flag_value("--estimator")?.map(str::to_owned);
@@ -307,26 +396,68 @@ fn cmd_estimate(rest: &[String], out: &mut String) -> Result<(), CliError> {
     };
     let engine_cache = args.flag("--engine-cache");
     let threads: usize = args.numeric("--threads")?.unwrap_or(0);
-    let summary_path = args.positional("summary.tlat")?.to_owned();
+    let k: usize = args.numeric("--k")?.unwrap_or(4);
+    let summary_path = args.positional("summary.tlat|input.xml")?.to_owned();
     let query = args.positional("query")?.to_owned();
     args.finish()?;
+    if k < 2 {
+        return Err(CliError::usage("--k must be at least 2"));
+    }
 
-    let lattice = load_summary(&summary_path)?;
+    // One-shot mode: given raw XML, build a throwaway lattice in memory and
+    // keep the document around to report the exact count as well.
+    let one_shot = summary_path.ends_with(".xml");
+    let (lattice, source) = if one_shot {
+        let doc = load_document_with(&summary_path, values, obs.rec())?;
+        let index = DocIndex::new_observed(&doc, obs.rec());
+        let lattice = TreeLattice::build_with_index_observed(
+            &doc,
+            &index,
+            &BuildConfig {
+                k,
+                threads,
+                prune_delta: None,
+            },
+            obs.rec(),
+        );
+        (lattice, Some((doc, index)))
+    } else {
+        (load_summary(&summary_path)?, None)
+    };
+
+    let twig = parse_query_for(&lattice, &query, values)?;
     let est = if engine_cache {
-        let twig = parse_query_for(&lattice, &query, values)?;
-        let engine = EstimationEngine::new(EngineConfig {
-            threads,
-            ..EngineConfig::default()
-        });
+        let engine = EstimationEngine::with_recorder(
+            EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+            obs.shared(),
+        );
         engine.estimate(&lattice, &twig, estimator, &EstimateOptions::default())
     } else {
-        match values {
-            ValueMode::Ignore => lattice.estimate_query(&query, estimator),
-            mode => lattice.estimate_query_valued(&query, mode, estimator),
-        }
-        .map_err(|e| CliError::usage(format!("query: {e}")))?
+        lattice.estimate_with_observed(&twig, estimator, &EstimateOptions::default(), obs.rec())
     };
     let _ = writeln!(out, "{est:.3}");
+
+    if let Some((doc, index)) = &source {
+        // In-document labels only; the exact kernel may still reject hostile
+        // queries, in which case the estimate stands alone.
+        let in_alphabet = twig
+            .nodes()
+            .all(|n| twig.label(n).index() < doc.labels().len());
+        let exact = if in_alphabet {
+            tl_twig::MatchCounter::with_index(doc, index)
+                .observed(obs.rec())
+                .try_count(&twig)
+                .ok()
+        } else {
+            Some(0)
+        };
+        if let Some(count) = exact {
+            let _ = writeln!(out, "# exact: {count}");
+        }
+    }
     Ok(())
 }
 
@@ -345,7 +476,7 @@ fn parse_query_for(
     .map_err(|e| CliError::usage(format!("query `{query}`: {e}")))
 }
 
-fn cmd_workload(rest: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_workload(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let estimator = {
         let value = args.flag_value("--estimator")?.map(str::to_owned);
@@ -381,17 +512,20 @@ fn cmd_workload(rest: &[String], out: &mut String) -> Result<(), CliError> {
     let opts = EstimateOptions::default();
     let start = std::time::Instant::now();
     let (estimates, stats) = if engine_cache {
-        let engine = EstimationEngine::new(EngineConfig {
-            threads,
-            ..EngineConfig::default()
-        });
+        let engine = EstimationEngine::with_recorder(
+            EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+            obs.shared(),
+        );
         let ests = engine.estimate_batch(&lattice, &twigs, estimator, &opts);
         (ests, Some(engine.stats()))
     } else {
         (
             twigs
                 .iter()
-                .map(|t| lattice.estimate_with(t, estimator, &opts))
+                .map(|t| lattice.estimate_with_observed(t, estimator, &opts, obs.rec()))
                 .collect(),
             None,
         )
@@ -429,7 +563,7 @@ fn cmd_explain(rest: &[String], out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_truth(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let values = {
         let raw = args.flag_value("--values")?.map(str::to_owned);
@@ -439,7 +573,7 @@ fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
     let query = args.positional("query")?.to_owned();
     args.finish()?;
 
-    let doc = load_document_with(&input, values)?;
+    let doc = load_document_with(&input, values, obs.rec())?;
     let mut labels = doc.labels().clone();
     let twig = match values {
         ValueMode::Ignore => parse_twig(&query, &mut labels),
@@ -456,7 +590,9 @@ fn cmd_truth(rest: &[String], out: &mut String) -> Result<(), CliError> {
         // The exact kernel rejects hostile queries (an oversized same-label
         // sibling group makes the injective subset-DP exponential); surface
         // that as a usage error instead of a count.
-        tl_twig::MatchCounter::new(&doc)
+        let index = DocIndex::new_observed(&doc, obs.rec());
+        tl_twig::MatchCounter::with_index(&doc, &index)
+            .observed(obs.rec())
             .try_count(&twig)
             .map_err(|e| CliError::usage(format!("query: {e}")))?
     };
@@ -527,7 +663,7 @@ fn cmd_prune(rest: &[String], out: &mut String) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_gen(rest: &[String], out: &mut String) -> Result<(), CliError> {
+fn cmd_gen(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let output = args
         .flag_value("-o")?
@@ -543,12 +679,13 @@ fn cmd_gen(rest: &[String], out: &mut String) -> Result<(), CliError> {
     args.finish()?;
 
     let dataset: Dataset = name.parse().map_err(CliError::usage)?;
-    let doc = dataset.generate_valued(
+    let doc = dataset.generate_valued_observed(
         GenConfig {
             seed,
             target_elements: scale,
         },
         values,
+        obs.rec(),
     );
     let mut buf = Vec::new();
     tl_xml::write_document(&doc, &mut buf)
@@ -561,6 +698,24 @@ fn cmd_gen(rest: &[String], out: &mut String) -> Result<(), CliError> {
         doc.len(),
         doc.labels().len()
     );
+    Ok(())
+}
+
+fn cmd_metrics(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let action = args.positional("report")?.to_owned();
+    let path = args.positional("metrics.json")?.to_owned();
+    args.finish()?;
+    if action != "report" {
+        return Err(CliError::usage(format!(
+            "unknown metrics action `{action}` (expected report)"
+        )));
+    }
+    let text = String::from_utf8(read_file(&path)?)
+        .map_err(|_| CliError::runtime(format!("{path}: not valid UTF-8")))?;
+    let snapshot = tl_obs::Snapshot::from_json(&text)
+        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+    out.push_str(&snapshot.render_report());
     Ok(())
 }
 
@@ -959,5 +1114,196 @@ mod tests {
     fn gen_rejects_unknown_dataset() {
         let err = call(&["gen", "unknown", "-o", "x.xml"]).unwrap_err();
         assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn metrics_flag_requires_value() {
+        let err = call(&["inspect", "x.tlat", "--metrics"]).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--metrics needs a value"));
+    }
+
+    #[test]
+    fn estimate_oneshot_xml_emits_full_metrics_snapshot() {
+        let dir = tempdir();
+        let xml = dir.join("one.xml");
+        let metrics = dir.join("one.json");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        let out = call(&[
+            "estimate",
+            xml.to_str().unwrap(),
+            "item/mailbox",
+            "--k",
+            "3",
+            "--engine-cache",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("# exact:"), "{out}");
+
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let snap = tl_obs::Snapshot::from_json(&text).unwrap();
+        use tl_obs::names;
+        for name in [
+            names::XML_PARSE_DOCS,
+            names::XML_INDEX_BUILDS,
+            names::MINER_RUNS,
+            names::TWIG_MATCH_CALLS,
+            names::ENGINE_QUERIES,
+        ] {
+            assert!(
+                snap.counters.get(name).copied().unwrap_or(0) >= 1,
+                "counter {name} not populated: {text}"
+            );
+        }
+        // Cache counters are present (schema-preregistered) even when the
+        // single query produced no hits.
+        assert!(snap.counters.contains_key(names::ENGINE_CACHE_HITS));
+        assert!(snap.counters.contains_key(names::ENGINE_CACHE_MISSES));
+        // Per-level miner stats were recorded dynamically.
+        assert!(
+            snap.counters.keys().any(|k| k.starts_with("miner.level1.")),
+            "no per-level miner counters: {text}"
+        );
+        let latency = snap.histograms.get(names::QUERY_LATENCY_US).unwrap();
+        assert!(latency.count >= 1, "no query latency recorded");
+        assert!(snap.spans.get(names::SPAN_PARSE).unwrap().count >= 1);
+        assert!(snap.spans.get(names::SPAN_MINE).unwrap().count >= 1);
+        assert_eq!(
+            snap.meta.get("command").map(String::as_str),
+            Some("estimate")
+        );
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn metrics_do_not_change_estimates() {
+        let dir = tempdir();
+        let xml = dir.join("par.xml");
+        let tlat = dir.join("par.tlat");
+        let metrics = dir.join("par.json");
+        std::fs::write(&xml, "<r><a><b/><c/></a><a><b/><c/></a><a><b/></a></r>").unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        let plain = call(&["estimate", tlat.to_str().unwrap(), "a[b][c]"]).unwrap();
+        let observed = call(&[
+            "estimate",
+            tlat.to_str().unwrap(),
+            "a[b][c]",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(plain, observed);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn workload_with_metrics_records_cache_traffic() {
+        let dir = tempdir();
+        let xml = dir.join("wm.xml");
+        let tlat = dir.join("wm.tlat");
+        let queries = dir.join("wm.txt");
+        let metrics = dir.join("wm.json");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        std::fs::write(
+            &queries,
+            "item/mailbox\nitem[mailbox][payment]\nsite/regions\n",
+        )
+        .unwrap();
+        let out = call(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+            "--engine-cache",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("# engine cache:"), "{out}");
+
+        let snap =
+            tl_obs::Snapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        use tl_obs::names;
+        // Unknown-label queries short-circuit to 0.0 before recording, so
+        // the count is a lower bound, not exactly the workload size.
+        let queries_run = snap.counters.get(names::ENGINE_QUERIES).copied().unwrap();
+        assert!((2..=3).contains(&queries_run), "{queries_run} queries");
+        let hits = snap
+            .counters
+            .get(names::ENGINE_CACHE_HITS)
+            .copied()
+            .unwrap();
+        let misses = snap
+            .counters
+            .get(names::ENGINE_CACHE_MISSES)
+            .copied()
+            .unwrap();
+        assert!(hits + misses > 0, "no cache traffic recorded");
+        assert!(snap.spans.get(names::SPAN_BATCH).unwrap().count >= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn metrics_report_renders_snapshot_table() {
+        let dir = tempdir();
+        let xml = dir.join("rep.xml");
+        let metrics = dir.join("rep.json");
+        std::fs::write(&xml, "<r><a><b/></a></r>").unwrap();
+        call(&[
+            "estimate",
+            xml.to_str().unwrap(),
+            "a/b",
+            "--k",
+            "2",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = call(&["metrics", "report", metrics.to_str().unwrap()]).unwrap();
+        assert!(out.contains("engine.queries"), "{out}");
+        assert!(out.contains("xml.parse"), "{out}");
+
+        let err = call(&["metrics", "frobnicate", metrics.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, 2);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -44,13 +44,14 @@
 //! memo plus some locking overhead; use [`TreeLattice::estimate`] there.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use tl_twig::{Twig, TwigKey};
 use tl_xml::{FxHashMap, FxHasher};
 
-use crate::estimator::{estimate_with_cache, SubtwigCache};
+use crate::estimator::{estimate_with_cache_depth, SubtwigCache};
 use crate::{EstimateOptions, Estimator, TreeLattice};
 
 /// Construction knobs for [`EstimationEngine`].
@@ -143,6 +144,9 @@ pub struct EstimationEngine {
     hits: AtomicU64,
     misses: AtomicU64,
     last_batch_nanos: AtomicU64,
+    /// Metric sink shared with batch worker threads; [`tl_obs::Noop`]
+    /// unless [`EstimationEngine::with_recorder`] installed a live one.
+    rec: Arc<dyn tl_obs::Recorder>,
 }
 
 impl Default for EstimationEngine {
@@ -154,6 +158,14 @@ impl Default for EstimationEngine {
 impl EstimationEngine {
     /// Creates an engine with an empty cache.
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_recorder(config, Arc::new(tl_obs::Noop))
+    }
+
+    /// Creates an engine reporting to `rec`: per-query `engine.queries` /
+    /// `engine.query.latency_us` / `engine.decomposition.depth`, cache
+    /// `engine.cache.{hits,misses}`, and the `engine.batch` span. The
+    /// recorder is `Arc`-shared so batch worker threads report too.
+    pub fn with_recorder(config: EngineConfig, rec: Arc<dyn tl_obs::Recorder>) -> Self {
         let n = config.shards.max(1).next_power_of_two();
         let shards = (0..n)
             .map(|_| {
@@ -171,6 +183,7 @@ impl EstimationEngine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             last_batch_nanos: AtomicU64::new(0),
+            rec,
         }
     }
 
@@ -198,7 +211,18 @@ impl EstimationEngine {
             hits: 0,
             misses: 0,
         };
-        estimate_with_cache(lattice.summary(), twig, estimator, opts, &mut cache)
+        let start = self.rec.enabled().then(Instant::now);
+        let (value, depth) =
+            estimate_with_cache_depth(lattice.summary(), twig, estimator, opts, &mut cache);
+        if let Some(start) = start {
+            self.rec.add(tl_obs::names::ENGINE_QUERIES, 1);
+            self.rec.observe(
+                tl_obs::names::QUERY_LATENCY_US,
+                start.elapsed().as_micros() as u64,
+            );
+            self.rec.observe(tl_obs::names::DECOMP_DEPTH, depth as u64);
+        }
+        value
     }
 
     /// Estimates every twig in `batch`, in order, splitting the work over
@@ -214,6 +238,7 @@ impl EstimationEngine {
         estimator: Estimator,
         opts: &EstimateOptions,
     ) -> Vec<f64> {
+        let _span = tl_obs::SpanGuard::start(&*self.rec, tl_obs::names::SPAN_BATCH);
         let start = Instant::now();
         let threads = self.effective_threads(batch.len());
         let results: Vec<f64> = if threads <= 1 {
@@ -349,6 +374,14 @@ impl Drop for SharedCache<'_> {
     fn drop(&mut self) {
         self.engine.hits.fetch_add(self.hits, Ordering::Relaxed);
         self.engine.misses.fetch_add(self.misses, Ordering::Relaxed);
+        if self.engine.rec.enabled() {
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_CACHE_HITS, self.hits);
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_CACHE_MISSES, self.misses);
+        }
     }
 }
 
@@ -463,6 +496,46 @@ mod tests {
         assert!(engine.stats().entries > 0);
         engine.clear();
         assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn recorder_sees_queries_cache_traffic_and_batch_span() {
+        let lat = sample_lattice();
+        let rec = Arc::new(tl_obs::MetricsRecorder::new());
+        let engine = EstimationEngine::with_recorder(
+            EngineConfig {
+                shards: 4,
+                threads: 2,
+            },
+            rec.clone(),
+        );
+        let plain = EstimationEngine::default();
+        let twigs: Vec<_> = ["a[b[c][d]][e]", "a/b/c", "a[b[c][d]][e]"]
+            .iter()
+            .map(|q| lat.parse_query(q).unwrap())
+            .collect();
+        let opts = EstimateOptions::default();
+        let observed = engine.estimate_batch(&lat, &twigs, Estimator::RecursiveVoting, &opts);
+        let expected = plain.estimate_batch(&lat, &twigs, Estimator::RecursiveVoting, &opts);
+        for (a, b) in observed.iter().zip(&expected) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "recording must not change results"
+            );
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters[tl_obs::names::ENGINE_QUERIES], 3);
+        assert_eq!(snap.histograms[tl_obs::names::QUERY_LATENCY_US].count, 3);
+        assert_eq!(snap.histograms[tl_obs::names::DECOMP_DEPTH].count, 3);
+        assert_eq!(snap.spans[tl_obs::names::SPAN_BATCH].count, 1);
+        let stats = engine.stats();
+        assert_eq!(snap.counters[tl_obs::names::ENGINE_CACHE_HITS], stats.hits);
+        assert_eq!(
+            snap.counters[tl_obs::names::ENGINE_CACHE_MISSES],
+            stats.misses
+        );
+        assert!(stats.hits > 0, "the repeated query must hit the cache");
     }
 
     #[test]

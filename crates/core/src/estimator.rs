@@ -138,6 +138,19 @@ pub(crate) fn estimate_with_cache<C: SubtwigCache>(
     opts: &EstimateOptions,
     cache: &mut C,
 ) -> f64 {
+    estimate_with_cache_depth(summary, twig, estimator, opts, cache).0
+}
+
+/// [`estimate_with_cache`], additionally returning the deepest
+/// decomposition recursion the query forced (0 when every sub-twig resolved
+/// from the summary or cache without decomposing).
+pub(crate) fn estimate_with_cache_depth<C: SubtwigCache>(
+    summary: &Summary,
+    twig: &Twig,
+    estimator: Estimator,
+    opts: &EstimateOptions,
+    cache: &mut C,
+) -> (f64, usize) {
     let mut ctx = RecursiveCtx {
         summary,
         cache,
@@ -147,8 +160,10 @@ pub(crate) fn estimate_with_cache<C: SubtwigCache>(
             _ => 1,
         },
         scratch: Vec::new(),
+        depth: 0,
+        max_depth: 0,
     };
-    match estimator {
+    let value = match estimator {
         Estimator::Recursive | Estimator::RecursiveVoting => ctx.estimate_key(key_of(twig)),
         // Canonicalize first so the pre-order cover (and hence the result)
         // is identical for isomorphic queries.
@@ -166,7 +181,8 @@ pub(crate) fn estimate_with_cache<C: SubtwigCache>(
                 .sum();
             sum / strategies.len() as f64
         }
-    }
+    };
+    (value, ctx.max_depth)
 }
 
 /// Recursive-decomposition state: the summary plus a sub-twig cache.
@@ -178,6 +194,10 @@ struct RecursiveCtx<'s, 'c, C> {
     /// Recycled twig buffers for decoding keys on cache misses, one per
     /// active recursion depth.
     scratch: Vec<Twig>,
+    /// Current and deepest decomposition recursion reached; surfaced as the
+    /// `engine.decomposition.depth` metric.
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
@@ -202,7 +222,10 @@ impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
                         .pop()
                         .unwrap_or_else(|| Twig::single(key.root_label()));
                     key.decode_into(&mut twig);
+                    self.depth += 1;
+                    self.max_depth = self.max_depth.max(self.depth);
                     let v = self.decompose(&twig);
+                    self.depth -= 1;
                     self.scratch.push(twig);
                     v
                 }

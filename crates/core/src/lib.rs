@@ -55,7 +55,7 @@ pub mod serialize;
 pub mod summary;
 pub mod trie;
 
-use tl_miner::{mine_with_index, MineConfig};
+use tl_miner::{mine_with_index_observed, MineConfig};
 use tl_twig::{parse_twig, Twig, TwigParseError};
 use tl_xml::{DocIndex, Document, LabelInterner};
 
@@ -130,12 +130,25 @@ impl TreeLattice {
     /// [`build`](TreeLattice::build) over a pre-built document index, so one
     /// index per document serves mining, ground truth, and baselines.
     pub fn build_with_index(doc: &Document, index: &DocIndex, config: &BuildConfig) -> Self {
-        let report = mine_with_index(
+        Self::build_with_index_observed(doc, index, config, &tl_obs::NOOP)
+    }
+
+    /// [`build_with_index`](TreeLattice::build_with_index), reporting the
+    /// mining run's statistics to `rec` (see
+    /// [`tl_miner::mine_with_index_observed`]).
+    pub fn build_with_index_observed(
+        doc: &Document,
+        index: &DocIndex,
+        config: &BuildConfig,
+        rec: &dyn tl_obs::Recorder,
+    ) -> Self {
+        let report = mine_with_index_observed(
             index,
             MineConfig {
                 max_size: config.k,
                 threads: config.threads,
             },
+            rec,
         );
         let mut summary = Summary::from_mined(report.lattice);
         if let Some(delta) = config.prune_delta {
@@ -200,6 +213,38 @@ impl TreeLattice {
             return 0.0;
         }
         estimate(&self.summary, twig, estimator, opts)
+    }
+
+    /// [`estimate_with`](TreeLattice::estimate_with), reporting per-query
+    /// metrics to `rec`: `engine.queries`, `engine.query.latency_us`, and
+    /// `engine.decomposition.depth` (the same names the shared-cache engine
+    /// uses, so one snapshot covers both paths).
+    pub fn estimate_with_observed(
+        &self,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+        rec: &dyn tl_obs::Recorder,
+    ) -> f64 {
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= self.labels.len())
+        {
+            return 0.0;
+        }
+        let start = rec.enabled().then(std::time::Instant::now);
+        let mut memo: tl_xml::FxHashMap<tl_twig::TwigKey, f64> = tl_xml::FxHashMap::default();
+        let (value, depth) =
+            estimator::estimate_with_cache_depth(&self.summary, twig, estimator, opts, &mut memo);
+        if let Some(start) = start {
+            rec.add(tl_obs::names::ENGINE_QUERIES, 1);
+            rec.observe(
+                tl_obs::names::QUERY_LATENCY_US,
+                start.elapsed().as_micros() as u64,
+            );
+            rec.observe(tl_obs::names::DECOMP_DEPTH, depth as u64);
+        }
+        value
     }
 
     /// Parses a query in the twig surface syntax and estimates it.
@@ -400,6 +445,36 @@ mod tests {
             let e2 = pruned.estimate_query(q, Estimator::Recursive).unwrap();
             assert!((e1 - e2).abs() < 1e-6, "{q}: {e1} vs {e2}");
         }
+    }
+
+    #[test]
+    fn observed_build_and_estimate_match_plain_and_record() {
+        let mut s = String::from("<r>");
+        for _ in 0..10 {
+            s.push_str("<a><b><c/><d/></b><e/></a>");
+        }
+        s.push_str("</r>");
+        let d = doc(&s);
+        let index = DocIndex::new(&d);
+        let cfg = BuildConfig::with_k(3);
+        let rec = tl_obs::MetricsRecorder::new();
+        let observed = TreeLattice::build_with_index_observed(&d, &index, &cfg, &rec);
+        let plain = TreeLattice::build_with_index(&d, &index, &cfg);
+        let q = observed.parse_query("a[b[c][d]][e]").unwrap();
+        let opts = EstimateOptions::default();
+        let v = observed.estimate_with_observed(&q, Estimator::Recursive, &opts, &rec);
+        assert_eq!(
+            v.to_bits(),
+            plain.estimate(&q, Estimator::Recursive).to_bits()
+        );
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters[tl_obs::names::MINER_RUNS], 1);
+        assert_eq!(snap.counters[tl_obs::names::ENGINE_QUERIES], 1);
+        assert_eq!(snap.histograms[tl_obs::names::QUERY_LATENCY_US].count, 1);
+        // The size-5 query over a 3-summary must have decomposed.
+        let depth = &snap.histograms[tl_obs::names::DECOMP_DEPTH];
+        assert_eq!(depth.count, 1);
+        assert!(depth.sum >= 1, "size-5 query over k=3 must decompose");
     }
 
     #[test]

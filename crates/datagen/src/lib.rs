@@ -68,6 +68,29 @@ impl Dataset {
         }
     }
 
+    /// [`generate`](Dataset::generate), reporting generation time and output
+    /// size to `rec` (`datagen.generate` span, `datagen.elements` counter).
+    pub fn generate_observed(self, config: GenConfig, rec: &dyn tl_obs::Recorder) -> Document {
+        let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_DATAGEN);
+        let doc = self.generate(config);
+        rec.add(tl_obs::names::DATAGEN_ELEMENTS, doc.len() as u64);
+        doc
+    }
+
+    /// [`generate_valued`](Dataset::generate_valued) with the same reporting
+    /// as [`generate_observed`](Dataset::generate_observed).
+    pub fn generate_valued_observed(
+        self,
+        config: GenConfig,
+        mode: tl_xml::ValueMode,
+        rec: &dyn tl_obs::Recorder,
+    ) -> Document {
+        let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_DATAGEN);
+        let doc = self.generate_valued(config, mode);
+        rec.add(tl_obs::names::DATAGEN_ELEMENTS, doc.len() as u64);
+        doc
+    }
+
     /// Generates the corpus with element values materialized under `mode`
     /// (currently XMark carries values: category names and price points;
     /// other datasets generate their plain structure).

@@ -83,6 +83,21 @@ pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
     mine_with_index(&DocIndex::new(doc), config)
 }
 
+/// [`mine_with_index`], reporting run statistics to `rec`: the `miner.mine`
+/// wall-clock span, aggregate `miner.{runs,candidates,patterns_kept,
+/// pruned_zero}` counters, and per-level `miner.level<N>.{candidates,kept,
+/// pruned}` counters with a `miner.level<N>` span each (levels are 1-based
+/// pattern sizes; level 1 has no counting pass, so no per-level stats).
+pub fn mine_with_index_observed(
+    index: &DocIndex,
+    config: MineConfig,
+    rec: &dyn tl_obs::Recorder,
+) -> MineReport {
+    let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_MINE);
+    rec.add(tl_obs::names::MINER_RUNS, 1);
+    mine_inner(index, config, rec)
+}
+
 /// [`mine`] over a pre-built document index.
 ///
 /// Everything the miner asks of the document — label populations, per-label
@@ -90,6 +105,10 @@ pub fn mine(doc: &Document, config: MineConfig) -> MineReport {
 /// comes from the index, so one index per document serves mining, ground
 /// truth, and the experiment harness without re-indexing.
 pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
+    mine_inner(index, config, &tl_obs::NOOP)
+}
+
+fn mine_inner(index: &DocIndex, config: MineConfig, rec: &dyn tl_obs::Recorder) -> MineReport {
     assert!(config.max_size >= 1, "max_size must be at least 1");
 
     let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(config.max_size);
@@ -105,6 +124,13 @@ pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
         }
     }
     candidates_per_level.push(level1.len());
+    if rec.enabled() {
+        let n = level1.len() as u64;
+        rec.add(tl_obs::names::MINER_CANDIDATES, n);
+        rec.add(tl_obs::names::MINER_KEPT, n);
+        rec.add("miner.level1.candidates", n);
+        rec.add("miner.level1.kept", n);
+    }
     levels.push(level1);
 
     // Root-map cache for patterns that may appear as subtrees of later
@@ -112,8 +138,12 @@ pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
     let mut cache: FxHashMap<TwigKey, RootMap> = FxHashMap::default();
 
     for size in 2..=config.max_size {
+        let level_span = rec
+            .enabled()
+            .then(|| tl_obs::SpanGuard::start_dynamic(rec, format!("miner.level{size}")));
         let candidates = generate_candidates(&levels[size - 2], index);
         candidates_per_level.push(candidates.len());
+        let n_candidates = candidates.len();
         let keep_maps = size < config.max_size;
         let counted = count_candidates(
             index,
@@ -132,6 +162,20 @@ pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
             }
             level.insert(key, count);
         }
+        if rec.enabled() {
+            let kept = level.len() as u64;
+            let pruned = n_candidates as u64 - kept;
+            rec.add(tl_obs::names::MINER_CANDIDATES, n_candidates as u64);
+            rec.add(tl_obs::names::MINER_KEPT, kept);
+            rec.add(tl_obs::names::MINER_PRUNED_ZERO, pruned);
+            rec.add(
+                &format!("miner.level{size}.candidates"),
+                n_candidates as u64,
+            );
+            rec.add(&format!("miner.level{size}.kept"), kept);
+            rec.add(&format!("miner.level{size}.pruned"), pruned);
+        }
+        drop(level_span);
         let empty = level.is_empty();
         levels.push(level);
         if empty {
@@ -781,6 +825,44 @@ mod tests {
         assert_eq!(r.candidates_per_level.len(), 3);
         assert_eq!(r.candidates_per_level[0], 3);
         assert!(r.candidates_per_level[1] >= 2);
+    }
+
+    #[test]
+    fn observed_mining_reports_per_level_stats() {
+        let d = doc("<a><b><c/></b><b/></a>");
+        let index = DocIndex::new(&d);
+        let cfg = MineConfig {
+            max_size: 3,
+            threads: 1,
+        };
+        let rec = tl_obs::MetricsRecorder::new();
+        let observed = mine_with_index_observed(&index, cfg, &rec);
+        let plain = mine_with_index(&index, cfg);
+        assert_eq!(observed.lattice.len(), plain.lattice.len());
+        for (key, count) in plain.lattice.iter() {
+            assert_eq!(observed.lattice.get(key), Some(count));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters[tl_obs::names::MINER_RUNS], 1);
+        assert_eq!(snap.spans[tl_obs::names::SPAN_MINE].count, 1);
+        // Per-level stats reconcile with the report and the aggregates.
+        for (i, &n) in observed.candidates_per_level.iter().enumerate() {
+            let level = i + 1;
+            assert_eq!(
+                snap.counters[&format!("miner.level{level}.candidates")],
+                n as u64
+            );
+        }
+        let kept: u64 = (1..=3)
+            .map(|l| snap.counters[&format!("miner.level{l}.kept")])
+            .sum();
+        assert_eq!(snap.counters[tl_obs::names::MINER_KEPT], kept);
+        assert_eq!(kept, observed.lattice.len() as u64);
+        assert_eq!(
+            snap.counters[tl_obs::names::MINER_CANDIDATES],
+            observed.candidates_per_level.iter().sum::<usize>() as u64
+        );
+        assert_eq!(snap.spans["miner.level2"].count, 1);
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! # tl-obs — the observability layer
+//!
+//! A zero-dependency metrics substrate for the TreeLattice pipeline. Every
+//! production crate reports through the [`Recorder`] trait:
+//!
+//! * **counters** — monotone `u64` totals (`engine.cache.hits`);
+//! * **histograms** — base-2 exponential bucket distributions of observed
+//!   values (`engine.query.latency_us`);
+//! * **gauges** — last-written `f64` values, used by the bench harness so
+//!   `BENCH_*.json` and runtime metrics share one schema;
+//! * **spans** — monotonic wall-clock timings of named pipeline stages
+//!   (`xml.parse`, `miner.mine`), aggregated as count/total/min/max.
+//!
+//! The default recorder is [`NOOP`]: every method is an empty body and
+//! [`Recorder::enabled`] returns `false`, so instrumented hot paths skip
+//! even the `Instant::now()` timestamp when nobody is listening.
+//! [`MetricsRecorder`] is the collecting implementation; it is `Sync`, safe
+//! to share across worker threads, and snapshots into a [`Snapshot`] with a
+//! stable JSON schema (`tl-metrics/1`, see [`Snapshot::to_json`]).
+//!
+//! ```
+//! use tl_obs::{MetricsRecorder, Recorder, SpanGuard};
+//!
+//! let rec = MetricsRecorder::new();
+//! {
+//!     let _span = SpanGuard::start(&rec, "xml.parse");
+//!     rec.add("xml.parse.docs", 1);
+//!     rec.observe("engine.query.latency_us", 180);
+//! }
+//! let snap = rec.snapshot();
+//! assert_eq!(snap.counters["xml.parse.docs"], 1);
+//! assert_eq!(snap.spans["xml.parse"].count, 1);
+//! let round_trip = tl_obs::Snapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(snap, round_trip);
+//! ```
+
+pub mod json;
+pub mod names;
+mod recorder;
+mod snapshot;
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+pub use recorder::MetricsRecorder;
+pub use snapshot::{HistSnapshot, Snapshot, SpanSnapshot};
+
+/// The metric sink the pipeline reports into.
+///
+/// All methods have empty default bodies, so an implementation opts into
+/// exactly the signal kinds it cares about. Implementations must be
+/// thread-safe: one recorder is shared by the batch engine's workers and
+/// the miner's counting threads.
+pub trait Recorder: Send + Sync {
+    /// Whether recording is live. Instrumented code checks this before
+    /// paying for anything that is only needed when metrics are collected
+    /// (taking timestamps, formatting dynamic metric names).
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the counter `name`.
+    fn add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records one observation of `value` into the histogram `name`.
+    fn observe(&self, name: &str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one completed span of `nanos` wall-clock nanoseconds under
+    /// `name`. Usually called by [`SpanGuard`] on drop, not directly.
+    fn span(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+}
+
+/// The no-op recorder: every signal is discarded, [`Recorder::enabled`] is
+/// `false`. This is what un-instrumented entry points pass down, keeping
+/// the observed code paths identical whether or not anyone is measuring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Noop;
+
+impl Recorder for Noop {}
+
+/// A `'static` [`Noop`] instance for default `&dyn Recorder` arguments.
+pub static NOOP: Noop = Noop;
+
+/// RAII span timer: measures monotonic wall-clock time from construction to
+/// drop and reports it to the recorder. When the recorder is disabled, no
+/// timestamp is taken and drop is free.
+#[must_use = "a span measures until dropped; binding to _ drops immediately"]
+pub struct SpanGuard<'r> {
+    rec: &'r dyn Recorder,
+    name: Cow<'static, str>,
+    start: Option<Instant>,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Starts a span named by a static string (the common case).
+    pub fn start(rec: &'r dyn Recorder, name: &'static str) -> Self {
+        Self {
+            rec,
+            name: Cow::Borrowed(name),
+            start: rec.enabled().then(Instant::now),
+        }
+    }
+
+    /// Starts a span with a dynamically built name (e.g. a per-level miner
+    /// span). The string is only materialized by callers that checked
+    /// [`Recorder::enabled`] first.
+    pub fn start_dynamic(rec: &'r dyn Recorder, name: String) -> Self {
+        Self {
+            rec,
+            name: Cow::Owned(name),
+            start: rec.enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.rec.span(&self.name, nanos);
+        }
+    }
+}
+
+/// The bucket a value falls into in the base-2 exponential histogram:
+/// bucket `0` holds only zero, bucket `i >= 1` holds `[2^(i-1), 2^i)`.
+/// There are [`N_BUCKETS`] buckets; `u64::MAX` lands in the last one.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of histogram bucket `i` (see [`bucket_index`]).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Number of buckets in the base-2 exponential histogram.
+pub const N_BUCKETS: usize = 65;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        assert!(!NOOP.enabled());
+        // All default methods are callable and side-effect free.
+        NOOP.add("x", 1);
+        NOOP.observe("x", 1);
+        NOOP.gauge("x", 1.0);
+        NOOP.span("x", 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's lower bound maps back into that bucket, and the
+        // value just below it maps into the previous one.
+        for i in 1..N_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "predecessor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn span_guard_on_noop_takes_no_timestamp() {
+        let guard = SpanGuard::start(&NOOP, "test.span");
+        assert!(guard.start.is_none());
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let rec = MetricsRecorder::new();
+        {
+            let _g = SpanGuard::start(&rec, "test.span");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans["test.span"].count, 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The stable metric-name vocabulary of the pipeline.
+//!
+//! Every instrumented crate records under one of these names (plus a small
+//! set of dynamic per-level miner names, `miner.level<N>.*`). The CLI's
+//! `--metrics` snapshots pre-register the whole vocabulary through
+//! [`crate::MetricsRecorder::with_schema`], so a snapshot always contains
+//! every family — zero-valued when the command did not exercise it — and
+//! consumers can rely on key presence.
+
+/// Documents parsed (`tl_xml::parse_document`).
+pub const XML_PARSE_DOCS: &str = "xml.parse.docs";
+/// Input bytes consumed by the XML parser.
+pub const XML_PARSE_BYTES: &str = "xml.parse.bytes";
+/// Element nodes produced by the XML parser.
+pub const XML_PARSE_NODES: &str = "xml.parse.nodes";
+/// Document indexes built (`tl_xml::DocIndex`).
+pub const XML_INDEX_BUILDS: &str = "xml.index.builds";
+/// Nodes indexed across all `DocIndex` builds.
+pub const XML_INDEX_NODES: &str = "xml.index.nodes";
+
+/// Exact match-kernel invocations (`tl_twig::MatchCounter`).
+pub const TWIG_MATCH_CALLS: &str = "twig.match.calls";
+/// Histogram: total m-table entries allocated per match-kernel call.
+pub const TWIG_MATCH_M_ENTRIES: &str = "twig.match.m_entries";
+
+/// Mining runs (`tl_miner::mine`).
+pub const MINER_RUNS: &str = "miner.runs";
+/// Candidate patterns generated across all levels.
+pub const MINER_CANDIDATES: &str = "miner.candidates";
+/// Patterns kept (count > 0) across all levels.
+pub const MINER_KEPT: &str = "miner.patterns_kept";
+/// Candidates counted to zero and dropped, across all levels.
+pub const MINER_PRUNED_ZERO: &str = "miner.pruned_zero";
+
+/// Sub-twig lookups answered from the engine's shared cache.
+pub const ENGINE_CACHE_HITS: &str = "engine.cache.hits";
+/// Sub-twig lookups that had to be computed.
+pub const ENGINE_CACHE_MISSES: &str = "engine.cache.misses";
+/// Queries estimated (engine or observed per-query path).
+pub const ENGINE_QUERIES: &str = "engine.queries";
+/// Histogram: per-query estimation latency in microseconds.
+pub const QUERY_LATENCY_US: &str = "engine.query.latency_us";
+/// Histogram: maximum decomposition recursion depth per query.
+pub const DECOMP_DEPTH: &str = "engine.decomposition.depth";
+
+/// Workload queries generated (`tl_workload`).
+pub const WORKLOAD_QUERIES: &str = "workload.queries";
+/// Synthetic elements generated (`tl_datagen`).
+pub const DATAGEN_ELEMENTS: &str = "datagen.elements";
+
+/// Span: XML parse wall-clock.
+pub const SPAN_PARSE: &str = "xml.parse";
+/// Span: document index build wall-clock.
+pub const SPAN_INDEX: &str = "xml.index.build";
+/// Span: full mining run wall-clock (per-level spans are
+/// `miner.level<N>`).
+pub const SPAN_MINE: &str = "miner.mine";
+/// Span: one engine batch estimation call.
+pub const SPAN_BATCH: &str = "engine.batch";
+/// Span: workload generation.
+pub const SPAN_WORKLOAD: &str = "workload.generate";
+/// Span: synthetic document generation.
+pub const SPAN_DATAGEN: &str = "datagen.generate";
+/// Span: baseline synopsis construction (`tl_baselines`).
+pub const SPAN_BASELINE_BUILD: &str = "baseline.build";
+
+/// Counters pre-registered by [`crate::MetricsRecorder::with_schema`].
+pub const SCHEMA_COUNTERS: &[&str] = &[
+    XML_PARSE_DOCS,
+    XML_PARSE_BYTES,
+    XML_PARSE_NODES,
+    XML_INDEX_BUILDS,
+    XML_INDEX_NODES,
+    TWIG_MATCH_CALLS,
+    MINER_RUNS,
+    MINER_CANDIDATES,
+    MINER_KEPT,
+    MINER_PRUNED_ZERO,
+    ENGINE_CACHE_HITS,
+    ENGINE_CACHE_MISSES,
+    ENGINE_QUERIES,
+    WORKLOAD_QUERIES,
+    DATAGEN_ELEMENTS,
+];
+
+/// Histograms pre-registered by [`crate::MetricsRecorder::with_schema`].
+pub const SCHEMA_HISTOGRAMS: &[&str] = &[TWIG_MATCH_M_ENTRIES, QUERY_LATENCY_US, DECOMP_DEPTH];
+
+/// Spans pre-registered by [`crate::MetricsRecorder::with_schema`].
+pub const SCHEMA_SPANS: &[&str] = &[
+    SPAN_PARSE,
+    SPAN_INDEX,
+    SPAN_MINE,
+    SPAN_BATCH,
+    SPAN_WORKLOAD,
+    SPAN_DATAGEN,
+    SPAN_BASELINE_BUILD,
+];

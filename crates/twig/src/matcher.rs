@@ -114,6 +114,7 @@ enum IndexStore<'d> {
 pub struct MatchCounter<'d> {
     doc: &'d Document,
     index: IndexStore<'d>,
+    rec: &'d dyn tl_obs::Recorder,
 }
 
 /// Reusable DP buffers, allocated once per `count` call.
@@ -130,6 +131,7 @@ impl<'d> MatchCounter<'d> {
         Self {
             doc,
             index: IndexStore::Owned(Box::new(DocIndex::new(doc))),
+            rec: &tl_obs::NOOP,
         }
     }
 
@@ -142,7 +144,17 @@ impl<'d> MatchCounter<'d> {
         Self {
             doc,
             index: IndexStore::Shared(index),
+            rec: &tl_obs::NOOP,
         }
+    }
+
+    /// Reports kernel activity to `rec`: one `twig.match.calls` count per
+    /// query and the total m-table entries allocated for it
+    /// (`twig.match.m_entries` histogram). Returns `self` for chaining
+    /// after [`new`](MatchCounter::new) / [`with_index`](MatchCounter::with_index).
+    pub fn observed(mut self, rec: &'d dyn tl_obs::Recorder) -> Self {
+        self.rec = rec;
+        self
     }
 
     /// The document this counter indexes.
@@ -210,6 +222,9 @@ impl<'d> MatchCounter<'d> {
         mut roots: Option<&mut Vec<(NodeId, u64)>>,
     ) -> Result<u64, MatchError> {
         let index = self.index();
+        if self.rec.enabled() {
+            self.rec.add(tl_obs::names::TWIG_MATCH_CALLS, 1);
+        }
         // Any label absent from the document zeroes the count immediately.
         for n in twig.nodes() {
             if index.label_count(twig.label(n)) == 0 {
@@ -250,6 +265,7 @@ impl<'d> MatchCounter<'d> {
 
         // Process query nodes children-first (reverse pre-order works:
         // pre-order emits parents before children).
+        let mut m_entries: u64 = 0;
         let order = twig.pre_order();
         for &q in order.iter().rev() {
             if twig.children(q).is_empty() {
@@ -257,6 +273,7 @@ impl<'d> MatchCounter<'d> {
             }
             let candidates = index.nodes_with_label(twig.label(q));
             let mut m_q = vec![0u64; candidates.len()];
+            m_entries += m_q.len() as u64;
             'cand: for (slot, &v) in candidates.iter().enumerate() {
                 let mut total: u64 = 1;
                 for group in &groups[q as usize] {
@@ -271,6 +288,10 @@ impl<'d> MatchCounter<'d> {
             m[q as usize] = m_q;
         }
 
+        if self.rec.enabled() {
+            self.rec
+                .observe(tl_obs::names::TWIG_MATCH_M_ENTRIES, m_entries);
+        }
         let root = twig.root();
         let m_root = &m[root as usize];
         if let Some(roots) = roots {
@@ -683,6 +704,22 @@ mod tests {
         q.add_child(q.root(), b);
         // Ordered triples of distinct b's: 1000*999*998.
         assert_eq!(count_matches(&d, &q), 1000 * 999 * 998);
+    }
+
+    #[test]
+    fn observed_counter_reports_calls_and_m_entries() {
+        let d = doc("<a><b><c/></b><b><c/></b></a>");
+        let rec = tl_obs::MetricsRecorder::new();
+        let counter = MatchCounter::new(&d).observed(&rec);
+        let mut labels = d.labels().clone();
+        let q = parse_twig("a/b/c", &mut labels).unwrap();
+        let plain = MatchCounter::new(&d).count(&q);
+        assert_eq!(counter.count(&q), plain, "recording must not change counts");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters[tl_obs::names::TWIG_MATCH_CALLS], 1);
+        // Non-leaf query nodes a (1 candidate) and b (2 candidates).
+        let h = &snap.histograms[tl_obs::names::TWIG_MATCH_M_ENTRIES];
+        assert_eq!((h.count, h.sum), (1, 3));
     }
 
     #[test]

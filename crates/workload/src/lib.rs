@@ -60,6 +60,22 @@ pub fn positive_workload(doc: &Document, size: usize, n: usize, seed: u64) -> Wo
     positive_workload_with_index(doc, &DocIndex::new(doc), size, n, seed)
 }
 
+/// [`positive_workload_with_index`], reporting generation time and query
+/// count to `rec` (`workload.generate` span, `workload.queries` counter).
+pub fn positive_workload_observed(
+    doc: &Document,
+    index: &DocIndex,
+    size: usize,
+    n: usize,
+    seed: u64,
+    rec: &dyn tl_obs::Recorder,
+) -> Workload {
+    let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_WORKLOAD);
+    let workload = positive_workload_with_index(doc, index, size, n, seed);
+    rec.add(tl_obs::names::WORKLOAD_QUERIES, workload.cases.len() as u64);
+    workload
+}
+
 /// [`positive_workload`] over a pre-built document index (the ground-truth
 /// labeling reuses it instead of re-indexing the document).
 pub fn positive_workload_with_index(

@@ -103,6 +103,15 @@ impl DocIndex {
     /// space, plus an `O(E log E)` sort of the label-level edge set, which
     /// is tiny — it is bounded by distinct label pairs).
     pub fn new(doc: &Document) -> Self {
+        Self::new_observed(doc, &tl_obs::NOOP)
+    }
+
+    /// [`DocIndex::new`], reporting build time and size to `rec`
+    /// (`xml.index.build` span, `xml.index.{builds,nodes}` counters).
+    pub fn new_observed(doc: &Document, rec: &dyn tl_obs::Recorder) -> Self {
+        let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_INDEX);
+        rec.add(tl_obs::names::XML_INDEX_BUILDS, 1);
+        rec.add(tl_obs::names::XML_INDEX_NODES, doc.len() as u64);
         let n = doc.len();
         let n_labels = doc.labels().len();
 

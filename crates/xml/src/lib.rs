@@ -41,7 +41,7 @@ pub use graft::{append_subtree, remove_subtree, EditResult};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index::{ChildGroup, DocIndex};
 pub use label::{LabelId, LabelInterner};
-pub use parser::{parse_document, ParseError, ParseOptions};
+pub use parser::{parse_document, parse_document_observed, ParseError, ParseOptions};
 pub use stats::DocStats;
 pub use tree::{Document, Node, NodeId};
 pub use values::ValueMode;

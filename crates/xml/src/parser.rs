@@ -78,7 +78,22 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(doc.len(), 3);
 /// ```
 pub fn parse_document(input: &[u8], options: ParseOptions) -> Result<Document, ParseError> {
-    Parser::new(input, options).run()
+    parse_document_observed(input, options, &tl_obs::NOOP)
+}
+
+/// [`parse_document`], reporting wall-clock time and input/output sizes to
+/// `rec` (`xml.parse` span, `xml.parse.{docs,bytes,nodes}` counters).
+pub fn parse_document_observed(
+    input: &[u8],
+    options: ParseOptions,
+    rec: &dyn tl_obs::Recorder,
+) -> Result<Document, ParseError> {
+    let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_PARSE);
+    let doc = Parser::new(input, options).run()?;
+    rec.add(tl_obs::names::XML_PARSE_DOCS, 1);
+    rec.add(tl_obs::names::XML_PARSE_BYTES, input.len() as u64);
+    rec.add(tl_obs::names::XML_PARSE_NODES, doc.len() as u64);
+    Ok(doc)
 }
 
 struct Parser<'a> {
