@@ -25,7 +25,10 @@ pub fn build_voting(cfg: &ExpConfig) -> Table {
         &["Cap", "Avg Error (%)", "Mean Latency"],
     );
     for cap in [1usize, 2, 4, 8, usize::MAX] {
-        let opts = EstimateOptions { voting_cap: cap };
+        let opts = EstimateOptions {
+            voting_cap: cap,
+            ..EstimateOptions::default()
+        };
         let start = Instant::now();
         let estimates: Vec<f64> = w
             .cases

@@ -91,6 +91,7 @@ pub fn measure_accuracy(cfg: &ExpConfig) -> AccuracyMeasurement {
             k: cfg.k,
             threads: 0,
             prune_delta: None,
+            ..BuildConfig::default()
         },
     );
 

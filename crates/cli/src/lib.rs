@@ -34,18 +34,39 @@
 //! invocation exercises — and with `--metrics`, measures — the whole
 //! pipeline.
 //!
-//! All command logic lives in [`run`], which writes to an injected sink so
-//! the test suite can drive the full tool without spawning processes.
+//! ## Resource budgets and fault injection
+//!
+//! `build`, `estimate`, and `workload` take resource-budget flags:
+//! `--budget-ms <N>` (wall-clock deadline), `--budget-mem <BYTES>`
+//! (memoization/lattice memory cap), and `--budget-k <N>` (decomposition
+//! order cap). Under a budget the estimator *degrades* instead of failing
+//! — it falls back to a smaller fix-sized order, then to a first-order
+//! Markov model — and a degraded run still exits `0`, with a note on
+//! stderr naming the rung taken. The global `--chaos <spec>` /
+//! `--chaos-seed <N>` flags (or `TL_CHAOS` / `TL_CHAOS_SEED` in the
+//! environment) activate the deterministic fail-point harness in
+//! [`tl_fault::failpoints`] for the invocation.
+//!
+//! Exit codes: `0` success (including degraded estimates), `2` usage
+//! error, `3` fault (missing/corrupt input, parse failure, injected or
+//! real pipeline fault).
+//!
+//! All command logic lives in [`run`], which writes stdout and stderr text
+//! to injected sinks so the test suite can drive the full tool without
+//! spawning processes.
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use tl_datagen::{Dataset, GenConfig};
+use tl_fault::failpoints;
 use tl_twig::parse_twig;
 use tl_xml::{parse_document_observed, DocIndex, ParseOptions, ValueMode};
 use treelattice::{
-    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+    Budget, BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, Fault,
+    ResilientEstimate, TreeLattice,
 };
 
 /// A CLI failure: message plus suggested exit code.
@@ -53,7 +74,7 @@ use treelattice::{
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Process exit code (2 = usage, 1 = runtime failure).
+    /// Process exit code (2 = usage, 3 = fault).
     pub code: i32,
 }
 
@@ -65,11 +86,20 @@ impl CliError {
         }
     }
 
-    fn runtime(message: impl Into<String>) -> Self {
+    /// A pipeline fault: missing or corrupt input, a parse failure, or an
+    /// injected/real fault surfaced by the estimation stack. Exit code 3,
+    /// distinct from usage errors (2) and degraded-but-successful runs (0).
+    fn fault(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
-            code: 1,
+            code: 3,
         }
+    }
+}
+
+impl From<Fault> for CliError {
+    fn from(fault: Fault) -> Self {
+        CliError::fault(fault.to_string())
     }
 }
 
@@ -106,6 +136,13 @@ snapshot (parse/index/mine/match/cache/latency metrics) is written there;
 render one with `metrics report`. Passing an .xml file to `estimate`
 builds a throwaway in-memory lattice (--k, default 4) and reports the
 exact match count alongside the estimate.
+build/estimate/workload take resource budgets: --budget-ms N (deadline),
+--budget-mem BYTES (memory cap), --budget-k N (decomposition order cap).
+Budgeted estimates degrade (smaller fix-sized order, then a first-order
+Markov model) instead of failing, exit 0, and note the rung on stderr.
+The global --chaos <spec> / --chaos-seed <N> flags (or TL_CHAOS /
+TL_CHAOS_SEED) activate the deterministic fail-point harness.
+Exit codes: 0 = success or degraded, 2 = usage error, 3 = fault.
 ";
 
 /// Per-invocation observability: holds a live [`tl_obs::MetricsRecorder`]
@@ -141,34 +178,103 @@ impl Obs {
     }
 }
 
-/// Extracts the global `--metrics <path>` flag from anywhere in the
-/// argument list, returning the remaining arguments and the observability
-/// context.
-fn strip_metrics(args: &[String]) -> Result<(Vec<String>, Obs), CliError> {
+/// The global flags shared by every command: `--metrics <path>`,
+/// `--chaos <spec>`, and `--chaos-seed <N>`.
+struct Globals {
+    obs: Obs,
+    chaos_spec: Option<String>,
+    chaos_seed: u64,
+}
+
+/// Extracts the global flags from anywhere in the argument list, returning
+/// the remaining arguments and the global context.
+fn strip_globals(args: &[String]) -> Result<(Vec<String>, Globals), CliError> {
     let mut rest = Vec::with_capacity(args.len());
     let mut path = None;
+    let mut chaos_spec = None;
+    let mut chaos_seed = 0u64;
     let mut i = 0;
+    let take_value = |args: &[String], i: usize, name: &str| -> Result<String, CliError> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| CliError::usage(format!("{name} needs a value")))
+    };
     while i < args.len() {
-        if args[i] == "--metrics" {
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| CliError::usage("--metrics needs a value"))?;
-            path = Some(value.clone());
-            i += 2;
-        } else {
-            rest.push(args[i].clone());
-            i += 1;
+        match args[i].as_str() {
+            "--metrics" => {
+                path = Some(take_value(args, i, "--metrics")?);
+                i += 2;
+            }
+            "--chaos" => {
+                chaos_spec = Some(take_value(args, i, "--chaos")?);
+                i += 2;
+            }
+            "--chaos-seed" => {
+                chaos_seed = take_value(args, i, "--chaos-seed")?
+                    .parse()
+                    .map_err(|e| CliError::usage(format!("--chaos-seed: {e}")))?;
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
         }
     }
     let recorder = path
         .as_ref()
         .map(|_| Arc::new(tl_obs::MetricsRecorder::with_schema()));
-    Ok((rest, Obs { recorder, path }))
+    Ok((
+        rest,
+        Globals {
+            obs: Obs { recorder, path },
+            chaos_spec,
+            chaos_seed,
+        },
+    ))
 }
 
-/// Runs one invocation; `args` excludes the program name.
-pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
-    let (args, obs) = strip_metrics(args)?;
+/// Deactivates the fail-point harness when the invocation ends, even if a
+/// command errors out mid-way.
+struct ChaosGuard {
+    active: bool,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        if self.active {
+            failpoints::deactivate();
+        }
+    }
+}
+
+/// Activates the fail-point harness for this invocation from `--chaos` /
+/// `--chaos-seed`, falling back to the `TL_CHAOS` / `TL_CHAOS_SEED`
+/// environment variables when the flags are absent.
+fn activate_chaos(globals: &Globals) -> Result<ChaosGuard, CliError> {
+    match &globals.chaos_spec {
+        Some(spec) => {
+            failpoints::activate(spec, globals.chaos_seed)
+                .map_err(|e| CliError::usage(format!("--chaos: {e}")))?;
+            Ok(ChaosGuard { active: true })
+        }
+        None => {
+            let active = failpoints::activate_from_env()
+                .map_err(|e| CliError::usage(format!("TL_CHAOS: {e}")))?;
+            Ok(ChaosGuard { active })
+        }
+    }
+}
+
+/// Runs one invocation; `args` excludes the program name. Normal output
+/// goes to `out`; advisory notes (degradation provenance, early-stop
+/// notices) go to `err`, which the binary prints to stderr. A run that
+/// only degraded — never failed — returns `Ok` with a note in `err`.
+pub fn run(args: &[String], out: &mut String, err: &mut String) -> Result<(), CliError> {
+    let (args, globals) = strip_globals(args)?;
+    let chaos = activate_chaos(&globals)?;
+    let injected_before = failpoints::injected_total();
+    let obs = &globals.obs;
     let Some(command) = args.first() else {
         return Err(CliError::usage(USAGE));
     };
@@ -176,15 +282,15 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         rec.set_meta("command", command.as_str());
     }
     let rest = &args[1..];
-    match command.as_str() {
-        "build" => cmd_build(rest, out, &obs),
-        "estimate" => cmd_estimate(rest, out, &obs),
-        "workload" => cmd_workload(rest, out, &obs),
+    let result = match command.as_str() {
+        "build" => cmd_build(rest, out, err, obs),
+        "estimate" => cmd_estimate(rest, out, err, obs),
+        "workload" => cmd_workload(rest, out, err, obs),
         "explain" => cmd_explain(rest, out),
-        "truth" => cmd_truth(rest, out, &obs),
+        "truth" => cmd_truth(rest, out, obs),
         "inspect" => cmd_inspect(rest, out),
         "prune" => cmd_prune(rest, out),
-        "gen" => cmd_gen(rest, out, &obs),
+        "gen" => cmd_gen(rest, out, obs),
         "metrics" => cmd_metrics(rest, out),
         "help" | "--help" | "-h" => {
             out.push_str(USAGE);
@@ -193,8 +299,48 @@ pub fn run(args: &[String], out: &mut String) -> Result<(), CliError> {
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
-    }?;
+    };
+    if chaos.active {
+        let injected = failpoints::injected_total().saturating_sub(injected_before);
+        obs.rec().add(tl_obs::names::FAULT_INJECTED, injected);
+    }
+    result?;
     obs.write()
+}
+
+/// Consumes the `--budget-ms` / `--budget-mem` / `--budget-k` flags,
+/// returning the assembled [`Budget`] and whether any limit was set.
+fn parse_budget(args: &mut Args<'_>) -> Result<(Budget, bool), CliError> {
+    let ms: Option<u64> = args.numeric("--budget-ms")?;
+    let mem: Option<u64> = args.numeric("--budget-mem")?;
+    let max_k: Option<usize> = args.numeric("--budget-k")?;
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = ms {
+        budget = budget.with_time_limit(Duration::from_millis(ms));
+    }
+    if let Some(bytes) = mem {
+        budget = budget.with_max_mem_bytes(bytes);
+    }
+    if let Some(k) = max_k {
+        if k < 2 {
+            return Err(CliError::usage("--budget-k must be at least 2"));
+        }
+        budget = budget.with_max_k(k);
+    }
+    Ok((budget, ms.is_some() || mem.is_some() || max_k.is_some()))
+}
+
+/// Appends the stderr note for a degraded estimate.
+fn note_degraded(err: &mut String, what: &str, est: &ResilientEstimate) {
+    if est.degradation.is_degraded() {
+        let _ = write!(err, "note: {what} degraded to {}", est.degradation);
+        match &est.cause {
+            Some(cause) => {
+                let _ = writeln!(err, " ({cause})");
+            }
+            None => err.push('\n'),
+        }
+    }
 }
 
 /// Minimal flag cursor: positionals in order, flags anywhere.
@@ -274,17 +420,16 @@ impl<'a> Args<'a> {
 }
 
 fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
-    std::fs::read(path).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    std::fs::read(path).map_err(|e| CliError::fault(format!("{path}: {e}")))
 }
 
 fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+            std::fs::create_dir_all(parent).map_err(|e| CliError::fault(format!("{path}: {e}")))?;
         }
     }
-    std::fs::write(path, bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    std::fs::write(path, bytes).map_err(|e| CliError::fault(format!("{path}: {e}")))
 }
 
 fn load_document_with(
@@ -301,12 +446,12 @@ fn load_document_with(
         },
         rec,
     )
-    .map_err(|e| CliError::runtime(format!("{path}: XML parse error at {e}")))
+    .map_err(|e| CliError::fault(format!("{path}: XML parse error at {e}")))
 }
 
 fn load_summary(path: &str) -> Result<TreeLattice, CliError> {
     let bytes = read_file(path)?;
-    TreeLattice::from_bytes(&bytes).map_err(|e| CliError::runtime(format!("{path}: {e}")))
+    TreeLattice::from_bytes(&bytes).map_err(|e| CliError::fault(format!("{path}: {e}")))
 }
 
 fn parse_value_mode(name: Option<&str>) -> Result<ValueMode, CliError> {
@@ -339,7 +484,12 @@ fn parse_estimator(name: Option<&str>) -> Result<Estimator, CliError> {
     }
 }
 
-fn cmd_build(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
+fn cmd_build(
+    rest: &[String],
+    out: &mut String,
+    err: &mut String,
+    obs: &Obs,
+) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let output = args
         .flag_value("-o")?
@@ -352,6 +502,7 @@ fn cmd_build(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliErro
         let raw = args.flag_value("--values")?.map(str::to_owned);
         parse_value_mode(raw.as_deref())?
     };
+    let (budget, _) = parse_budget(&mut args)?;
     let input = args.positional("input.xml")?.to_owned();
     args.finish()?;
     if k < 2 {
@@ -361,21 +512,33 @@ fn cmd_build(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliErro
     let doc = load_document_with(&input, values, obs.rec())?;
     let start = std::time::Instant::now();
     let index = DocIndex::new_observed(&doc, obs.rec());
-    let lattice = TreeLattice::build_with_index_observed(
+    let (lattice, stopped_early) = TreeLattice::build_with_report(
         &doc,
         &index,
         &BuildConfig {
             k,
             threads,
             prune_delta: delta,
+            budget,
         },
         obs.rec(),
     );
+    if let Some(fault) = stopped_early {
+        // The lower-order lattice is still exact and usable; the budget
+        // trip is advisory, not fatal.
+        obs.rec().add(tl_obs::names::FAULT_TOTAL, 1);
+        let _ = writeln!(
+            err,
+            "note: mining stopped early at order {} ({fault})",
+            lattice.k()
+        );
+    }
     let elapsed = start.elapsed();
     write_file(&output, &lattice.to_bytes())?;
     let _ = writeln!(
         out,
-        "built {k}-lattice over {} elements in {:.2?}: {} patterns, {} bytes -> {output}",
+        "built {}-lattice over {} elements in {:.2?}: {} patterns, {} bytes -> {output}",
+        lattice.k(),
         doc.len(),
         elapsed,
         lattice.summary().len(),
@@ -384,7 +547,12 @@ fn cmd_build(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliErro
     Ok(())
 }
 
-fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
+fn cmd_estimate(
+    rest: &[String],
+    out: &mut String,
+    err: &mut String,
+    obs: &Obs,
+) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let estimator = {
         let value = args.flag_value("--estimator")?.map(str::to_owned);
@@ -397,6 +565,7 @@ fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
     let engine_cache = args.flag("--engine-cache");
     let threads: usize = args.numeric("--threads")?.unwrap_or(0);
     let k: usize = args.numeric("--k")?.unwrap_or(4);
+    let (budget, budgeted) = parse_budget(&mut args)?;
     let summary_path = args.positional("summary.tlat|input.xml")?.to_owned();
     let query = args.positional("query")?.to_owned();
     args.finish()?;
@@ -417,6 +586,7 @@ fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
                 k,
                 threads,
                 prune_delta: None,
+                budget: Budget::unlimited(),
             },
             obs.rec(),
         );
@@ -426,6 +596,10 @@ fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
     };
 
     let twig = parse_query_for(&lattice, &query, values)?;
+    let opts = EstimateOptions {
+        budget,
+        ..EstimateOptions::default()
+    };
     let est = if engine_cache {
         let engine = EstimationEngine::with_recorder(
             EngineConfig {
@@ -434,9 +608,19 @@ fn cmd_estimate(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
             },
             obs.shared(),
         );
-        engine.estimate(&lattice, &twig, estimator, &EstimateOptions::default())
+        if budgeted {
+            let resilient = engine.estimate_resilient(&lattice, &twig, estimator, &opts)?;
+            note_degraded(err, "estimate", &resilient);
+            resilient.value
+        } else {
+            engine.estimate(&lattice, &twig, estimator, &opts)
+        }
+    } else if budgeted {
+        let resilient = lattice.estimate_resilient(&twig, estimator, &opts);
+        note_degraded(err, "estimate", &resilient);
+        resilient.value
     } else {
-        lattice.estimate_with_observed(&twig, estimator, &EstimateOptions::default(), obs.rec())
+        lattice.estimate_with_observed(&twig, estimator, &opts, obs.rec())
     };
     let _ = writeln!(out, "{est:.3}");
 
@@ -476,7 +660,12 @@ fn parse_query_for(
     .map_err(|e| CliError::usage(format!("query `{query}`: {e}")))
 }
 
-fn cmd_workload(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
+fn cmd_workload(
+    rest: &[String],
+    out: &mut String,
+    err: &mut String,
+    obs: &Obs,
+) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let estimator = {
         let value = args.flag_value("--estimator")?.map(str::to_owned);
@@ -488,13 +677,14 @@ fn cmd_workload(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
     };
     let engine_cache = args.flag("--engine-cache");
     let threads: usize = args.numeric("--threads")?.unwrap_or(0);
+    let (budget, budgeted) = parse_budget(&mut args)?;
     let summary_path = args.positional("summary.tlat")?.to_owned();
     let queries_path = args.positional("queries.txt")?.to_owned();
     args.finish()?;
 
     let lattice = load_summary(&summary_path)?;
     let text = String::from_utf8(read_file(&queries_path)?)
-        .map_err(|_| CliError::runtime(format!("{queries_path}: not valid UTF-8")))?;
+        .map_err(|_| CliError::fault(format!("{queries_path}: not valid UTF-8")))?;
     let mut queries: Vec<String> = Vec::new();
     let mut twigs: Vec<tl_twig::Twig> = Vec::new();
     for line in text.lines() {
@@ -509,9 +699,15 @@ fn cmd_workload(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
         return Err(CliError::usage(format!("{queries_path}: no queries")));
     }
 
-    let opts = EstimateOptions::default();
+    let opts = EstimateOptions {
+        budget,
+        ..EstimateOptions::default()
+    };
     let start = std::time::Instant::now();
-    let (estimates, stats) = if engine_cache {
+    // Budgeted (or chaos-exposed) runs go through the resilient paths: each
+    // query comes back as an estimate, possibly degraded, or a typed fault.
+    let resilient = budgeted || failpoints::is_active();
+    let (results, stats): (Vec<Result<ResilientEstimate, Fault>>, _) = if engine_cache {
         let engine = EstimationEngine::with_recorder(
             EngineConfig {
                 threads,
@@ -519,23 +715,72 @@ fn cmd_workload(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliE
             },
             obs.shared(),
         );
-        let ests = engine.estimate_batch(&lattice, &twigs, estimator, &opts);
-        (ests, Some(engine.stats()))
+        let results = if resilient {
+            engine.estimate_batch_resilient(&lattice, &twigs, estimator, &opts)
+        } else {
+            engine
+                .estimate_batch(&lattice, &twigs, estimator, &opts)
+                .into_iter()
+                .map(|v| Ok(ResilientEstimate::exact(v)))
+                .collect()
+        };
+        (results, Some(engine.stats()))
     } else {
         (
             twigs
                 .iter()
-                .map(|t| lattice.estimate_with_observed(t, estimator, &opts, obs.rec()))
+                .map(|t| {
+                    if resilient {
+                        Ok(lattice.estimate_resilient(t, estimator, &opts))
+                    } else {
+                        Ok(ResilientEstimate::exact(lattice.estimate_with_observed(
+                            t,
+                            estimator,
+                            &opts,
+                            obs.rec(),
+                        )))
+                    }
+                })
                 .collect(),
             None,
         )
     };
     let elapsed = start.elapsed();
 
-    for (query, est) in queries.iter().zip(&estimates) {
-        let _ = writeln!(out, "{est:.3}\t{query}");
+    let mut degraded = 0usize;
+    let mut faulted = 0usize;
+    for (query, result) in queries.iter().zip(&results) {
+        match result {
+            Ok(est) => {
+                if est.degradation.is_degraded() {
+                    degraded += 1;
+                }
+                let _ = writeln!(out, "{:.3}\t{query}", est.value);
+            }
+            Err(fault) => {
+                faulted += 1;
+                let _ = writeln!(out, "fault:{}\t{query}", fault.kind.as_str());
+            }
+        }
+    }
+    if degraded > 0 {
+        let _ = writeln!(
+            err,
+            "note: {degraded} of {} estimates degraded under the budget",
+            results.len()
+        );
+    }
+    if faulted > 0 {
+        // The engine already counted these under fault.total; the note is
+        // the user-facing side of the same signal.
+        let _ = writeln!(err, "note: {faulted} of {} queries faulted", results.len());
     }
     let _ = writeln!(out, "# {} queries in {:.2?}", twigs.len(), elapsed);
+    if faulted == results.len() {
+        return Err(CliError::fault(format!(
+            "{queries_path}: all {faulted} queries faulted"
+        )));
+    }
     if let Some(stats) = stats {
         let _ = writeln!(
             out,
@@ -689,7 +934,7 @@ fn cmd_gen(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError>
     );
     let mut buf = Vec::new();
     tl_xml::write_document(&doc, &mut buf)
-        .map_err(|e| CliError::runtime(format!("serialize: {e}")))?;
+        .map_err(|e| CliError::fault(format!("serialize: {e}")))?;
     write_file(&output, &buf)?;
     let _ = writeln!(
         out,
@@ -712,9 +957,9 @@ fn cmd_metrics(rest: &[String], out: &mut String) -> Result<(), CliError> {
         )));
     }
     let text = String::from_utf8(read_file(&path)?)
-        .map_err(|_| CliError::runtime(format!("{path}: not valid UTF-8")))?;
-    let snapshot = tl_obs::Snapshot::from_json(&text)
-        .map_err(|e| CliError::runtime(format!("{path}: {e}")))?;
+        .map_err(|_| CliError::fault(format!("{path}: not valid UTF-8")))?;
+    let snapshot =
+        tl_obs::Snapshot::from_json(&text).map_err(|e| CliError::fault(format!("{path}: {e}")))?;
     out.push_str(&snapshot.render_report());
     Ok(())
 }
@@ -722,12 +967,31 @@ fn cmd_metrics(rest: &[String], out: &mut String) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::RwLock;
+
+    /// Fail-point plans are process-global: tests that activate chaos take
+    /// the write side, everything else the read side, so an active plan
+    /// can never leak into an unrelated concurrently-running test.
+    static CHAOS_LOCK: RwLock<()> = RwLock::new(());
 
     fn call(args: &[&str]) -> Result<String, CliError> {
+        let _shared = CHAOS_LOCK.read().unwrap_or_else(|e| e.into_inner());
         let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         let mut out = String::new();
-        run(&owned, &mut out)?;
+        let mut err = String::new();
+        run(&owned, &mut out, &mut err)?;
         Ok(out)
+    }
+
+    /// Like [`call`] but exclusive (for `--chaos` invocations) and
+    /// returning the stderr notes alongside stdout.
+    fn call_chaos(args: &[&str]) -> (Result<(), CliError>, String, String) {
+        let _exclusive = CHAOS_LOCK.write().unwrap_or_else(|e| e.into_inner());
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let mut err = String::new();
+        let result = run(&owned, &mut out, &mut err);
+        (result, out, err)
     }
 
     fn tempdir() -> std::path::PathBuf {
@@ -1030,9 +1294,189 @@ mod tests {
     }
 
     #[test]
-    fn missing_files_are_runtime_errors() {
+    fn missing_files_are_faults() {
         let err = call(&["inspect", "/nonexistent/summary.tlat"]).unwrap_err();
-        assert_eq!(err.code, 1);
+        assert_eq!(err.code, 3);
+    }
+
+    #[test]
+    fn truncated_summary_is_a_fault() {
+        let dir = tempdir();
+        let xml = dir.join("t.xml");
+        let tlat = dir.join("t.tlat");
+        std::fs::write(&xml, "<a><b/></a>").unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        let bytes = std::fs::read(&tlat).unwrap();
+        std::fs::write(&tlat, &bytes[..bytes.len() - 3]).unwrap();
+        let err = call(&["inspect", tlat.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("truncated"), "{}", err.message);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn budgeted_estimate_degrades_and_exits_zero() {
+        let dir = tempdir();
+        let xml = dir.join("bud.xml");
+        let tlat = dir.join("bud.tlat");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "4",
+        ])
+        .unwrap();
+        // --budget-k 2 forces the reduced-k rung on a size-3 query.
+        let (result, out, note) = call_chaos(&[
+            "estimate",
+            tlat.to_str().unwrap(),
+            "item/mailbox/mail",
+            "--budget-k",
+            "2",
+        ]);
+        result.unwrap();
+        let est: f64 = out.trim().parse().unwrap();
+        assert!(est.is_finite() && est > 0.0, "{out}");
+        assert!(note.contains("degraded to reduced-k"), "{note}");
+        // Unbudgeted, the same query is exact-path and note-free.
+        let (result, _, clean_note) =
+            call_chaos(&["estimate", tlat.to_str().unwrap(), "item/mailbox/mail"]);
+        result.unwrap();
+        assert!(clean_note.is_empty(), "{clean_note}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn build_under_expired_deadline_stops_early_but_succeeds() {
+        let dir = tempdir();
+        let xml = dir.join("dl.xml");
+        let tlat = dir.join("dl.tlat");
+        std::fs::write(&xml, "<r><a><b/><c/></a><a><b/></a></r>").unwrap();
+        let (result, out, note) = call_chaos(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "4",
+            "--budget-ms",
+            "0",
+        ]);
+        result.unwrap();
+        assert!(note.contains("mining stopped early"), "{note}");
+        assert!(out.contains("built 1-lattice"), "{out}");
+        // The lower-order summary is still valid and loadable.
+        let inspect = call(&["inspect", tlat.to_str().unwrap()]).unwrap();
+        assert!(inspect.contains("k = 1"), "{inspect}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn chaos_bad_spec_is_usage_error() {
+        let (result, _, _) = call_chaos(&["help", "--chaos", "xml.parse=sometimes"]);
+        let err = result.unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--chaos"), "{}", err.message);
+    }
+
+    #[test]
+    fn chaos_injected_parse_fault_exits_3() {
+        let dir = tempdir();
+        let xml = dir.join("chaos.xml");
+        std::fs::write(&xml, "<a><b/></a>").unwrap();
+        let (result, _, _) = call_chaos(&[
+            "truth",
+            xml.to_str().unwrap(),
+            "a/b",
+            "--chaos",
+            "xml.parse=always",
+        ]);
+        let err = result.unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("injected"), "{}", err.message);
+        // The plan is deactivated once the invocation ends.
+        assert!(!failpoints::is_active());
+        let truth = call(&["truth", xml.to_str().unwrap(), "a/b"]).unwrap();
+        assert_eq!(truth.trim(), "1");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn chaos_worker_panic_in_workload_is_contained() {
+        let dir = tempdir();
+        let xml = dir.join("cw.xml");
+        let tlat = dir.join("cw.tlat");
+        let queries = dir.join("cw.txt");
+        std::fs::write(&xml, "<r><a><b/><c/></a><a><b/><c/></a><a><b/></a></r>").unwrap();
+        {
+            let _shared = CHAOS_LOCK.read().unwrap_or_else(|e| e.into_inner());
+            let owned: Vec<String> = [
+                "build",
+                xml.to_str().unwrap(),
+                "-o",
+                tlat.to_str().unwrap(),
+                "--k",
+                "3",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            let (mut out, mut err) = (String::new(), String::new());
+            run(&owned, &mut out, &mut err).unwrap();
+        }
+        std::fs::write(&queries, "a/b\na[b][c]\na/c\n").unwrap();
+        let (result, out, note) = call_chaos(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+            "--engine-cache",
+            "--threads",
+            "1",
+            "--chaos",
+            "engine.worker=nth:2",
+        ]);
+        result.unwrap();
+        let lines: Vec<&str> = out.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("fault:worker-panic"), "{out}");
+        assert!(
+            lines[0].contains("a/b") && lines[2].contains("a/c"),
+            "{out}"
+        );
+        assert!(note.contains("1 of 3 queries faulted"), "{note}");
+        // Without chaos the same workload is clean and fault-free.
+        let clean = call(&[
+            "workload",
+            tlat.to_str().unwrap(),
+            queries.to_str().unwrap(),
+            "--engine-cache",
+            "--threads",
+            "1",
+        ])
+        .unwrap();
+        assert!(!clean.contains("fault:"), "{clean}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -1,9 +1,17 @@
 //! Binary entry point; all logic lives in [`tl_cli::run`].
+//!
+//! Exit codes: 0 = success (including degraded estimates, which leave a
+//! note on stderr), 2 = usage error, 3 = fault.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();
-    match tl_cli::run(&args, &mut out) {
+    let mut err = String::new();
+    let result = tl_cli::run(&args, &mut out, &mut err);
+    if !err.is_empty() {
+        eprint!("{err}");
+    }
+    match result {
         Ok(()) => print!("{out}"),
         Err(e) => {
             eprintln!("{e}");

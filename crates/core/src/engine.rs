@@ -43,16 +43,19 @@
 //! query logs. For a single isolated query it degenerates to the per-query
 //! memo plus some locking overhead; use [`TreeLattice::estimate`] there.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
+use tl_fault::{failpoints, Fault};
 use tl_twig::{Twig, TwigKey};
 use tl_xml::{FxHashMap, FxHasher};
 
 use crate::estimator::{estimate_with_cache_depth, SubtwigCache};
-use crate::{EstimateOptions, Estimator, TreeLattice};
+use crate::resilient::{estimate_resilient_with_cache, ResilientEstimate};
+use crate::{Degradation, EstimateOptions, Estimator, TreeLattice};
 
 /// Construction knobs for [`EstimationEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -263,6 +266,148 @@ impl EstimationEngine {
                 .into_iter()
                 .map(|bits| f64::from_bits(bits.into_inner()))
                 .collect()
+        };
+        self.last_batch_nanos
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        results
+    }
+
+    /// Estimates one query through the shared cache under the budget in
+    /// `opts`, degrading instead of erroring (see [`crate::resilient`]),
+    /// and containing any panic in the estimation path as
+    /// [`tl_fault::FaultKind::WorkerPanic`].
+    ///
+    /// Only the undegraded rung reads and writes the shared cache —
+    /// degraded values stay in a query-local memo, so a budget-constrained
+    /// caller can never pollute estimates served to unconstrained ones.
+    pub fn estimate_resilient(
+        &self,
+        lattice: &TreeLattice,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> Result<ResilientEstimate, Fault> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if failpoints::fire(failpoints::sites::ENGINE_WORKER) {
+                panic!(
+                    "injected by fail-point `{}`",
+                    failpoints::sites::ENGINE_WORKER
+                );
+            }
+            self.estimate_resilient_inner(lattice, twig, estimator, opts)
+        }));
+        match outcome {
+            Ok(est) => {
+                if self.rec.enabled() && est.degradation.is_degraded() {
+                    self.rec.add(tl_obs::names::ENGINE_DEGRADED, 1);
+                }
+                Ok(est)
+            }
+            Err(payload) => {
+                self.rec.add(tl_obs::names::FAULT_WORKER_PANICS, 1);
+                self.rec.add(tl_obs::names::FAULT_TOTAL, 1);
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_owned());
+                Err(Fault::worker_panic(msg))
+            }
+        }
+    }
+
+    fn estimate_resilient_inner(
+        &self,
+        lattice: &TreeLattice,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> ResilientEstimate {
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= lattice.labels().len())
+        {
+            return ResilientEstimate {
+                value: 0.0,
+                degradation: Degradation::None,
+                cause: None,
+            };
+        }
+        let mut cache = SharedCache {
+            engine: self,
+            generation: lattice.generation(),
+            class: voting_class(estimator, opts),
+            hits: 0,
+            misses: 0,
+        };
+        let start = self.rec.enabled().then(Instant::now);
+        let est =
+            estimate_resilient_with_cache(lattice.summary(), twig, estimator, opts, &mut cache);
+        if let Some(start) = start {
+            self.rec.add(tl_obs::names::ENGINE_QUERIES, 1);
+            self.rec.observe(
+                tl_obs::names::QUERY_LATENCY_US,
+                start.elapsed().as_micros() as u64,
+            );
+        }
+        est
+    }
+
+    /// [`estimate_batch`](EstimationEngine::estimate_batch) with per-query
+    /// fault isolation: each worker item runs under `catch_unwind`, so one
+    /// poisoned query comes back as `Err(FaultKind::WorkerPanic)` while
+    /// every other entry completes normally. The shard locks are
+    /// `parking_lot` (no poisoning) and the shared cache only ever holds
+    /// fully-computed undegraded values, so a contained panic cannot leave
+    /// the cache inconsistent.
+    pub fn estimate_batch_resilient(
+        &self,
+        lattice: &TreeLattice,
+        batch: &[Twig],
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> Vec<Result<ResilientEstimate, Fault>> {
+        let _span = tl_obs::SpanGuard::start(&*self.rec, tl_obs::names::SPAN_BATCH);
+        let start = Instant::now();
+        let threads = self.effective_threads(batch.len());
+        let results: Vec<Result<ResilientEstimate, Fault>> = if threads <= 1 {
+            batch
+                .iter()
+                .map(|t| self.estimate_resilient(lattice, t, estimator, opts))
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(twig) = batch.get(i) else { break };
+                                local.push((
+                                    i,
+                                    self.estimate_resilient(lattice, twig, estimator, opts),
+                                ));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                let mut slots: Vec<Option<Result<ResilientEstimate, Fault>>> =
+                    (0..batch.len()).map(|_| None).collect();
+                for handle in handles {
+                    // Workers contain estimation panics internally; a join
+                    // failure would mean the harness itself is broken.
+                    for (i, result) in handle.join().expect("resilient worker exited cleanly") {
+                        slots[i] = Some(result);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("cursor visits every index"))
+                    .collect()
+            })
         };
         self.last_batch_nanos
             .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);

@@ -19,6 +19,7 @@
 //! accuracy of §5.1), while a miss on a δ-pruned level re-derives the count
 //! recursively (Lemma 5).
 
+use tl_fault::{Budget, Fault};
 use tl_twig::canonical::key_of;
 use tl_twig::ops::{decompose_pair, fixed_cover_with, removable_pairs, CoverStrategy};
 use tl_twig::{Twig, TwigKey};
@@ -80,12 +81,19 @@ pub struct EstimateOptions {
     /// node under [`Estimator::RecursiveVoting`]. `usize::MAX` = full
     /// voting; `1` degenerates to plain recursive decomposition.
     pub voting_cap: usize,
+    /// Resource limits consulted by the resilient entry points
+    /// ([`crate::TreeLattice::estimate_resilient`],
+    /// [`crate::EstimationEngine::estimate_batch_resilient`]). The plain
+    /// infallible APIs ignore it entirely, so the default (unlimited)
+    /// budget costs nothing there.
+    pub budget: Budget,
 }
 
 impl Default for EstimateOptions {
     fn default() -> Self {
         Self {
             voting_cap: usize::MAX,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -151,6 +159,27 @@ pub(crate) fn estimate_with_cache_depth<C: SubtwigCache>(
     opts: &EstimateOptions,
     cache: &mut C,
 ) -> (f64, usize) {
+    // With enforcement off no budget check ever runs, so the recursion is
+    // infallible and this unwrap can never fire.
+    try_estimate_with_cache_depth(summary, twig, estimator, opts, cache, false)
+        .expect("unbudgeted estimation cannot fault")
+}
+
+/// The fallible core behind both the plain and the resilient entry points.
+///
+/// With `enforce` set, [`EstimateOptions::budget`] is consulted during the
+/// recursion (deadline on every sub-twig resolution, memory on every memo
+/// store) and the active fail-points at the `budget.*` sites can inject
+/// trips. With `enforce` clear, no check runs and the result is bit-for-bit
+/// what the pre-budget code computed.
+pub(crate) fn try_estimate_with_cache_depth<C: SubtwigCache>(
+    summary: &Summary,
+    twig: &Twig,
+    estimator: Estimator,
+    opts: &EstimateOptions,
+    cache: &mut C,
+    enforce: bool,
+) -> Result<(f64, usize), Fault> {
     let mut ctx = RecursiveCtx {
         summary,
         cache,
@@ -162,27 +191,64 @@ pub(crate) fn estimate_with_cache_depth<C: SubtwigCache>(
         scratch: Vec::new(),
         depth: 0,
         max_depth: 0,
+        budget: opts.budget,
+        enforce,
+        charged: 0,
     };
+    let k = summary.max_size();
     let value = match estimator {
-        Estimator::Recursive | Estimator::RecursiveVoting => ctx.estimate_key(key_of(twig)),
+        Estimator::Recursive | Estimator::RecursiveVoting => ctx.estimate_key(key_of(twig))?,
         // Canonicalize first so the pre-order cover (and hence the result)
         // is identical for isomorphic queries.
         Estimator::FixSized => estimate_fixed(
             &mut ctx,
             &key_of(twig).decode(),
             CoverStrategy::AncestorsFirst,
-        ),
+            k,
+        )?,
         Estimator::FixSizedVoting => {
             let canonical = key_of(twig).decode();
             let strategies = [CoverStrategy::AncestorsFirst, CoverStrategy::ChildrenFirst];
-            let sum: f64 = strategies
-                .iter()
-                .map(|&st| estimate_fixed(&mut ctx, &canonical, st))
-                .sum();
+            let mut sum = 0.0f64;
+            for &st in &strategies {
+                sum += estimate_fixed(&mut ctx, &canonical, st, k)?;
+            }
             sum / strategies.len() as f64
         }
     };
-    (value, ctx.max_depth)
+    Ok((value, ctx.max_depth))
+}
+
+/// Fix-sized estimation over windows of `k` nodes — possibly smaller than
+/// the summary's mined order. This is the `ReducedK` rung of the
+/// degradation ladder: window and overlap lookups at sizes `<= k` still
+/// resolve exactly from the summary, only the covering is coarser.
+pub(crate) fn try_estimate_fixed_at<C: SubtwigCache>(
+    summary: &Summary,
+    twig: &Twig,
+    k: usize,
+    opts: &EstimateOptions,
+    cache: &mut C,
+    enforce: bool,
+) -> Result<f64, Fault> {
+    let mut ctx = RecursiveCtx {
+        summary,
+        cache,
+        voting: false,
+        cap: 1,
+        scratch: Vec::new(),
+        depth: 0,
+        max_depth: 0,
+        budget: opts.budget,
+        enforce,
+        charged: 0,
+    };
+    estimate_fixed(
+        &mut ctx,
+        &key_of(twig).decode(),
+        CoverStrategy::AncestorsFirst,
+        k,
+    )
 }
 
 /// Recursive-decomposition state: the summary plus a sub-twig cache.
@@ -198,6 +264,12 @@ struct RecursiveCtx<'s, 'c, C> {
     /// `engine.decomposition.depth` metric.
     depth: usize,
     max_depth: usize,
+    /// Limits checked while `enforce` is set; plain estimation runs with
+    /// `enforce` clear and never consults them.
+    budget: Budget,
+    enforce: bool,
+    /// Approximate bytes of memo state charged against the budget.
+    charged: u64,
 }
 
 impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
@@ -205,9 +277,12 @@ impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
     ///
     /// Takes the key by value: every caller builds a fresh key anyway, and
     /// moving it into the cache avoids the clone a borrowing insert forces.
-    fn estimate_key(&mut self, key: TwigKey) -> f64 {
+    fn estimate_key(&mut self, key: TwigKey) -> Result<f64, Fault> {
+        if self.enforce {
+            self.budget.check_deadline()?;
+        }
         if let Some(v) = self.cache.lookup(&key) {
-            return v;
+            return Ok(v);
         }
         let value = match self.summary.lookup(&key) {
             Lookup::Exact(c) => c as f64,
@@ -227,16 +302,22 @@ impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
                     let v = self.decompose(&twig);
                     self.depth -= 1;
                     self.scratch.push(twig);
-                    v
+                    v?
                 }
             }
         };
+        if self.enforce {
+            // Mirrors the cache's own accounting: key bytes plus entry
+            // overhead.
+            self.charged += key.as_bytes().len() as u64 + 32;
+            self.budget.check_mem(self.charged)?;
+        }
         self.cache.store(key, value);
-        value
+        Ok(value)
     }
 
     /// One decomposition step, optionally averaged over all pairs (voting).
-    fn decompose(&mut self, twig: &Twig) -> f64 {
+    fn decompose(&mut self, twig: &Twig) -> Result<f64, Fault> {
         let pairs = removable_pairs(twig);
         debug_assert!(!pairs.is_empty(), "size >= 3 twigs always decompose");
         let take = if self.voting { self.cap } else { 1 };
@@ -244,37 +325,33 @@ impl<C: SubtwigCache> RecursiveCtx<'_, '_, C> {
         let mut n = 0usize;
         for &(u, v) in pairs.iter().take(take) {
             let d = decompose_pair(twig, u, v);
-            let e1 = self.estimate_key(key_of(&d.t1));
+            let e1 = self.estimate_key(key_of(&d.t1))?;
             if e1 <= 0.0 {
                 n += 1;
                 continue;
             }
-            let e2 = self.estimate_key(key_of(&d.t2));
+            let e2 = self.estimate_key(key_of(&d.t2))?;
             if e2 <= 0.0 {
                 n += 1;
                 continue;
             }
-            let e12 = self.estimate_key(key_of(&d.t12));
+            let e12 = self.estimate_key(key_of(&d.t12))?;
             if e12 > 0.0 {
                 sum += e1 * e2 / e12;
             }
             n += 1;
         }
-        if n == 0 {
-            0.0
-        } else {
-            sum / n as f64
-        }
+        Ok(if n == 0 { 0.0 } else { sum / n as f64 })
     }
 }
 
-/// The fix-sized estimator of Lemma 3.
+/// The fix-sized estimator of Lemma 3, over windows of `k` nodes.
 fn estimate_fixed<C: SubtwigCache>(
     ctx: &mut RecursiveCtx<'_, '_, C>,
     twig: &Twig,
     strategy: CoverStrategy,
-) -> f64 {
-    let k = ctx.summary.max_size();
+    k: usize,
+) -> Result<f64, Fault> {
     if twig.len() <= k {
         return ctx.estimate_key(key_of(twig));
     }
@@ -285,20 +362,20 @@ fn estimate_fixed<C: SubtwigCache>(
     let mut numerator = 1.0f64;
     let mut denominator = 1.0f64;
     for step in fixed_cover_with(twig, k, strategy) {
-        let s_sub = ctx.estimate_key(key_of(&step.subtree));
+        let s_sub = ctx.estimate_key(key_of(&step.subtree))?;
         if s_sub <= 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         numerator *= s_sub;
         if let Some(overlap) = &step.overlap {
-            let s_ov = ctx.estimate_key(key_of(overlap));
+            let s_ov = ctx.estimate_key(key_of(overlap))?;
             if s_ov <= 0.0 {
-                return 0.0;
+                return Ok(0.0);
             }
             denominator *= s_ov;
         }
     }
-    numerator / denominator
+    Ok(numerator / denominator)
 }
 
 #[cfg(test)]
@@ -441,7 +518,10 @@ mod tests {
             &s,
             &t,
             Estimator::RecursiveVoting,
-            &EstimateOptions { voting_cap: 1 },
+            &EstimateOptions {
+                voting_cap: 1,
+                ..EstimateOptions::default()
+            },
         );
         assert!((plain - capped).abs() < 1e-12);
     }

@@ -51,11 +51,12 @@ pub mod explain;
 pub mod interval;
 pub mod online;
 pub mod pruning;
+pub mod resilient;
 pub mod serialize;
 pub mod summary;
 pub mod trie;
 
-use tl_miner::{mine_with_index_observed, MineConfig};
+use tl_miner::{mine_with_index_budgeted, MineConfig};
 use tl_twig::{parse_twig, Twig, TwigParseError};
 use tl_xml::{DocIndex, Document, LabelInterner};
 
@@ -65,8 +66,13 @@ pub use explain::explain;
 pub use interval::{estimate_interval, IntervalEstimate};
 pub use online::{TunedLattice, TunerStats};
 pub use pruning::{prune_derivable, PruneReport};
+pub use resilient::ResilientEstimate;
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
+// The fault vocabulary is part of this crate's public API surface: budgets
+// ride in `EstimateOptions`/`BuildConfig`, resilient results are tagged
+// with `Degradation`, and fallible paths report `Fault`.
+pub use tl_fault::{Budget, Degradation, Fault, FaultKind};
 
 /// Configuration for [`TreeLattice::build`].
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +84,11 @@ pub struct BuildConfig {
     pub threads: usize,
     /// Prune δ-derivable patterns right after mining when set.
     pub prune_delta: Option<f64>,
+    /// Resource limits for the mining run. When the deadline or memory cap
+    /// trips between levels, mining stops early and the build degrades to a
+    /// lower-order (but internally consistent) summary instead of failing;
+    /// see [`TreeLattice::build_with_report`].
+    pub budget: Budget,
 }
 
 impl Default for BuildConfig {
@@ -86,6 +97,7 @@ impl Default for BuildConfig {
             k: 4,
             threads: 0,
             prune_delta: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -142,24 +154,42 @@ impl TreeLattice {
         config: &BuildConfig,
         rec: &dyn tl_obs::Recorder,
     ) -> Self {
-        let report = mine_with_index_observed(
+        Self::build_with_report(doc, index, config, rec).0
+    }
+
+    /// [`build_with_index_observed`](TreeLattice::build_with_index_observed),
+    /// additionally returning the fault that stopped mining early, if the
+    /// build budget tripped. A `Some` fault means the summary's order is
+    /// lower than `config.k` but every stored level is exact and usable.
+    pub fn build_with_report(
+        doc: &Document,
+        index: &DocIndex,
+        config: &BuildConfig,
+        rec: &dyn tl_obs::Recorder,
+    ) -> (Self, Option<Fault>) {
+        let report = mine_with_index_budgeted(
             index,
             MineConfig {
                 max_size: config.k,
                 threads: config.threads,
             },
+            config.budget,
             rec,
         );
+        let stopped_early = report.stopped_early;
         let mut summary = Summary::from_mined(report.lattice);
         if let Some(delta) = config.prune_delta {
             let (pruned, _) = prune_derivable(&summary, delta);
             summary = pruned;
         }
-        Self {
-            labels: doc.labels().clone(),
-            summary,
-            generation: next_generation(),
-        }
+        (
+            Self {
+                labels: doc.labels().clone(),
+                summary,
+                generation: next_generation(),
+            },
+            stopped_early,
+        )
     }
 
     /// Assembles a lattice from pre-built parts (deserialization, tests).
@@ -245,6 +275,30 @@ impl TreeLattice {
             rec.observe(tl_obs::names::DECOMP_DEPTH, depth as u64);
         }
         value
+    }
+
+    /// Estimates a twig under the budget in `opts`, degrading instead of
+    /// failing: the result is always a finite, non-negative estimate, and
+    /// its [`Degradation`] tag records which rung of the ladder produced it
+    /// (see [`resilient`]).
+    pub fn estimate_resilient(
+        &self,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> ResilientEstimate {
+        if twig
+            .nodes()
+            .any(|n| twig.label(n).index() >= self.labels.len())
+        {
+            return ResilientEstimate {
+                value: 0.0,
+                degradation: Degradation::None,
+                cause: None,
+            };
+        }
+        let mut memo: tl_xml::FxHashMap<tl_twig::TwigKey, f64> = tl_xml::FxHashMap::default();
+        resilient::estimate_resilient_with_cache(&self.summary, twig, estimator, opts, &mut memo)
     }
 
     /// Parses a query in the twig surface syntax and estimates it.
@@ -437,6 +491,7 @@ mod tests {
                 k: 4,
                 threads: 0,
                 prune_delta: Some(0.0),
+                ..BuildConfig::default()
             },
         );
         assert!(pruned.summary_bytes() <= full.summary_bytes());
@@ -486,7 +541,10 @@ mod tests {
         let capped = lat.estimate_with(
             &q,
             Estimator::RecursiveVoting,
-            &EstimateOptions { voting_cap: 1 },
+            &EstimateOptions {
+                voting_cap: 1,
+                ..EstimateOptions::default()
+            },
         );
         let plain = lat.estimate(&q, Estimator::Recursive);
         assert!((capped - plain).abs() < 1e-12);

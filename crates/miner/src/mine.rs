@@ -1,5 +1,6 @@
 //! The mining algorithm: candidate generation + root-map counting.
 
+use tl_fault::{failpoints, Budget, Fault, FaultKind};
 use tl_twig::canonical::{key_of, key_of_subtree};
 use tl_twig::{Twig, TwigKey};
 use tl_xml::{DocIndex, Document, FxHashMap, FxHashSet, LabelId};
@@ -57,6 +58,11 @@ pub struct MineReport {
     /// Candidate patterns generated per level (before counting filtered the
     /// non-occurring ones) — levels are 1-based sizes, index 0 = size 1.
     pub candidates_per_level: Vec<usize>,
+    /// Set when a mining [`Budget`] tripped between levels: the run stopped
+    /// early and the lattice's order is lower than requested, but every
+    /// stored level holds exact counts (graceful degradation, not
+    /// corruption). `None` for unbudgeted runs and completed budgeted runs.
+    pub stopped_early: Option<Fault>,
 }
 
 /// Mines all occurred twig patterns of `doc` up to `config.max_size` nodes,
@@ -93,9 +99,25 @@ pub fn mine_with_index_observed(
     config: MineConfig,
     rec: &dyn tl_obs::Recorder,
 ) -> MineReport {
+    mine_with_index_budgeted(index, config, Budget::unlimited(), rec)
+}
+
+/// [`mine_with_index_observed`] under a resource [`Budget`].
+///
+/// The budget is consulted *between* levels: `max_k` caps the lattice order
+/// up front, while a deadline or memory-cap trip stops the run before the
+/// next level and records the fault in [`MineReport::stopped_early`]. The
+/// already-mined levels are exact, so the result degrades to a lower-order
+/// summary rather than failing.
+pub fn mine_with_index_budgeted(
+    index: &DocIndex,
+    config: MineConfig,
+    budget: Budget,
+    rec: &dyn tl_obs::Recorder,
+) -> MineReport {
     let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_MINE);
     rec.add(tl_obs::names::MINER_RUNS, 1);
-    mine_inner(index, config, rec)
+    mine_inner(index, config, budget, rec)
 }
 
 /// [`mine`] over a pre-built document index.
@@ -105,14 +127,38 @@ pub fn mine_with_index_observed(
 /// comes from the index, so one index per document serves mining, ground
 /// truth, and the experiment harness without re-indexing.
 pub fn mine_with_index(index: &DocIndex, config: MineConfig) -> MineReport {
-    mine_inner(index, config, &tl_obs::NOOP)
+    mine_inner(index, config, Budget::unlimited(), &tl_obs::NOOP)
 }
 
-fn mine_inner(index: &DocIndex, config: MineConfig, rec: &dyn tl_obs::Recorder) -> MineReport {
-    assert!(config.max_size >= 1, "max_size must be at least 1");
+/// The between-level budget gate: fail-point first (deterministic chaos),
+/// then the real deadline and memory checks.
+fn check_mine_budget(budget: &Budget, charged_bytes: u64) -> Result<(), Fault> {
+    if failpoints::fire(failpoints::sites::MINER_DEADLINE) {
+        return Err(Fault::injected(
+            FaultKind::Timeout,
+            failpoints::sites::MINER_DEADLINE,
+        ));
+    }
+    budget.check_deadline()?;
+    budget.check_mem(charged_bytes)
+}
 
-    let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(config.max_size);
-    let mut candidates_per_level: Vec<usize> = Vec::with_capacity(config.max_size);
+fn mine_inner(
+    index: &DocIndex,
+    config: MineConfig,
+    budget: Budget,
+    rec: &dyn tl_obs::Recorder,
+) -> MineReport {
+    assert!(config.max_size >= 1, "max_size must be at least 1");
+    let max_size = config
+        .max_size
+        .min(budget.max_k.unwrap_or(usize::MAX))
+        .max(1);
+    let mut stopped_early: Option<Fault> = None;
+    let mut charged_bytes: u64 = 0;
+
+    let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(max_size);
+    let mut candidates_per_level: Vec<usize> = Vec::with_capacity(max_size);
 
     // Level 1: one pattern per occurring label.
     let mut level1 = FxHashMap::default();
@@ -137,14 +183,18 @@ fn mine_inner(index: &DocIndex, config: MineConfig, rec: &dyn tl_obs::Recorder) 
     // candidates (sizes 2 ..= max_size - 1). Size-1 subtrees are implicit.
     let mut cache: FxHashMap<TwigKey, RootMap> = FxHashMap::default();
 
-    for size in 2..=config.max_size {
+    for size in 2..=max_size {
+        if let Err(fault) = check_mine_budget(&budget, charged_bytes) {
+            stopped_early = Some(fault);
+            break;
+        }
         let level_span = rec
             .enabled()
             .then(|| tl_obs::SpanGuard::start_dynamic(rec, format!("miner.level{size}")));
         let candidates = generate_candidates(&levels[size - 2], index);
         candidates_per_level.push(candidates.len());
         let n_candidates = candidates.len();
-        let keep_maps = size < config.max_size;
+        let keep_maps = size < max_size;
         let counted = count_candidates(
             index,
             &cache,
@@ -176,6 +226,13 @@ fn mine_inner(index: &DocIndex, config: MineConfig, rec: &dyn tl_obs::Recorder) 
             rec.add(&format!("miner.level{size}.pruned"), pruned);
         }
         drop(level_span);
+        if budget.max_mem_bytes.is_some() {
+            // Same accounting the summary uses: key bytes + entry overhead.
+            charged_bytes += level
+                .keys()
+                .map(|k| k.as_bytes().len() as u64 + 24)
+                .sum::<u64>();
+        }
         let empty = level.is_empty();
         levels.push(level);
         if empty {
@@ -186,6 +243,7 @@ fn mine_inner(index: &DocIndex, config: MineConfig, rec: &dyn tl_obs::Recorder) 
     MineReport {
         lattice: super::MinedLattice::from_levels(levels),
         candidates_per_level,
+        stopped_early,
     }
 }
 

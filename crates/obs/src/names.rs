@@ -43,6 +43,17 @@ pub const QUERY_LATENCY_US: &str = "engine.query.latency_us";
 /// Histogram: maximum decomposition recursion depth per query.
 pub const DECOMP_DEPTH: &str = "engine.decomposition.depth";
 
+/// Typed faults surfaced to callers (parse failures, corrupt summaries,
+/// contained worker panics — injected or organic).
+pub const FAULT_TOTAL: &str = "fault.total";
+/// Batch worker panics contained by the engine's `catch_unwind` shell.
+pub const FAULT_WORKER_PANICS: &str = "fault.worker_panics";
+/// Faults injected by active `tl-fault` fail-points (chaos runs only).
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// Resilient estimates that came from a degraded rung of the ladder
+/// (reduced-k or Markov fall-back) after a budget trip.
+pub const ENGINE_DEGRADED: &str = "engine.degraded";
+
 /// Workload queries generated (`tl_workload`).
 pub const WORKLOAD_QUERIES: &str = "workload.queries";
 /// Synthetic elements generated (`tl_datagen`).
@@ -79,6 +90,10 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
     ENGINE_CACHE_HITS,
     ENGINE_CACHE_MISSES,
     ENGINE_QUERIES,
+    ENGINE_DEGRADED,
+    FAULT_TOTAL,
+    FAULT_WORKER_PANICS,
+    FAULT_INJECTED,
     WORKLOAD_QUERIES,
     DATAGEN_ELEMENTS,
 ];

@@ -78,6 +78,12 @@ impl fmt::Display for MatchError {
 
 impl std::error::Error for MatchError {}
 
+impl From<MatchError> for tl_fault::Fault {
+    fn from(err: MatchError) -> Self {
+        tl_fault::Fault::new(tl_fault::FaultKind::GroupTooLarge, err.to_string())
+    }
+}
+
 /// Owned-or-borrowed document index. The owned arm is boxed so counters
 /// borrowing a shared index don't carry the full `DocIndex` inline.
 enum IndexStore<'d> {

@@ -45,6 +45,12 @@ impl std::fmt::Display for TwigParseError {
 
 impl std::error::Error for TwigParseError {}
 
+impl From<TwigParseError> for tl_fault::Fault {
+    fn from(err: TwigParseError) -> Self {
+        tl_fault::Fault::parse(err.to_string())
+    }
+}
+
 /// Parses a twig query, interning any new labels into `labels`.
 ///
 /// # Examples

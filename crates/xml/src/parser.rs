@@ -63,6 +63,12 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for tl_fault::Fault {
+    fn from(err: ParseError) -> Self {
+        tl_fault::Fault::parse(err.to_string())
+    }
+}
+
 /// Parses an XML document from `input` into an arena [`Document`].
 ///
 /// # Examples
@@ -89,6 +95,16 @@ pub fn parse_document_observed(
     rec: &dyn tl_obs::Recorder,
 ) -> Result<Document, ParseError> {
     let _span = tl_obs::SpanGuard::start(rec, tl_obs::names::SPAN_PARSE);
+    if tl_fault::failpoints::fire(tl_fault::failpoints::sites::XML_PARSE) {
+        return Err(ParseError {
+            message: format!(
+                "injected by fail-point `{}`",
+                tl_fault::failpoints::sites::XML_PARSE
+            ),
+            line: 1,
+            column: 1,
+        });
+    }
     let doc = Parser::new(input, options).run()?;
     rec.add(tl_obs::names::XML_PARSE_DOCS, 1);
     rec.add(tl_obs::names::XML_PARSE_BYTES, input.len() as u64);
