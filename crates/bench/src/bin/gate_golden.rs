@@ -1,0 +1,97 @@
+//! Golden accuracy-regression gate; see `tl_bench::golden`.
+//!
+//! ```text
+//! gate_golden [--thresholds <path>] [--write-thresholds] [--seed <N>]
+//! ```
+//!
+//! Measures oracle-verified q-error/MRE envelopes for all four estimators
+//! over the dataset × seed matrix and compares against the committed
+//! thresholds (default `tests/gates/golden_accuracy.json`). Exits 1 on any
+//! regression. `--seed N` restricts the run to one seed (a CI matrix
+//! slot). `--write-thresholds` regenerates the thresholds file from the
+//! current build over the *full* matrix; it rejects `--seed`, because a
+//! partial store would silently uncover the other seeds.
+
+use std::path::PathBuf;
+
+use tl_bench::golden::{self, GoldenConfig};
+
+fn main() {
+    let mut thresholds: Option<PathBuf> = None;
+    let mut write = false;
+    let mut seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(p) => thresholds = Some(PathBuf::from(p)),
+                None => usage("--thresholds needs a value"),
+            },
+            "--write-thresholds" => write = true,
+            "--seed" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => seed = Some(s),
+                _ => usage("--seed needs an integer value"),
+            },
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    if write && seed.is_some() {
+        usage("--write-thresholds regenerates the full matrix; drop --seed");
+    }
+    let path = thresholds
+        .unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/golden_accuracy.json"));
+
+    let full = GoldenConfig::default();
+    let cfg = match seed {
+        Some(s) => full.with_seed(s),
+        None => full,
+    };
+    println!(
+        "golden gate: {} dataset(s) x seeds {:?}, scale {}, k {}, sizes {:?}, {} queries/size",
+        tl_datagen::Dataset::ALL.len(),
+        cfg.seeds,
+        cfg.scale,
+        cfg.k,
+        cfg.sizes,
+        cfg.queries
+    );
+    let measured = golden::measure_golden(&cfg);
+    println!(
+        "measured {} envelope cells over {} evaluations",
+        measured.envelopes.len(),
+        measured.evaluations
+    );
+
+    if write {
+        let snap = golden::golden_thresholds(&measured, &cfg);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let snapshot = tl_bench::gates::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = golden::check_golden(&measured, &snapshot);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.passed() {
+        eprintln!("golden gate FAILED ({} check(s))", report.failures.len());
+        std::process::exit(1);
+    }
+    println!("golden gate passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_golden [--thresholds <path>] [--write-thresholds] [--seed <N>]");
+    std::process::exit(2);
+}

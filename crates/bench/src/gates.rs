@@ -180,7 +180,7 @@ impl GateReport {
         self.failures.is_empty()
     }
 
-    fn check(&mut self, ok: bool, line: String) {
+    pub(crate) fn check(&mut self, ok: bool, line: String) {
         self.lines
             .push(format!("{} {line}", if ok { "PASS" } else { "FAIL" }));
         if !ok {

@@ -25,6 +25,7 @@ pub mod config;
 pub mod data;
 pub mod experiments;
 pub mod gates;
+pub mod golden;
 pub mod report;
 
 pub use config::ExpConfig;

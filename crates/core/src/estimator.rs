@@ -219,6 +219,21 @@ pub(crate) fn try_estimate_with_cache_depth<C: SubtwigCache>(
     Ok((value, ctx.max_depth))
 }
 
+/// Fix-sized estimation at an explicit window size `k` — possibly smaller
+/// than the summary's mined order. This is exactly the computation behind
+/// the `ReducedK` rung of the degradation ladder (fresh local memo, no
+/// budget enforcement), exposed so test harnesses can reproduce a
+/// `Degradation::ReducedK { k }` value bit-for-bit.
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ |twig|` (the fix-sized cover's own bounds).
+pub fn estimate_fixed_at(summary: &Summary, twig: &Twig, k: usize, opts: &EstimateOptions) -> f64 {
+    let mut memo: FxHashMap<TwigKey, f64> = FxHashMap::default();
+    try_estimate_fixed_at(summary, twig, k, opts, &mut memo, false)
+        .expect("unbudgeted estimation cannot fault")
+}
+
 /// Fix-sized estimation over windows of `k` nodes — possibly smaller than
 /// the summary's mined order. This is the `ReducedK` rung of the
 /// degradation ladder: window and overlap lookups at sizes `<= k` still

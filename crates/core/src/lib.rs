@@ -61,12 +61,12 @@ use tl_twig::{parse_twig, Twig, TwigParseError};
 use tl_xml::{DocIndex, Document, LabelInterner};
 
 pub use engine::{EngineConfig, EngineStats, EstimationEngine};
-pub use estimator::{estimate, EstimateOptions, Estimator};
+pub use estimator::{estimate, estimate_fixed_at, EstimateOptions, Estimator};
 pub use explain::explain;
 pub use interval::{estimate_interval, IntervalEstimate};
 pub use online::{TunedLattice, TunerStats};
 pub use pruning::{prune_derivable, PruneReport};
-pub use resilient::ResilientEstimate;
+pub use resilient::{markov_estimate, ResilientEstimate};
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
 // The fault vocabulary is part of this crate's public API surface: budgets

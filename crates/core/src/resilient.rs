@@ -107,7 +107,11 @@ pub(crate) fn estimate_resilient_with_cache<C: SubtwigCache>(
 
 /// First-order Markov (path-independence) estimate from levels 1–2:
 /// `s(root) · Π_{edges (u,v)} s(u/v) / s(u)`.
-pub(crate) fn markov_estimate(summary: &Summary, twig: &Twig) -> f64 {
+///
+/// Public because it is rung 3 of the ladder: a [`Degradation::Markov`]
+/// result must be bit-for-bit reproducible by calling this directly, and
+/// the test suite asserts exactly that.
+pub fn markov_estimate(summary: &Summary, twig: &Twig) -> f64 {
     let count = |key: &TwigKey| -> f64 {
         match summary.lookup(key) {
             Lookup::Exact(c) => c as f64,

@@ -24,12 +24,14 @@ pub mod fig11;
 pub mod imdb;
 pub mod nasa;
 pub mod psd;
+pub mod random;
 pub mod xmark;
 
 use tl_xml::Document;
 
 pub use common::GenConfig;
 pub use fig11::figure11_document;
+pub use random::{random_document, RandomTreeConfig};
 
 /// The four benchmark datasets of the paper's evaluation (§5.1, Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -1,0 +1,149 @@
+//! Unstructured random trees for differential and metamorphic testing.
+//!
+//! Unlike the four dataset stand-ins, these documents have *no* schema:
+//! labels attach uniformly at random, fan-out is bounded only by
+//! `max_children`, and shape varies wildly with the seed. That is exactly
+//! what an oracle-vs-kernel differential suite wants — documents the
+//! kernels were never tuned for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tl_xml::{Document, DocumentBuilder};
+
+/// Configuration for [`random_document`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomTreeConfig {
+    /// RNG seed; equal configs produce identical documents.
+    pub seed: u64,
+    /// Exact number of element nodes.
+    pub nodes: usize,
+    /// Size of the label alphabet (`l0`, `l1`, …). Small alphabets force
+    /// label collisions — the injective-counting edge cases.
+    pub labels: usize,
+    /// Fan-out cap per node. Keeps sibling groups within the dense
+    /// kernel's `MAX_SIBLING_GROUP` when set ≤ 20.
+    pub max_children: usize,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            nodes: 200,
+            labels: 6,
+            max_children: 8,
+        }
+    }
+}
+
+/// Generates a uniformly random tree with exactly `cfg.nodes` nodes.
+///
+/// Each node after the root attaches to a random earlier node that still
+/// has child capacity, with a bias toward recently created nodes so the
+/// trees grow real depth instead of degenerating to stars.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes == 0`, `cfg.labels == 0`, or `cfg.max_children == 0`.
+pub fn random_document(cfg: &RandomTreeConfig) -> Document {
+    assert!(cfg.nodes > 0, "need at least a root node");
+    assert!(cfg.labels > 0, "need a non-empty label alphabet");
+    assert!(cfg.max_children > 0, "nodes must be attachable");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7261_6e64_7472_6565);
+
+    // Parent choice: sample from a window over the most recent open nodes
+    // (nodes with spare child capacity). Window size trades depth for
+    // breadth; sampling the full open list yields shallow recursive trees.
+    let mut parents: Vec<usize> = vec![0; cfg.nodes];
+    let mut child_count: Vec<usize> = vec![0; cfg.nodes];
+    let mut open: Vec<usize> = vec![0];
+    for (i, parent) in parents.iter_mut().enumerate().skip(1) {
+        let window = open.len().min(4);
+        let slot = open.len() - 1 - rng.gen_range(0..window);
+        let p = open[slot];
+        *parent = p;
+        child_count[p] += 1;
+        if child_count[p] >= cfg.max_children {
+            open.remove(slot);
+        }
+        open.push(i);
+    }
+
+    // Children adjacency, then a pre-order emit into the builder.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); cfg.nodes];
+    for i in 1..cfg.nodes {
+        children[parents[i]].push(i);
+    }
+    let mut builder = DocumentBuilder::with_capacity(cfg.nodes);
+    let mut labels: Vec<String> = Vec::with_capacity(cfg.labels);
+    for l in 0..cfg.labels {
+        labels.push(format!("l{l}"));
+    }
+    // Explicit stack: (node, entered?) so begin/end pair up without
+    // recursion (trees can be `nodes` deep).
+    let mut stack: Vec<(usize, bool)> = vec![(0, false)];
+    while let Some((node, entered)) = stack.pop() {
+        if entered {
+            builder.end();
+            continue;
+        }
+        builder.begin(&labels[rng.gen_range(0..cfg.labels)]);
+        stack.push((node, true));
+        for &c in children[node].iter().rev() {
+            stack.push((c, false));
+        }
+    }
+    builder
+        .finish()
+        .expect("generated event stream is a single well-formed tree")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_node_count_and_determinism() {
+        let cfg = RandomTreeConfig {
+            seed: 9,
+            nodes: 137,
+            ..RandomTreeConfig::default()
+        };
+        let a = random_document(&cfg);
+        let b = random_document(&cfg);
+        assert_eq!(a.len(), 137);
+        assert_eq!(a.len(), b.len());
+        for n in 0..a.len() as u32 {
+            let n = tl_xml::NodeId(n);
+            assert_eq!(a.label(n), b.label(n));
+            assert_eq!(a.parent(n), b.parent(n));
+        }
+    }
+
+    #[test]
+    fn fanout_respects_cap_and_seeds_differ() {
+        let cfg = RandomTreeConfig {
+            seed: 1,
+            nodes: 300,
+            labels: 4,
+            max_children: 5,
+        };
+        let doc = random_document(&cfg);
+        for n in 0..doc.len() as u32 {
+            assert!(doc.child_count(tl_xml::NodeId(n)) <= 5);
+        }
+        let other = random_document(&RandomTreeConfig { seed: 2, ..cfg });
+        let differs = (0..doc.len() as u32)
+            .any(|n| doc.label(tl_xml::NodeId(n)) != other.label(tl_xml::NodeId(n)));
+        assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let doc = random_document(&RandomTreeConfig {
+            nodes: 1,
+            ..RandomTreeConfig::default()
+        });
+        assert_eq!(doc.len(), 1);
+    }
+}

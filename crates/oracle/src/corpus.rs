@@ -1,0 +1,306 @@
+//! Seeded corpora for differential and metamorphic runs, with shrinking.
+//!
+//! A corpus is a deterministic function of its [`CorpusConfig`]: random
+//! unstructured documents (via `tl_datagen::random_document`) crossed with
+//! twig workloads mixing *positive* twigs (sampled from occurred patterns,
+//! so counts are non-trivial) and *perturbed* twigs (labels resampled, so
+//! zero and near-zero counts are exercised too). When a cross-check fails,
+//! [`shrink_case`] greedily minimizes the (document, twig) pair while the
+//! failure persists, and [`describe_case`] renders the survivor so the
+//! counterexample in the test log is directly re-runnable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tl_datagen::{random_document, RandomTreeConfig};
+use tl_twig::Twig;
+use tl_workload::sample::{label_weights, perturb_labels, random_occurred_twig};
+use tl_xml::writer::document_to_string;
+use tl_xml::{remove_subtree, Document, NodeId};
+
+/// Shape of one generated corpus.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusConfig {
+    /// Master seed; every document and twig derives from it.
+    pub seed: u64,
+    /// Number of random documents.
+    pub docs: usize,
+    /// Inclusive range of document sizes in nodes.
+    pub doc_nodes: (usize, usize),
+    /// Inclusive range of label-alphabet sizes.
+    pub labels: (usize, usize),
+    /// Fan-out cap (kept ≤ 20 so the dense kernel never rejects).
+    pub max_children: usize,
+    /// Twigs generated per document (positives + perturbed).
+    pub twigs_per_doc: usize,
+    /// Inclusive range of twig sizes in nodes.
+    pub twig_sizes: (usize, usize),
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            docs: 4,
+            doc_nodes: (60, 400),
+            labels: (3, 8),
+            max_children: 8,
+            twigs_per_doc: 45,
+            twig_sizes: (2, 8),
+        }
+    }
+}
+
+/// One (document, twig) pair, by document index.
+pub struct Case {
+    /// Index into [`Corpus::docs`].
+    pub doc: usize,
+    /// The query.
+    pub twig: Twig,
+}
+
+/// A generated corpus: documents plus the cases over them.
+pub struct Corpus {
+    /// The documents, in generation order.
+    pub docs: Vec<Document>,
+    /// All (document, twig) cases.
+    pub cases: Vec<Case>,
+}
+
+/// Generates the corpus for `cfg`. Deterministic: equal configs yield
+/// byte-identical documents and twigs.
+pub fn generate(cfg: &CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f72_6163_6c65);
+    let mut docs = Vec::with_capacity(cfg.docs);
+    let mut cases = Vec::new();
+    for i in 0..cfg.docs {
+        let doc = random_document(&RandomTreeConfig {
+            seed: rng.gen_range(0..u64::MAX),
+            nodes: rng.gen_range(cfg.doc_nodes.0..=cfg.doc_nodes.1),
+            labels: rng.gen_range(cfg.labels.0..=cfg.labels.1),
+            max_children: cfg.max_children,
+        });
+        let weights = label_weights(&doc);
+        let mut produced = 0usize;
+        let mut attempts = 0usize;
+        while produced < cfg.twigs_per_doc && attempts < cfg.twigs_per_doc * 20 {
+            attempts += 1;
+            let size = rng.gen_range(cfg.twig_sizes.0..=cfg.twig_sizes.1);
+            let Some(twig) = random_occurred_twig(&doc, &mut rng, size) else {
+                continue;
+            };
+            // Two positives, then one perturbation of the latest positive:
+            // perturbed twigs keep realistic shapes but lose the guarantee
+            // of matching, covering the zero-count paths.
+            let twig = if produced % 3 == 2 {
+                perturb_labels(&twig, &weights, &mut rng)
+            } else {
+                twig
+            };
+            cases.push(Case { doc: i, twig });
+            produced += 1;
+        }
+        docs.push(doc);
+    }
+    Corpus { docs, cases }
+}
+
+/// Greedily shrinks a failing case: repeatedly try removing one removable
+/// twig node, then one document subtree, keeping any mutation under which
+/// `failing` still returns `true`, until a fixpoint (or a step cap, as a
+/// runaway guard). The result still fails.
+pub fn shrink_case<F>(doc: &Document, twig: &Twig, failing: F) -> (Document, Twig)
+where
+    F: Fn(&Document, &Twig) -> bool,
+{
+    debug_assert!(failing(doc, twig), "shrink_case needs a failing case");
+    let mut doc = doc.clone();
+    let mut twig = twig.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        // Twig first: a smaller query usually shrinks the relevant part of
+        // the document too.
+        if twig.len() > 1 {
+            for node in twig.removable_nodes() {
+                let candidate = twig.remove_node(node);
+                if failing(&doc, &candidate) {
+                    twig = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed && doc.len() > 1 {
+            for id in (1..doc.len() as u32).rev() {
+                let candidate = remove_subtree(&doc, NodeId(id)).document;
+                if failing(&candidate, &twig) {
+                    doc = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        steps += 1;
+        if !progressed || steps > 10_000 {
+            return (doc, twig);
+        }
+    }
+}
+
+/// Renders a case so a failure message is self-contained: the full
+/// document XML plus the twig in query syntax.
+pub fn describe_case(doc: &Document, twig: &Twig) -> String {
+    format!(
+        "twig: {}\ndocument ({} nodes):\n{}",
+        twig.to_query_string(doc.labels()),
+        doc.len(),
+        document_to_string(doc)
+    )
+}
+
+/// Seeds for a suite run: a comma-separated list in the environment
+/// variable `var` (e.g. `TL_ORACLE_SEED=7` in a CI matrix job), falling
+/// back to `default`. Unparseable entries are a panic, not a silent skip —
+/// a typo must not shrink coverage.
+pub fn seeds_from_env(var: &str, default: &[u64]) -> Vec<u64> {
+    match std::env::var(var) {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<u64>()
+                    .unwrap_or_else(|e| panic!("bad seed {t:?} in ${var}: {e}"))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Builds the Lemma 1 *product document*: `replicas · 2^features` records
+/// labeled `s` under a root `r`, where record number `m` carries feature
+/// `j` iff bit `j` of `m mod 2^features` is set. Feature `j` is a path of
+/// depth `1 + (j mod 2)` with globally unique labels (`fj`, `gj`).
+///
+/// Every connected pattern that touches the feature set `S` then occurs
+/// exactly `replicas · 2^(features − |S|)` times — features are fully
+/// independent by construction, so Lemma 1's identity
+/// `s(T) · s(T12) = s(T1) · s(T2)` holds *exactly* for every removable
+/// pair, and every decomposition-based estimate telescopes to the true
+/// count.
+///
+/// Returns the document and the full twig `s[f0(/g0)][f1]…` containing
+/// all features; callers derive sub-twigs by removing feature nodes.
+pub fn product_document(features: usize, replicas: usize) -> (Document, Twig) {
+    assert!(features >= 2, "need at least two features for pair laws");
+    assert!(features < 16, "2^features records must stay small");
+    assert!(replicas >= 1);
+    let mut b = tl_xml::DocumentBuilder::new();
+    b.begin("r");
+    for mask in 0..(1u32 << features) {
+        for _ in 0..replicas {
+            b.begin("s");
+            for j in 0..features {
+                if mask & (1 << j) != 0 {
+                    b.begin(&format!("f{j}"));
+                    if j % 2 == 1 {
+                        b.begin(&format!("g{j}"));
+                        b.end();
+                    }
+                    b.end();
+                }
+            }
+            b.end();
+        }
+    }
+    b.end();
+    let doc = b.finish().expect("product event stream is well-formed");
+
+    let mut query = String::from("s");
+    for j in 0..features {
+        if j % 2 == 1 {
+            query.push_str(&format!("[f{j}/g{j}]"));
+        } else {
+            query.push_str(&format!("[f{j}]"));
+        }
+    }
+    let mut labels = doc.labels().clone();
+    let twig = tl_twig::parse_twig(&query, &mut labels).expect("product query parses");
+    (doc, twig)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::enumerate::Oracle;
+
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_non_trivial() {
+        let cfg = CorpusConfig {
+            docs: 2,
+            twigs_per_doc: 10,
+            ..CorpusConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.docs.len(), 2);
+        assert_eq!(a.cases.len(), b.cases.len());
+        assert!(a.cases.len() >= 15, "most twig draws should succeed");
+        for (ca, cb) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(ca.doc, cb.doc);
+            assert_eq!(
+                tl_twig::canonical::key_of(&ca.twig),
+                tl_twig::canonical::key_of(&cb.twig)
+            );
+        }
+    }
+
+    #[test]
+    fn product_document_counts_factorize() {
+        let (doc, full) = product_document(3, 2);
+        let oracle = Oracle::new(&doc);
+        // Full twig touches all 3 features: 2 · 2^0 = 2 matches.
+        assert_eq!(oracle.count(&full), 2);
+        // Dropping one feature subtree doubles the count.
+        for leaf in full.removable_nodes() {
+            let sub = full.remove_node(leaf);
+            let expected = if sub.len() < full.len() {
+                // Removing a g-leaf keeps the feature present (its f node
+                // remains), removing an f-leaf drops the feature.
+                let features_left = (0..3)
+                    .filter(|j| {
+                        sub.nodes()
+                            .any(|n| doc.labels().resolve(sub.label(n)) == format!("f{j}"))
+                    })
+                    .count();
+                2 * (1u64 << (3 - features_left))
+            } else {
+                unreachable!()
+            };
+            assert_eq!(oracle.count(&sub), expected, "sub {sub:?}");
+        }
+    }
+
+    #[test]
+    fn shrinker_reaches_a_small_failing_case() {
+        let cfg = CorpusConfig {
+            docs: 1,
+            twigs_per_doc: 5,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate(&cfg);
+        let doc = &corpus.docs[0];
+        let twig = &corpus.cases[0].twig;
+        // A tautological failure: "the twig has at least one node". The
+        // shrinker must reach the 1-node twig and a tiny document.
+        let (sdoc, stwig) = shrink_case(doc, twig, |_, t| !t.is_empty());
+        assert_eq!(stwig.len(), 1);
+        assert_eq!(sdoc.len(), 1);
+        assert!(describe_case(&sdoc, &stwig).contains("twig: "));
+    }
+
+    #[test]
+    fn seeds_env_parsing() {
+        assert_eq!(seeds_from_env("TL_NO_SUCH_VAR_SET", &[1, 7]), vec![1u64, 7]);
+    }
+}

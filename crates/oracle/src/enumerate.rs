@@ -1,0 +1,285 @@
+//! The third exact counter: top-down embedding counting by permanent
+//! expansion.
+//!
+//! A twig match (paper Definition 1) is an injective node mapping that
+//! preserves labels and parent-child edges. Both production kernels count
+//! matches *bottom-up* over per-level match vectors (`MatchCounter` on a
+//! dense CSR index, `ReferenceMatchCounter` on hash maps), and the
+//! property suite's local brute force enumerates complete mappings with a
+//! global used-set. This oracle deliberately uses a fourth formulation so
+//! that a shared algorithmic blind spot cannot hide a bug:
+//!
+//! for each document node `d` with the query root's label, the number of
+//! embeddings of the query rooted at `d` is the *permanent* of the matrix
+//! `M[i][j] = embeddings(qchild_i, dchild_j)` — injectivity among siblings
+//! is the only constraint that matters, because in a tree two distinct
+//! query nodes can collide on a document node only if some pair of their
+//! ancestors are siblings mapped to the same child, so per-sibling-group
+//! injectivity implies global injectivity.
+//!
+//! The permanent is expanded row by row over a used-column set, memoizing
+//! `embeddings(q, d)` per query. Exponential only in the sibling-group
+//! ambiguity, like the exact problem itself; arithmetic saturates at
+//! `u64::MAX` to match the kernels' overflow contract.
+
+use std::collections::HashMap;
+
+use tl_twig::{Twig, TwigNodeId};
+use tl_xml::{Document, NodeId};
+
+/// Exact match counting and enumeration over one document.
+pub struct Oracle<'d> {
+    doc: &'d Document,
+}
+
+impl<'d> Oracle<'d> {
+    /// Wraps `doc`. No preprocessing: the oracle stays structurally naive
+    /// on purpose.
+    pub fn new(doc: &'d Document) -> Self {
+        Self { doc }
+    }
+
+    /// The exact selectivity of `twig`: its total number of matches,
+    /// saturating at `u64::MAX`.
+    pub fn count(&self, twig: &Twig) -> u64 {
+        let mut memo = HashMap::new();
+        let mut total = 0u64;
+        for d in self.doc.pre_order() {
+            total = total.saturating_add(self.embeddings(twig, twig.root(), d, &mut memo));
+        }
+        total
+    }
+
+    /// Matches that map the twig's root to the specific document node `d`.
+    pub fn count_rooted_at(&self, twig: &Twig, d: NodeId) -> u64 {
+        let mut memo = HashMap::new();
+        self.embeddings(twig, twig.root(), d, &mut memo)
+    }
+
+    fn embeddings(
+        &self,
+        twig: &Twig,
+        q: TwigNodeId,
+        d: NodeId,
+        memo: &mut HashMap<(TwigNodeId, NodeId), u64>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&(q, d)) {
+            return v;
+        }
+        let v = if twig.label(q) != self.doc.label(d) {
+            0
+        } else {
+            let qchildren = twig.children(q);
+            if qchildren.is_empty() {
+                1
+            } else {
+                let dchildren: Vec<NodeId> = self.doc.children(d).collect();
+                let mut rows: Vec<Vec<(usize, u64)>> = Vec::with_capacity(qchildren.len());
+                let mut feasible = true;
+                for &qc in qchildren {
+                    let mut row = Vec::new();
+                    for (j, &dc) in dchildren.iter().enumerate() {
+                        let e = self.embeddings(twig, qc, dc, memo);
+                        if e > 0 {
+                            row.push((j, e));
+                        }
+                    }
+                    if row.is_empty() {
+                        feasible = false;
+                        break;
+                    }
+                    rows.push(row);
+                }
+                if feasible {
+                    // Expand the sparsest row first: the permanent is
+                    // invariant under row order, and this keeps branching
+                    // minimal.
+                    rows.sort_by_key(Vec::len);
+                    let mut used = vec![false; dchildren.len()];
+                    permanent(&rows, &mut used)
+                } else {
+                    0
+                }
+            }
+        };
+        memo.insert((q, d), v);
+        v
+    }
+
+    /// Every match of `twig`, as a vector indexed by twig node id holding
+    /// the document node that twig node maps to. Returns `None` as soon as
+    /// more than `cap` matches exist — enumeration is for spot-checking
+    /// small counts, not a fourth counter.
+    pub fn enumerate_matches(&self, twig: &Twig, cap: usize) -> Option<Vec<Vec<NodeId>>> {
+        let order = twig.pre_order();
+        let mut out = Vec::new();
+        let mut assign: Vec<NodeId> = vec![NodeId(0); twig.len()];
+        for d in self.doc.pre_order() {
+            if self.doc.label(d) == twig.label(twig.root()) {
+                assign[twig.root() as usize] = d;
+                if !self.extend_match(twig, &order, 1, &mut assign, cap, &mut out) {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Backtracks over pre-order position `pos`; returns `false` when the
+    /// cap is exceeded.
+    fn extend_match(
+        &self,
+        twig: &Twig,
+        order: &[TwigNodeId],
+        pos: usize,
+        assign: &mut Vec<NodeId>,
+        cap: usize,
+        out: &mut Vec<Vec<NodeId>>,
+    ) -> bool {
+        if pos == order.len() {
+            if out.len() >= cap {
+                return false;
+            }
+            out.push(assign.clone());
+            return true;
+        }
+        let q = order[pos];
+        let qp = twig
+            .parent(q)
+            .expect("non-root pre-order node has a parent");
+        let dp = assign[qp as usize];
+        for dc in self.doc.children(dp) {
+            if self.doc.label(dc) != twig.label(q) {
+                continue;
+            }
+            // Injectivity: only previously assigned siblings can collide
+            // with `dc`, but checking every assigned node is cheap and
+            // independent of that argument.
+            if order[..pos].iter().any(|&a| assign[a as usize] == dc) {
+                continue;
+            }
+            assign[q as usize] = dc;
+            if !self.extend_match(twig, order, pos + 1, assign, cap, out) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Permanent of a sparse non-negative matrix by row expansion over a
+/// used-column set, saturating at `u64::MAX`.
+fn permanent(rows: &[Vec<(usize, u64)>], used: &mut [bool]) -> u64 {
+    let Some((row, rest)) = rows.split_first() else {
+        return 1;
+    };
+    let mut sum = 0u64;
+    for &(col, e) in row {
+        if used[col] {
+            continue;
+        }
+        used[col] = true;
+        sum = sum.saturating_add(e.saturating_mul(permanent(rest, used)));
+        used[col] = false;
+    }
+    sum
+}
+
+/// Checks one enumerated match against Definition 1: label-preserving,
+/// edge-preserving, injective.
+pub fn match_is_valid(doc: &Document, twig: &Twig, assign: &[NodeId]) -> bool {
+    if assign.len() != twig.len() {
+        return false;
+    }
+    for q in twig.nodes() {
+        if doc.label(assign[q as usize]) != twig.label(q) {
+            return false;
+        }
+        if let Some(qp) = twig.parent(q) {
+            if doc.parent(assign[q as usize]) != Some(assign[qp as usize]) {
+                return false;
+            }
+        }
+    }
+    let mut seen: Vec<NodeId> = assign.to_vec();
+    seen.sort_unstable();
+    seen.windows(2).all(|w| w[0] != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_twig::parse_twig;
+    use tl_xml::{parse_document, ParseOptions};
+
+    use super::*;
+
+    fn fixture(xml: &[u8], query: &str) -> (Document, Twig) {
+        let doc = parse_document(xml, ParseOptions::default()).unwrap();
+        let mut labels = doc.labels().clone();
+        let twig = parse_twig(query, &mut labels).unwrap();
+        (doc, twig)
+    }
+
+    #[test]
+    fn counts_simple_paths_and_stars() {
+        let (doc, twig) = fixture(b"<a><b><c/></b><b><c/><c/></b></a>", "a/b/c");
+        assert_eq!(Oracle::new(&doc).count(&twig), 3);
+        let (doc, twig) = fixture(b"<a><b/><b/><c/></a>", "a[b][c]");
+        assert_eq!(Oracle::new(&doc).count(&twig), 2);
+    }
+
+    #[test]
+    fn injective_counting_with_duplicate_sibling_patterns() {
+        // a[b][b]: the two query b's must map to *distinct* document b's:
+        // 3 ordered choices of 2 out of 3 = 6.
+        let (doc, twig) = fixture(b"<a><b/><b/><b/></a>", "a[b][b]");
+        assert_eq!(Oracle::new(&doc).count(&twig), 6);
+        // Only one b: no injective pair exists.
+        let (doc, twig) = fixture(b"<a><b/></a>", "a[b][b]");
+        assert_eq!(Oracle::new(&doc).count(&twig), 0);
+    }
+
+    #[test]
+    fn enumeration_agrees_with_count_and_is_valid() {
+        let (doc, twig) = fixture(
+            b"<a><b><c/><c/></b><b><c/></b><a><b><c/></b></a></a>",
+            "a/b/c",
+        );
+        let oracle = Oracle::new(&doc);
+        let matches = oracle.enumerate_matches(&twig, 100).unwrap();
+        assert_eq!(matches.len() as u64, oracle.count(&twig));
+        for m in &matches {
+            assert!(match_is_valid(&doc, &twig, m));
+        }
+    }
+
+    #[test]
+    fn enumeration_cap_returns_none() {
+        let (doc, twig) = fixture(b"<a><b/><b/><b/><b/></a>", "a/b");
+        assert_eq!(Oracle::new(&doc).enumerate_matches(&twig, 3), None);
+        assert_eq!(
+            Oracle::new(&doc)
+                .enumerate_matches(&twig, 4)
+                .map(|m| m.len()),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn count_rooted_at_partitions_the_total() {
+        let (doc, twig) = fixture(b"<a><b><c/></b><b><c/><c/></b></a>", "b/c");
+        let oracle = Oracle::new(&doc);
+        let by_root: u64 = doc
+            .pre_order()
+            .map(|d| oracle.count_rooted_at(&twig, d))
+            .sum();
+        assert_eq!(by_root, oracle.count(&twig));
+        assert_eq!(oracle.count(&twig), 3);
+    }
+
+    #[test]
+    fn absent_labels_count_zero() {
+        let (doc, twig) = fixture(b"<a><b/></a>", "a/zzz");
+        assert_eq!(Oracle::new(&doc).count(&twig), 0);
+    }
+}

@@ -67,6 +67,23 @@ pub struct CoverStep {
     pub overlap: Option<Twig>,
 }
 
+/// One cover step as node-id sets over the *original* twig — the
+/// enumeration hook beneath [`fixed_cover_with`]. Extracted subtwigs lose
+/// the correspondence to the covered twig's nodes; property suites that
+/// check Lemma 2's set-level invariants (overlap ⊆ covered part, contains
+/// `parent(v)`, connected, size `k − 1`) need the raw sets.
+#[derive(Clone, Debug)]
+pub struct CoverStepSets {
+    /// Node ids of the covering k-subtree, pre-order sorted.
+    pub subtree: Vec<TwigNodeId>,
+    /// Node ids of the (k-1)-overlap with the covered part; `None` for the
+    /// first step.
+    pub overlap: Option<Vec<TwigNodeId>>,
+    /// The single newly covered node (`None` for the first step, which
+    /// covers the whole k-prefix at once).
+    pub added: Option<TwigNodeId>,
+}
+
 /// How the (k-1)-node overlap region is grown around `parent(v)` when
 /// covering a new node — different strategies yield different (equally
 /// valid) Lemma 2 covers, which the fix-sized voting scheme averages over.
@@ -98,6 +115,22 @@ pub fn fixed_cover(twig: &Twig, k: usize) -> Vec<CoverStep> {
 ///
 /// Panics unless `2 ≤ k ≤ |T|`.
 pub fn fixed_cover_with(twig: &Twig, k: usize, strategy: CoverStrategy) -> Vec<CoverStep> {
+    fixed_cover_sets(twig, k, strategy)
+        .into_iter()
+        .map(|s| CoverStep {
+            subtree: twig.subtwig(&s.subtree),
+            overlap: s.overlap.map(|o| twig.subtwig(&o)),
+        })
+        .collect()
+}
+
+/// [`fixed_cover_with`], but returning node-id sets over `twig` instead of
+/// extracted subtwigs. See [`CoverStepSets`].
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ k ≤ |T|`.
+pub fn fixed_cover_sets(twig: &Twig, k: usize, strategy: CoverStrategy) -> Vec<CoverStepSets> {
     assert!(k >= 2, "fixed cover requires k >= 2");
     assert!(k <= twig.len(), "k exceeds twig size");
     let order = twig.pre_order();
@@ -109,9 +142,10 @@ pub fn fixed_cover_with(twig: &Twig, k: usize, strategy: CoverStrategy) -> Vec<C
     for &n in &prefix {
         covered[n as usize] = true;
     }
-    steps.push(CoverStep {
-        subtree: twig.subtwig(&prefix),
+    steps.push(CoverStepSets {
+        subtree: prefix,
         overlap: None,
+        added: None,
     });
 
     for &v in &order[k..] {
@@ -122,13 +156,58 @@ pub fn fixed_cover_with(twig: &Twig, k: usize, strategy: CoverStrategy) -> Vec<C
         let overlap_set = grow_connected(twig, p, k - 1, &covered, strategy);
         let mut subtree_set = overlap_set.clone();
         subtree_set.push(v);
-        steps.push(CoverStep {
-            subtree: twig.subtwig(&subtree_set),
-            overlap: Some(twig.subtwig(&overlap_set)),
+        steps.push(CoverStepSets {
+            subtree: subtree_set,
+            overlap: Some(overlap_set),
+            added: Some(v),
         });
         covered[v as usize] = true;
     }
     steps
+}
+
+/// Enumerates every connected node subset of `twig` with exactly `size`
+/// nodes, each sorted ascending. Connected subsets of a tree are subtrees:
+/// each has a unique topmost node, so the enumeration iterates candidate
+/// top nodes and extends downward with an include/exclude sweep that
+/// visits each subset exactly once. Exponential in the worst case — meant
+/// for test twigs, not production paths.
+pub fn connected_node_sets(twig: &Twig, size: usize) -> Vec<Vec<TwigNodeId>> {
+    let mut out = Vec::new();
+    if size == 0 || size > twig.len() {
+        return out;
+    }
+    for top in twig.nodes() {
+        let mut set = vec![top];
+        let cands: Vec<TwigNodeId> = twig.children(top).to_vec();
+        extend_connected(twig, &mut set, cands, size, &mut out);
+    }
+    out
+}
+
+fn extend_connected(
+    twig: &Twig,
+    set: &mut Vec<TwigNodeId>,
+    mut cands: Vec<TwigNodeId>,
+    size: usize,
+    out: &mut Vec<Vec<TwigNodeId>>,
+) {
+    if set.len() == size {
+        let mut s = set.clone();
+        s.sort_unstable();
+        out.push(s);
+        return;
+    }
+    // Include/exclude on the candidate frontier: taking `c` opens its
+    // children; skipping `c` bars it for the rest of this branch, so no
+    // subset is produced twice.
+    while let Some(c) = cands.pop() {
+        let mut next = cands.clone();
+        next.extend_from_slice(twig.children(c));
+        set.push(c);
+        extend_connected(twig, set, next, size, out);
+        set.pop();
+    }
 }
 
 /// Grows a connected set of `want` covered nodes starting from `seed`.
@@ -331,6 +410,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cover_sets_agree_with_extracted_cover() {
+        let (t, _) = twig("a[b[d][e]][c[f/g]]");
+        for k in 2..=t.len() {
+            for strategy in [CoverStrategy::AncestorsFirst, CoverStrategy::ChildrenFirst] {
+                let sets = fixed_cover_sets(&t, k, strategy);
+                let steps = fixed_cover_with(&t, k, strategy);
+                assert_eq!(sets.len(), steps.len());
+                for (s, step) in sets.iter().zip(&steps) {
+                    assert_eq!(s.subtree.len(), step.subtree.len());
+                    assert_eq!(key_of(&t.subtwig(&s.subtree)), key_of(&step.subtree));
+                    match (&s.overlap, &step.overlap) {
+                        (None, None) => assert!(s.added.is_none()),
+                        (Some(o), Some(ov)) => {
+                            assert_eq!(key_of(&t.subtwig(o)), key_of(ov));
+                            let v = s.added.expect("later steps add one node");
+                            assert!(s.subtree.contains(&v));
+                            assert!(!o.contains(&v));
+                        }
+                        _ => panic!("set/twig overlap mismatch"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_node_sets_enumerates_exactly_the_connected_subsets() {
+        let (t, _) = twig("a[b[d][e]][c]");
+        // Size 1: every node. Size n: the whole twig.
+        assert_eq!(connected_node_sets(&t, 1).len(), t.len());
+        assert_eq!(
+            connected_node_sets(&t, t.len()),
+            vec![{
+                let mut all: Vec<_> = t.nodes().collect();
+                all.sort_unstable();
+                all
+            }]
+        );
+        for size in 1..=t.len() {
+            let sets = connected_node_sets(&t, size);
+            // No duplicates, each connected (subtwig() panics on a
+            // disconnected set), each of the right size.
+            let mut seen = sets.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), sets.len(), "duplicate sets at size {size}");
+            for s in &sets {
+                assert_eq!(s.len(), size);
+                assert_eq!(t.subtwig(s).len(), size);
+            }
+        }
+        // Hand count for size 2: one set per edge.
+        assert_eq!(connected_node_sets(&t, 2).len(), t.len() - 1);
     }
 
     #[test]

@@ -24,7 +24,9 @@ use rand::SeedableRng;
 use tl_twig::{MatchCounter, Twig};
 use tl_xml::{DocIndex, Document};
 
-pub use metrics::{average_relative_error_pct, error_cdf, relative_error_pct, sanity_bound};
+pub use metrics::{
+    average_relative_error_pct, error_cdf, max_q_error, q_error, relative_error_pct, sanity_bound,
+};
 pub use sample::extract_pattern;
 
 /// One benchmark query with its ground-truth selectivity.

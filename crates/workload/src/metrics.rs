@@ -41,6 +41,30 @@ pub fn average_relative_error_pct(true_counts: &[u64], estimates: &[f64]) -> f64
     sum / true_counts.len() as f64
 }
 
+/// The q-error of one estimate: `max(t', e') / min(t', e')` where both the
+/// truth and the estimate are floored at 1.0 (Moerkotte et al.'s convention,
+/// also used by the Bayesian-network selectivity gates this repo's golden
+/// gates follow). Always ≥ 1; 1.0 means exact (up to the floor).
+pub fn q_error(true_count: u64, estimate: f64) -> f64 {
+    let t = (true_count as f64).max(1.0);
+    let e = estimate.max(1.0);
+    t.max(e) / t.min(e)
+}
+
+/// The largest q-error over paired truths and estimates (1.0 when empty).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_q_error(true_counts: &[u64], estimates: &[f64]) -> f64 {
+    assert_eq!(true_counts.len(), estimates.len(), "length mismatch");
+    true_counts
+        .iter()
+        .zip(estimates)
+        .map(|(&t, &e)| q_error(t, e))
+        .fold(1.0, f64::max)
+}
+
 /// Cumulative distribution of errors: for each grid point `x` (percent),
 /// the fraction (percent) of errors ≤ `x`. Matches the Figure 8 axes.
 pub fn error_cdf(errors: &[f64], grid: &[f64]) -> Vec<(f64, f64)> {
@@ -104,6 +128,19 @@ mod tests {
         // |20-20|/20 = 0%.
         let avg = average_relative_error_pct(&[100, 20], &[50.0, 20.0]);
         assert!((avg - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_error_is_symmetric_and_floored() {
+        // Over- and under-estimation by the same factor score the same.
+        assert_eq!(q_error(10, 20.0), q_error(40, 20.0));
+        // Both sides floored at 1: a zero estimate of a zero truth is exact.
+        assert_eq!(q_error(0, 0.0), 1.0);
+        assert_eq!(q_error(0, 0.5), 1.0);
+        // A zero estimate of truth 8 scores 8.
+        assert_eq!(q_error(8, 0.0), 8.0);
+        assert_eq!(max_q_error(&[], &[]), 1.0);
+        assert_eq!(max_q_error(&[10, 8], &[20.0, 8.0]), 2.0);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! 3-way differential suite: the `tl-oracle` permanent-expansion counter
+//! vs the dense CSR kernel (`MatchCounter`) vs the hash-map reference
+//! kernel (`ReferenceMatchCounter`), over seeded random corpora.
+//!
+//! Three independently formulated exact counters agreeing on hundreds of
+//! (document, twig) pairs is the repo's strongest evidence that "exact"
+//! means exact. On any disagreement the case is shrunk to a minimal
+//! reproducer and printed in full.
+//!
+//! `TL_ORACLE_SEED` (comma-separated seeds) narrows the run to one CI
+//! matrix slot; the default covers the full {1, 7, 42} matrix and the
+//! ≥ 500-pair acceptance floor.
+
+use tl_oracle::{
+    describe_case, generate, match_is_valid, seeds_from_env, shrink_case, CorpusConfig, Oracle,
+};
+use tl_twig::{MatchCounter, ReferenceMatchCounter, Twig};
+use tl_xml::Document;
+
+const DEFAULT_SEEDS: &[u64] = &[1, 7, 42];
+
+/// Counts `twig` three ways; returns an error naming the dissenter(s).
+fn three_way(doc: &Document, twig: &Twig) -> Result<u64, String> {
+    let oracle = Oracle::new(doc).count(twig);
+    let dense = MatchCounter::new(doc)
+        .try_count(twig)
+        .map_err(|e| format!("dense kernel rejected a corpus twig: {e:?}"))?;
+    let reference = ReferenceMatchCounter::new(doc).count(twig);
+    if oracle == dense && dense == reference {
+        Ok(oracle)
+    } else {
+        Err(format!(
+            "counters disagree: oracle {oracle}, dense {dense}, reference {reference}"
+        ))
+    }
+}
+
+#[test]
+fn three_way_agreement_on_seeded_corpora() {
+    let seeds = seeds_from_env("TL_ORACLE_SEED", DEFAULT_SEEDS);
+    let mut pairs = 0usize;
+    let mut nonzero = 0usize;
+    for &seed in &seeds {
+        let corpus = generate(&CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        });
+        for case in &corpus.cases {
+            let doc = &corpus.docs[case.doc];
+            match three_way(doc, &case.twig) {
+                Ok(count) => {
+                    pairs += 1;
+                    nonzero += usize::from(count > 0);
+                }
+                Err(msg) => {
+                    let (sdoc, stwig) =
+                        shrink_case(doc, &case.twig, |d, t| three_way(d, t).is_err());
+                    let final_msg = three_way(&sdoc, &stwig).unwrap_err();
+                    panic!(
+                        "seed {seed}: {msg}\nshrunk to: {final_msg}\n{}",
+                        describe_case(&sdoc, &stwig)
+                    );
+                }
+            }
+        }
+    }
+    // Per-seed floor, plus the acceptance-criteria floor when the full
+    // default matrix runs in one process.
+    assert!(
+        pairs >= 170 * seeds.len(),
+        "only {pairs} pairs over {} seed(s)",
+        seeds.len()
+    );
+    if seeds == DEFAULT_SEEDS {
+        assert!(pairs >= 500, "acceptance floor: {pairs} < 500 pairs");
+    }
+    // The corpus mixes positives and perturbed twigs; a degenerate all-zero
+    // corpus would make agreement vacuous.
+    assert!(
+        nonzero * 3 >= pairs,
+        "suspiciously few non-zero counts: {nonzero}/{pairs}"
+    );
+}
+
+#[test]
+fn enumeration_spot_check_agrees_with_all_counters() {
+    // For small counts, explicitly enumerate every match and re-validate
+    // each against Definition 1 — this checks the *assumptions* (label,
+    // edge, injectivity) the counters encode, not just their totals.
+    let seeds = seeds_from_env("TL_ORACLE_SEED", &[DEFAULT_SEEDS[0]]);
+    let corpus = generate(&CorpusConfig {
+        seed: seeds[0],
+        docs: 2,
+        twigs_per_doc: 30,
+        ..CorpusConfig::default()
+    });
+    let mut enumerated = 0usize;
+    for case in &corpus.cases {
+        let doc = &corpus.docs[case.doc];
+        let oracle = Oracle::new(doc);
+        let Some(matches) = oracle.enumerate_matches(&case.twig, 500) else {
+            continue; // more than 500 matches: counted, not enumerated
+        };
+        enumerated += 1;
+        assert_eq!(
+            matches.len() as u64,
+            oracle.count(&case.twig),
+            "enumeration disagrees with the permanent count\n{}",
+            describe_case(doc, &case.twig)
+        );
+        for m in &matches {
+            assert!(
+                match_is_valid(doc, &case.twig, m),
+                "enumerated mapping violates Definition 1\n{}",
+                describe_case(doc, &case.twig)
+            );
+        }
+        // Per-root partition: summing rooted counts over candidate roots
+        // must reproduce the total.
+        let by_root: u64 = doc
+            .pre_order()
+            .map(|d| oracle.count_rooted_at(&case.twig, d))
+            .sum();
+        assert_eq!(by_root, matches.len() as u64);
+    }
+    assert!(enumerated >= 20, "only {enumerated} cases were enumerable");
+}

@@ -194,3 +194,155 @@ fn stats_report_hits_entries_and_batch_time() {
     engine.clear();
     assert_eq!(engine.stats().entries, 0);
 }
+
+/// Satellite property: the shared cache is transparent under arbitrary
+/// interleavings of estimates and summary mutations. Whatever sequence of
+/// edits and prunes the lattice goes through, an engine answer (cold or
+/// warm) is bit-identical to a fresh uncached `estimate_with` against the
+/// lattice's current summary — the generation counter may never serve a
+/// stale entry.
+mod cache_generation_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use tl_xml::{remove_subtree, DocumentBuilder, LabelId, NodeId};
+
+    /// Node i hangs off `spec[i].0 % i` with label `l<spec[i].1>`.
+    type TreeSpec = Vec<(u32, u8)>;
+
+    fn arb_tree(max_nodes: usize, labels: u8) -> impl Strategy<Value = TreeSpec> {
+        prop::collection::vec((any::<u32>(), 0..labels), 1..max_nodes)
+    }
+
+    fn build_doc(spec: &TreeSpec) -> Document {
+        let n = spec.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(p, _)) in spec.iter().enumerate().skip(1) {
+            children[(p as usize) % i].push(i);
+        }
+        let mut b = DocumentBuilder::new();
+        let mut stack = vec![(0usize, false)];
+        while let Some((i, entered)) = stack.pop() {
+            if entered {
+                b.end();
+                continue;
+            }
+            b.begin(&format!("l{}", spec[i].1));
+            stack.push((i, true));
+            for &c in children[i].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+        b.finish().expect("spec builds a single tree")
+    }
+
+    fn build_twig(spec: &TreeSpec, doc: &Document) -> tl_twig::Twig {
+        let n_labels = doc.labels().len() as u32;
+        let label = |raw: u8| LabelId(u32::from(raw) % n_labels.max(1));
+        let mut t = tl_twig::Twig::single(label(spec[0].1));
+        let mut ids = vec![0u32; spec.len()];
+        for (i, &(p, l)) in spec.iter().enumerate().skip(1) {
+            ids[i] = t.add_child(ids[(p as usize) % i], label(l));
+        }
+        t.normalized()
+    }
+
+    /// One step of the interleaving: mutate or no-op, then verify every
+    /// (twig, estimator) engine answer twice (cold miss, then warm hit).
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Append a small record under node `at % len`.
+        Append(TreeSpec, u32),
+        /// Remove the subtree at non-root node `1 + (at % (len - 1))`.
+        Remove(u32),
+        /// Prune with the given delta.
+        Prune(f64),
+        /// No mutation: re-check only (exercises the warm path further).
+        Check,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (arb_tree(5, 3), any::<u32>()).prop_map(|(s, at)| Op::Append(s, at)),
+            any::<u32>().prop_map(Op::Remove),
+            prop_oneof![Just(0.0), Just(0.05), Just(0.2)].prop_map(Op::Prune),
+            Just(Op::Check),
+        ]
+    }
+
+    fn assert_engine_transparent(
+        engine: &EstimationEngine,
+        lattice: &TreeLattice,
+        twigs: &[tl_twig::Twig],
+        step: usize,
+    ) -> Result<(), TestCaseError> {
+        let opts = EstimateOptions::default();
+        for est in Estimator::ALL {
+            for (i, twig) in twigs.iter().enumerate() {
+                let fresh = lattice.estimate_with(twig, est, &opts).to_bits();
+                for pass in ["cold", "warm"] {
+                    let got = engine.estimate(lattice, twig, est, &opts).to_bits();
+                    prop_assert_eq!(
+                        got,
+                        fresh,
+                        "step {}, {}, twig {}, {} pass served a stale estimate",
+                        step,
+                        est,
+                        i,
+                        pass
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn interleaved_mutations_never_serve_stale_cache_entries(
+            doc_spec in arb_tree(30, 3),
+            twig_specs in prop::collection::vec(arb_tree(5, 3), 2..5),
+            ops in prop::collection::vec(arb_op(), 1..7),
+        ) {
+            let mut doc = build_doc(&doc_spec);
+            let twigs: Vec<tl_twig::Twig> =
+                twig_specs.iter().map(|s| build_twig(s, &doc)).collect();
+            let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+            // One engine for the whole run: its cache must survive every
+            // mutation only through generation-tagged invalidation.
+            let engine = EstimationEngine::new(EngineConfig { shards: 4, threads: 1 });
+
+            assert_engine_transparent(&engine, &lattice, &twigs, 0)?;
+            // `update_after_edit` requires an unpruned summary (the API
+            // contract is "prune after updates"), so edits stop once a
+            // prune has happened.
+            let mut pruned = false;
+            for (step, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Append(record_spec, at) if !pruned => {
+                        let record = build_doc(record_spec);
+                        let parent = NodeId(at % doc.len() as u32);
+                        let edit = append_subtree(&doc, parent, &record);
+                        lattice.update_after_edit(&edit.document, &edit.touched);
+                        doc = edit.document;
+                    }
+                    Op::Remove(at) if !pruned => {
+                        if doc.len() > 1 {
+                            let victim = NodeId(1 + at % (doc.len() as u32 - 1));
+                            let edit = remove_subtree(&doc, victim);
+                            lattice.update_after_edit(&edit.document, &edit.touched);
+                            doc = edit.document;
+                        }
+                    }
+                    Op::Prune(delta) => {
+                        lattice.prune(*delta);
+                        pruned = true;
+                    }
+                    Op::Append(..) | Op::Remove(_) | Op::Check => {}
+                }
+                assert_engine_transparent(&engine, &lattice, &twigs, step + 1)?;
+            }
+        }
+    }
+}

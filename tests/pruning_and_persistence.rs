@@ -133,3 +133,91 @@ fn online_insertion_of_observed_patterns_improves_future_answers() {
     // `before` may or may not have been exact; tuning never hurts.
     assert!((after - case.true_count as f64).abs() <= (before - case.true_count as f64).abs());
 }
+
+/// Satellite property: persistence is estimate-transparent. A summary that
+/// goes through `to_bytes`/`from_bytes` must answer every query
+/// bit-identically to the original — for arbitrary twigs (stored or not,
+/// matching or not), all four estimators, pruned or unpruned summaries.
+mod persistence_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use tl_xml::{DocumentBuilder, LabelId};
+    use treelattice::EstimateOptions;
+
+    /// Node i hangs off `spec[i].0 % i` with label `l<spec[i].1>`.
+    type TreeSpec = Vec<(u32, u8)>;
+
+    fn arb_tree(max_nodes: usize, labels: u8) -> impl Strategy<Value = TreeSpec> {
+        prop::collection::vec((any::<u32>(), 0..labels), 1..max_nodes)
+    }
+
+    fn build_doc(spec: &TreeSpec) -> tl_xml::Document {
+        let n = spec.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(p, _)) in spec.iter().enumerate().skip(1) {
+            children[(p as usize) % i].push(i);
+        }
+        let mut b = DocumentBuilder::new();
+        let mut stack = vec![(0usize, false)];
+        while let Some((i, entered)) = stack.pop() {
+            if entered {
+                b.end();
+                continue;
+            }
+            b.begin(&format!("l{}", spec[i].1));
+            stack.push((i, true));
+            for &c in children[i].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+        b.finish().expect("spec builds a single tree")
+    }
+
+    fn build_twig(spec: &TreeSpec, doc: &tl_xml::Document) -> tl_twig::Twig {
+        let n_labels = doc.labels().len() as u32;
+        let label = |raw: u8| LabelId(u32::from(raw) % n_labels.max(1));
+        let mut t = tl_twig::Twig::single(label(spec[0].1));
+        let mut ids = vec![0u32; spec.len()];
+        for (i, &(p, l)) in spec.iter().enumerate().skip(1) {
+            ids[i] = t.add_child(ids[(p as usize) % i], label(l));
+        }
+        t.normalized()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn roundtripped_summaries_estimate_bit_identically(
+            doc_spec in arb_tree(30, 4),
+            twig_specs in prop::collection::vec(arb_tree(7, 4), 1..5),
+            k_choice in 2usize..5,
+            prune_delta in prop_oneof![
+                Just(None),
+                Just(Some(0.0)),
+                Just(Some(0.1)),
+            ],
+        ) {
+            let doc = build_doc(&doc_spec);
+            let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(k_choice));
+            if let Some(delta) = prune_delta {
+                lattice.prune(delta);
+            }
+            let restored = TreeLattice::from_bytes(&lattice.to_bytes()).expect("round trip");
+            let opts = EstimateOptions::default();
+            for spec in &twig_specs {
+                let twig = build_twig(spec, &doc);
+                for est in Estimator::ALL {
+                    let a = lattice.estimate_with(&twig, est, &opts);
+                    let b = restored.estimate_with(&twig, est, &opts);
+                    prop_assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} diverged after round trip: {} vs {} on twig {:?}",
+                        est, a, b, twig
+                    );
+                }
+            }
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! Covers the subset the workspace tests use: the `proptest!` macro with an
 //! optional `#![proptest_config(..)]` header, `prop_assert*`/`prop_assume!`,
-//! `any::<T>()`, integer/float range strategies, tuple strategies, and
-//! `prop::collection::vec`. Values are generated from a deterministic
-//! per-test RNG (seeded from the test name) and failing cases are reported
-//! with the case index; there is no shrinking.
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, `Just`, `prop_map` (via the `StrategyExt`
+//! extension trait), and an unweighted `prop_oneof!`. Values are generated
+//! from a deterministic per-test RNG (seeded from the test name) and
+//! failing cases are reported with the case index; there is no shrinking.
 
 pub mod test_runner {
     /// Run-loop configuration; only `cases` is honored by the shim.
@@ -190,6 +191,77 @@ pub mod strategy {
             self.0.clone()
         }
     }
+
+    /// The strategy returned by [`StrategyExt::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Combinators available on every strategy (mirrors the subset of
+    /// proptest's inherent `Strategy` methods the workspace uses; a
+    /// separate extension trait keeps the core trait object-safe).
+    pub trait StrategyExt: Strategy + Sized {
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy for heterogeneous composition
+        /// (`prop_oneof!` arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + Sized> StrategyExt for S {}
+
+    /// A heap-allocated, type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice between same-valued strategies; built by
+    /// `prop_oneof!` (unweighted arms only).
+    pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            assert!(!self.0.is_empty(), "empty prop_oneof!");
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].generate(rng)
+        }
+    }
+}
+
+/// Uniform choice among strategies generating the same value type.
+/// Unlike real proptest, arms are unweighted and chosen uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::StrategyExt::boxed($strat)),+
+        ])
+    };
 }
 
 pub mod arbitrary {
@@ -278,9 +350,11 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, StrategyExt};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Mirror of proptest's `prelude::prop` module alias.
     pub mod prop {
@@ -421,6 +495,26 @@ mod tests {
             let v = Strategy::generate(&prop::collection::vec(any::<u32>(), 2..5), &mut rng);
             assert!((2..5).contains(&v.len()));
         }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = crate::test_runner::TestRng::from_name("oneof");
+        let strat = prop_oneof![
+            (0u8..4).prop_map(u32::from),
+            Just(100u32),
+            any::<bool>().prop_map(|b| if b { 200 } else { 201 }),
+        ];
+        let mut seen_arms = [false; 3];
+        for _ in 0..300 {
+            match Strategy::generate(&strat, &mut rng) {
+                0..=3 => seen_arms[0] = true,
+                100 => seen_arms[1] = true,
+                200 | 201 => seen_arms[2] = true,
+                other => panic!("value {other} from no arm"),
+            }
+        }
+        assert_eq!(seen_arms, [true; 3], "all arms should be drawn");
     }
 
     proptest! {
