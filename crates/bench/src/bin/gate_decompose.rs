@@ -1,0 +1,78 @@
+//! CI decomposition-path perf gate; see `tl_bench::gates`.
+//!
+//! ```text
+//! gate_decompose [--thresholds <path>] [--write-thresholds]
+//! ```
+//!
+//! Runs the `bench_decompose` comparison (id-keyed DAG engine vs the
+//! byte-keyed recursive reference) on the reduced deterministic fixture —
+//! which also re-asserts the two paths are bit-identical — then compares
+//! the warm-batch speedup and DAG dedup ratio against the committed floors
+//! (default `tests/gates/decompose.json`). Exits 1 on any regression.
+//! `--write-thresholds` regenerates the thresholds file from the current
+//! build instead of checking.
+
+use std::path::PathBuf;
+
+use tl_bench::{experiments::decompose, gates};
+
+fn main() {
+    let mut thresholds: Option<PathBuf> = None;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(p) => thresholds = Some(PathBuf::from(p)),
+                None => usage("--thresholds needs a value"),
+            },
+            "--write-thresholds" => write = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let path =
+        thresholds.unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/decompose.json"));
+
+    let cfg = gates::decompose_config();
+    println!(
+        "decompose gate: xmark scale {} seed {} k {} ({} queries/size)",
+        cfg.scale, cfg.seed, cfg.k, cfg.queries
+    );
+    // One warm-up build then the measured run, so first-touch costs (page
+    // cache, lazy allocations) do not count against the gate.
+    let _ = decompose::build(&cfg);
+    let measured = decompose::build(&cfg);
+
+    if write {
+        let snap = gates::decompose_thresholds(&measured, &cfg);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = gates::check_decompose(&measured, &snapshot);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.passed() {
+        eprintln!("decompose gate FAILED ({} check(s))", report.failures.len());
+        std::process::exit(1);
+    }
+    println!("decompose gate passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_decompose [--thresholds <path>] [--write-thresholds]");
+    std::process::exit(2);
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per table/figure.
 
 pub mod ablation;
+pub mod decompose;
 pub mod fig10;
 pub mod fig11;
 pub mod fig7;
@@ -36,4 +37,5 @@ pub fn run_all(cfg: &ExpConfig) {
     values::run(cfg);
     scale_sweep::run(cfg);
     matcher::run(cfg);
+    decompose::run(&decompose::bench_config());
 }

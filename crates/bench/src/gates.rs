@@ -13,6 +13,12 @@
 //! * **Perf smoke** ([`measure_perf`] / [`check_perf`]): times the
 //!   `bench matcher` comparison on a tiny fixture and fails when it runs
 //!   more than `factor`× slower than `gate.perf.matcher_build_ms`.
+//! * **Decompose** ([`check_decompose`]): runs the `bench_decompose`
+//!   comparison on a reduced fixture and fails when the id-keyed DAG
+//!   engine's warm-batch speedup over the byte-keyed recursive reference
+//!   falls below `gate.decompose.min_warm_speedup`, or the DAG dedup
+//!   ratio falls below `gate.decompose.min_dedup_ratio`. Fail-closed: a
+//!   missing threshold gauge is itself a failure.
 //!
 //! Every quantity the gates measure is seeded and single-threaded, so the
 //! committed thresholds can be tight: reruns of the same build produce the
@@ -30,7 +36,10 @@ use treelattice::{
     BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
 };
 
-use crate::{experiments::matcher, ExpConfig};
+use crate::{
+    experiments::{decompose, matcher},
+    ExpConfig,
+};
 
 /// Threshold gauge name prefix for per-estimator mean error ceilings.
 pub const MAX_MEAN_ERROR_PCT: &str = "gate.accuracy.max_mean_error_pct";
@@ -38,6 +47,10 @@ pub const MAX_MEAN_ERROR_PCT: &str = "gate.accuracy.max_mean_error_pct";
 pub const MIN_HIT_RATE: &str = "gate.engine.min_hit_rate";
 /// Baseline gauge name for the perf smoke wall-clock.
 pub const MATCHER_BUILD_MS: &str = "gate.perf.matcher_build_ms";
+/// Threshold gauge name for the decompose warm-batch speedup floor.
+pub const MIN_WARM_SPEEDUP: &str = "gate.decompose.min_warm_speedup";
+/// Threshold gauge name for the decompose DAG dedup-ratio floor.
+pub const MIN_DEDUP_RATIO: &str = "gate.decompose.min_dedup_ratio";
 
 /// The fixed configuration the accuracy gate runs with. Changing it
 /// invalidates `tests/gates/accuracy.json`; regenerate with
@@ -259,6 +272,94 @@ pub fn check_perf(measured_ms: f64, baseline: &Snapshot, factor: f64) -> GateRep
     report
 }
 
+/// The reduced configuration the decompose gate runs with: small enough
+/// for CI, large enough that the workloads exercise multi-level
+/// decomposition. Changing it invalidates `tests/gates/decompose.json`;
+/// regenerate with `gate_decompose --write-thresholds`.
+pub fn decompose_config() -> ExpConfig {
+    ExpConfig {
+        scale: 2_000,
+        seed: 42,
+        queries: 10,
+        k: 4,
+        ..ExpConfig::default()
+    }
+}
+
+/// Renders a measured decompose run as a thresholds snapshot with
+/// headroom: the speedup floor at half the worst measured row (timing
+/// ratios are same-machine and noise-robust, but CI runners throttle),
+/// the dedup floor at `0.9×` the worst measured row. Both floors are
+/// clamped to at least 1: the gate's contract is that the DAG path is
+/// never slower than the recursion it replaced and always shares at
+/// least some operands.
+pub fn decompose_thresholds(b: &decompose::DecomposeBench, cfg: &ExpConfig) -> Snapshot {
+    let worst_speedup = b
+        .rows
+        .iter()
+        .map(|r| r.warm_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let worst_dedup = b
+        .rows
+        .iter()
+        .map(|r| r.dedup_ratio)
+        .fold(f64::INFINITY, f64::min);
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "decompose".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("scale".into(), cfg.scale.to_string());
+    snap.meta.insert("seed".into(), cfg.seed.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.meta
+        .insert("queries_per_size".into(), cfg.queries.to_string());
+    snap.gauges
+        .insert(MIN_WARM_SPEEDUP.into(), (worst_speedup * 0.5).max(1.0));
+    snap.gauges
+        .insert(MIN_DEDUP_RATIO.into(), (worst_dedup * 0.9).max(1.0));
+    snap
+}
+
+/// Compares a decompose measurement against a thresholds snapshot. Every
+/// estimator row must clear both floors; a missing gauge is a failure.
+pub fn check_decompose(b: &decompose::DecomposeBench, thresholds: &Snapshot) -> GateReport {
+    let mut report = GateReport::default();
+    match thresholds.gauges.get(MIN_WARM_SPEEDUP) {
+        Some(&min) => {
+            for r in &b.rows {
+                report.check(
+                    r.warm_speedup >= min,
+                    format!(
+                        "{}: warm speedup {:.2}x over byte-keyed recursion (min {min:.2}x)",
+                        r.estimator, r.warm_speedup
+                    ),
+                );
+            }
+        }
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{MIN_WARM_SPEEDUP}`"),
+        ),
+    }
+    match thresholds.gauges.get(MIN_DEDUP_RATIO) {
+        Some(&min) => {
+            for r in &b.rows {
+                report.check(
+                    r.dedup_ratio >= min,
+                    format!(
+                        "{}: DAG dedup ratio {:.2}x (min {min:.2}x)",
+                        r.estimator, r.dedup_ratio
+                    ),
+                );
+            }
+        }
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{MIN_DEDUP_RATIO}`"),
+        ),
+    }
+    report
+}
+
 /// Loads a thresholds/baseline snapshot from disk.
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -335,6 +436,48 @@ mod tests {
         assert!(check_perf(299.0, &baseline, 3.0).passed());
         assert!(!check_perf(301.0, &baseline, 3.0).passed());
         assert!(!check_perf(100.0, &Snapshot::default(), 3.0).passed());
+    }
+
+    #[test]
+    fn decompose_gate_checks_synthetic_rows() {
+        let row = |speedup: f64, dedup: f64| decompose::DecomposeRow {
+            estimator: "recursive",
+            queries: 10,
+            reference_cold_ms: 2.0,
+            reference_warm_ms: 1.0,
+            engine_cold_ms: 1.0,
+            engine_warm_ms: 1.0 / speedup,
+            cold_speedup: 2.0,
+            warm_speedup: speedup,
+            warm_ns_per_query: 100.0,
+            dedup_ratio: dedup,
+            interner_keys: 10,
+            dag_nodes: 10,
+            dag_refs: (10.0 * dedup) as u64,
+        };
+        let bench = |speedup: f64, dedup: f64| decompose::DecomposeBench {
+            scale: 2_000,
+            seed: 42,
+            rows: vec![row(speedup, dedup)],
+        };
+        let cfg = decompose_config();
+        let good = bench(4.0, 2.0);
+        let thresholds = decompose_thresholds(&good, &cfg);
+        // Floors: half the measured speedup, 0.9x the measured dedup.
+        assert_eq!(thresholds.gauges[MIN_WARM_SPEEDUP], 2.0);
+        assert_eq!(thresholds.gauges[MIN_DEDUP_RATIO], 1.8);
+        assert!(check_decompose(&good, &thresholds).passed());
+        // A slower or less-shared build fails...
+        assert!(!check_decompose(&bench(1.5, 2.0), &thresholds).passed());
+        assert!(!check_decompose(&bench(4.0, 1.2), &thresholds).passed());
+        // ...and so does an empty thresholds file (fail-closed).
+        let report = check_decompose(&good, &Snapshot::default());
+        assert!(!report.passed());
+        assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
+        // Floors never drop below 1 even for a barely-faster measurement.
+        let weak = decompose_thresholds(&bench(1.1, 1.05), &cfg);
+        assert_eq!(weak.gauges[MIN_WARM_SPEEDUP], 1.0);
+        assert_eq!(weak.gauges[MIN_DEDUP_RATIO], 1.0);
     }
 
     #[test]

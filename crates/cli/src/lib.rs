@@ -791,6 +791,15 @@ fn cmd_workload(
             stats.entries,
             stats.bytes
         );
+        let _ = writeln!(
+            out,
+            "# engine interner: {} keys, {} key bytes cloned; dag: {} nodes / {} refs ({:.2}x dedup)",
+            stats.interner_keys,
+            stats.key_clone_bytes,
+            stats.dag_nodes,
+            stats.dag_refs,
+            stats.dedup_ratio()
+        );
     }
     Ok(())
 }

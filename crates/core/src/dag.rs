@@ -1,0 +1,622 @@
+//! The iterative decomposition-DAG evaluator — the allocation-free,
+//! id-addressed replacement for the recursive estimator's hot path.
+//!
+//! The recursive scheme (Figure 4) re-derives the same sub-twigs constantly:
+//! the three operands of neighboring removable pairs overlap in all but one
+//! or two nodes, so one voting step over `p` pairs references `3p` operands
+//! of which typically far fewer are distinct. The recursive implementation
+//! hides that sharing inside a byte-keyed memo probed with freshly encoded,
+//! freshly boxed keys. This module makes the sharing explicit:
+//!
+//! 1. every sub-twig is interned to a dense [`TwigId`] once (the
+//!    [`IdCache`]'s interner), after which all bookkeeping is `u32`s;
+//! 2. a query is expanded — iteratively, with an explicit stack — into a
+//!    *decomposition DAG* held in flat arenas (`nodes`, `pairs`): one node
+//!    per distinct sub-twig, one `[t1, t2, t12]` id triple per taken
+//!    removable pair, structural dedup via an id-to-node index;
+//! 3. unresolved nodes are evaluated bottom-up in one pass, ordered by
+//!    (size, creation index) — a valid topological order because every
+//!    operand is strictly smaller than the twig it decomposes — and each
+//!    unique node is evaluated exactly once, its value stored back to the
+//!    shared cache so later queries in the batch resolve it on sight.
+//!
+//! The arithmetic per node replicates the recursive `decompose` loop
+//! verbatim (same pair enumeration order, same `<= 0` short-circuit
+//! structure, same summation order), so results are bit-identical to the
+//! recursive path; the only observable difference is *eagerness* — operands
+//! the recursion skipped past a zero factor still get evaluated and cached,
+//! which can only add cache entries, never change a value (every sub-twig's
+//! estimate is a pure function of the summary and the voting class).
+
+use tl_twig::canonical::{decode_bytes_into, key_of, KeyEncoder};
+use tl_twig::ops::{decompose_pair_into, fixed_cover_with, removable_pairs_into, CoverStrategy};
+use tl_twig::{Twig, TwigId, TwigInterner, TwigNodeId};
+use tl_xml::{FxHashMap, LabelId};
+
+use crate::estimator::{EstimateOptions, Estimator};
+use crate::summary::{Lookup, Summary};
+
+/// Where interned ids and resolved sub-twig estimates live during DAG
+/// evaluation. The id-keyed sibling of the byte-keyed `SubtwigCache`: the
+/// per-query implementation is [`LocalIdCache`]; the engine substitutes its
+/// sharded cross-query cache.
+pub(crate) trait IdCache {
+    /// Interns a canonical encoding, returning its dense id.
+    fn intern(&mut self, bytes: &[u8]) -> TwigId;
+
+    /// Returns the cached estimate for an interned id, if present.
+    fn lookup(&mut self, id: TwigId) -> Option<f64>;
+
+    /// Records the estimate for an interned id.
+    fn store(&mut self, id: TwigId, value: f64);
+}
+
+/// Per-query id cache: a private interner plus a dense value table. Ids are
+/// dense and first-sighting ordered, so the values live in a flat vector —
+/// no hashing after the intern.
+#[derive(Debug, Default)]
+pub(crate) struct LocalIdCache {
+    interner: TwigInterner,
+    values: Vec<Option<f64>>,
+}
+
+impl IdCache for LocalIdCache {
+    fn intern(&mut self, bytes: &[u8]) -> TwigId {
+        self.interner.intern_bytes(bytes).0
+    }
+
+    fn lookup(&mut self, id: TwigId) -> Option<f64> {
+        self.values.get(id as usize).copied().flatten()
+    }
+
+    fn store(&mut self, id: TwigId, value: f64) {
+        let ix = id as usize;
+        if self.values.len() <= ix {
+            self.values.resize(ix + 1, None);
+        }
+        self.values[ix] = Some(value);
+    }
+}
+
+/// Evaluation statistics for one DAG build: `nodes` distinct sub-twigs
+/// materialized, `refs` total references to them. `refs / nodes` is the
+/// shared-sub-twig dedup ratio — strictly greater than 1 whenever
+/// decomposition operands overlap.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DagStats {
+    pub nodes: u64,
+    pub refs: u64,
+}
+
+enum State {
+    Resolved(f64),
+    /// Awaiting bottom-up evaluation; the fields slice this node's operand
+    /// triples out of the shared pair arena.
+    Pending {
+        first_pair: u32,
+        n_pairs: u32,
+    },
+}
+
+/// One distinct sub-twig: its interned id, node count, and resolution state.
+struct DagNode {
+    id: TwigId,
+    size: u32,
+    state: State,
+}
+
+/// The explicit decomposition DAG of one query (or one batch of fix-sized
+/// windows), built and evaluated without recursion.
+pub(crate) struct DagEvaluator<'s, 'c, C: IdCache> {
+    summary: &'s Summary,
+    cache: &'c mut C,
+    voting: bool,
+    cap: usize,
+    /// Node arena, in first-reference order.
+    nodes: Vec<DagNode>,
+    /// Pair arena: `[t1, t2, t12]` node indices per taken removable pair.
+    pairs: Vec<[u32; 3]>,
+    /// Structural dedup: interned id → node index.
+    index: FxHashMap<TwigId, u32>,
+    /// Node indices awaiting evaluation this round.
+    pending: Vec<u32>,
+    /// Expansion worklist: (node index, expansion depth, decoded twig).
+    build_stack: Vec<(u32, usize, Twig)>,
+    encoder: KeyEncoder,
+    twig_pool: Vec<Twig>,
+    byte_pool: Vec<Vec<u8>>,
+    rm_nodes: Vec<TwigNodeId>,
+    rm_pairs: Vec<(TwigNodeId, TwigNodeId)>,
+    /// Deepest expansion reached — mirrors the recursion's depth counter:
+    /// the root of each `eval_twig` expands at depth 1, its operands at 2, …
+    max_depth: usize,
+    refs: u64,
+}
+
+impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
+    pub(crate) fn new(summary: &'s Summary, cache: &'c mut C, voting: bool, cap: usize) -> Self {
+        Self {
+            summary,
+            cache,
+            voting,
+            cap,
+            nodes: Vec::new(),
+            pairs: Vec::new(),
+            index: FxHashMap::default(),
+            pending: Vec::new(),
+            build_stack: Vec::new(),
+            encoder: KeyEncoder::new(),
+            twig_pool: Vec::new(),
+            byte_pool: Vec::new(),
+            rm_nodes: Vec::new(),
+            rm_pairs: Vec::new(),
+            max_depth: 0,
+            refs: 0,
+        }
+    }
+
+    pub(crate) fn stats(&self) -> DagStats {
+        DagStats {
+            nodes: self.nodes.len() as u64,
+            refs: self.refs,
+        }
+    }
+
+    pub(crate) fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Evaluates one twig: interns it, expands everything reachable, runs
+    /// one bottom-up pass, returns the root's estimate. Callable repeatedly
+    /// on the same evaluator — fix-sized windows share the node table.
+    pub(crate) fn eval_twig(&mut self, twig: &Twig) -> f64 {
+        let mut buf = self.byte_pool.pop().unwrap_or_default();
+        self.encoder.encode_into(twig, &mut buf);
+        let root = self.ensure(&buf, 1);
+        self.byte_pool.push(buf);
+        self.build();
+        self.evaluate();
+        self.resolved(root)
+    }
+
+    /// [`eval_twig`](Self::eval_twig) for a root whose canonical `bytes`
+    /// were already encoded, interned to `id`, and looked up (missing) by
+    /// the caller's fast-path probe — the cache must see exactly one probe
+    /// per root either way.
+    fn eval_probed_root(&mut self, bytes: &[u8], id: TwigId) -> f64 {
+        self.refs += 1;
+        let root = self.admit(bytes, 1, id, None);
+        self.build();
+        self.evaluate();
+        self.resolved(root)
+    }
+
+    /// Interns `bytes` and returns its node index, creating the node if this
+    /// is its first reference: resolved straight from the cache or summary
+    /// where possible, queued for expansion otherwise. `depth` is the
+    /// expansion depth the node gets *if* it needs decomposing.
+    fn ensure(&mut self, bytes: &[u8], depth: usize) -> u32 {
+        self.refs += 1;
+        let id = self.cache.intern(bytes);
+        if let Some(&ix) = self.index.get(&id) {
+            return ix;
+        }
+        let cached = self.cache.lookup(id);
+        self.admit(bytes, depth, id, cached)
+    }
+
+    /// Materializes the node for a first-referenced id, given the result of
+    /// its (already counted) cache lookup.
+    fn admit(&mut self, bytes: &[u8], depth: usize, id: TwigId, cached: Option<f64>) -> u32 {
+        let ix = u32::try_from(self.nodes.len()).expect("DAG node arena overflow");
+        let size = (bytes.len() / 6) as u32;
+        let state = if let Some(v) = cached {
+            State::Resolved(v)
+        } else {
+            match self.summary.lookup_bytes(bytes) {
+                Lookup::Exact(c) => {
+                    let v = c as f64;
+                    self.cache.store(id, v);
+                    State::Resolved(v)
+                }
+                Lookup::Derivable | Lookup::TooLarge => {
+                    if size <= 2 {
+                        // Levels 1–2 are never pruned; reaching here means
+                        // the summary genuinely lacks the pattern.
+                        self.cache.store(id, 0.0);
+                        State::Resolved(0.0)
+                    } else {
+                        let mut twig = self
+                            .twig_pool
+                            .pop()
+                            .unwrap_or_else(|| Twig::single(LabelId(0)));
+                        decode_bytes_into(bytes, &mut twig);
+                        self.build_stack.push((ix, depth, twig));
+                        self.pending.push(ix);
+                        // Placeholder; `expand` fills the pair slice in.
+                        State::Pending {
+                            first_pair: 0,
+                            n_pairs: 0,
+                        }
+                    }
+                }
+            }
+        };
+        self.nodes.push(DagNode { id, size, state });
+        self.index.insert(id, ix);
+        ix
+    }
+
+    /// Drains the expansion worklist depth-first.
+    fn build(&mut self) {
+        while let Some((ix, depth, twig)) = self.build_stack.pop() {
+            self.max_depth = self.max_depth.max(depth);
+            self.expand(ix, depth, &twig);
+            self.twig_pool.push(twig);
+        }
+    }
+
+    /// Materializes one node's removable-pair operands into the arenas.
+    fn expand(&mut self, ix: u32, depth: usize, twig: &Twig) {
+        let mut rm_nodes = std::mem::take(&mut self.rm_nodes);
+        let mut rm_pairs = std::mem::take(&mut self.rm_pairs);
+        removable_pairs_into(twig, &mut rm_nodes, &mut rm_pairs);
+        debug_assert!(!rm_pairs.is_empty(), "size >= 3 twigs always decompose");
+        let take = if self.voting { self.cap } else { 1 };
+        let n = take.min(rm_pairs.len());
+        let first_pair = u32::try_from(self.pairs.len()).expect("DAG pair arena overflow");
+        let mut t1 = self.pooled_twig();
+        let mut t2 = self.pooled_twig();
+        let mut t12 = self.pooled_twig();
+        for &(u, v) in rm_pairs.iter().take(n) {
+            decompose_pair_into(twig, u, v, &mut t1, &mut t2, &mut t12);
+            let a = self.ensure_twig(&t1, depth + 1);
+            let b = self.ensure_twig(&t2, depth + 1);
+            let c = self.ensure_twig(&t12, depth + 1);
+            self.pairs.push([a, b, c]);
+        }
+        self.twig_pool.push(t1);
+        self.twig_pool.push(t2);
+        self.twig_pool.push(t12);
+        self.rm_nodes = rm_nodes;
+        self.rm_pairs = rm_pairs;
+        self.nodes[ix as usize].state = State::Pending {
+            first_pair,
+            n_pairs: n as u32,
+        };
+    }
+
+    fn pooled_twig(&mut self) -> Twig {
+        self.twig_pool
+            .pop()
+            .unwrap_or_else(|| Twig::single(LabelId(0)))
+    }
+
+    fn ensure_twig(&mut self, twig: &Twig, depth: usize) -> u32 {
+        let mut buf = self.byte_pool.pop().unwrap_or_default();
+        self.encoder.encode_into(twig, &mut buf);
+        let ix = self.ensure(&buf, depth);
+        self.byte_pool.push(buf);
+        ix
+    }
+
+    /// One bottom-up pass over this round's pending nodes, smallest first.
+    /// Every operand of a pending node is strictly smaller, so by the time a
+    /// node is reached all its operands are resolved — either earlier this
+    /// round or in a previous one. Each node's value replicates the
+    /// recursive `decompose` average over its taken pairs exactly.
+    fn evaluate(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut order = std::mem::take(&mut self.pending);
+        {
+            let nodes = &self.nodes;
+            order.sort_unstable_by_key(|&ix| (nodes[ix as usize].size, ix));
+        }
+        for &ix in &order {
+            let (first, n) = match self.nodes[ix as usize].state {
+                State::Pending {
+                    first_pair,
+                    n_pairs,
+                } => (first_pair as usize, n_pairs as usize),
+                State::Resolved(_) => unreachable!("pending list holds only pending nodes"),
+            };
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            for p in first..first + n {
+                let [a, b, c] = self.pairs[p];
+                let e1 = self.resolved(a);
+                if e1 <= 0.0 {
+                    cnt += 1;
+                    continue;
+                }
+                let e2 = self.resolved(b);
+                if e2 <= 0.0 {
+                    cnt += 1;
+                    continue;
+                }
+                let e12 = self.resolved(c);
+                if e12 > 0.0 {
+                    sum += e1 * e2 / e12;
+                }
+                cnt += 1;
+            }
+            let value = if cnt == 0 { 0.0 } else { sum / cnt as f64 };
+            self.nodes[ix as usize].state = State::Resolved(value);
+            self.cache.store(self.nodes[ix as usize].id, value);
+        }
+        order.clear();
+        self.pending = order;
+    }
+
+    fn resolved(&self, ix: u32) -> f64 {
+        match self.nodes[ix as usize].state {
+            State::Resolved(v) => v,
+            State::Pending { .. } => unreachable!("operand evaluated before its dependent"),
+        }
+    }
+}
+
+thread_local! {
+    /// Scratch for the warm-probe fast path: one pooled encoder and key
+    /// buffer reused across queries on this thread, so a repeat query is
+    /// answered with zero allocations.
+    static PROBE_SCRATCH: std::cell::RefCell<(KeyEncoder, Vec<u8>)> =
+        std::cell::RefCell::new((KeyEncoder::new(), Vec::new()));
+}
+
+/// The DAG-backed equivalent of the recursive
+/// `estimate_with_cache_depth`: same estimator dispatch, same
+/// canonicalize-first handling for the fix-sized covers, bit-identical
+/// values. Returns `(estimate, max expansion depth, dag statistics)`.
+pub(crate) fn estimate_dag<C: IdCache>(
+    summary: &Summary,
+    twig: &Twig,
+    estimator: Estimator,
+    opts: &EstimateOptions,
+    cache: &mut C,
+) -> (f64, usize, DagStats) {
+    let voting = matches!(estimator, Estimator::RecursiveVoting);
+    let cap = match estimator {
+        Estimator::RecursiveVoting => opts.voting_cap.max(1),
+        _ => 1,
+    };
+    let k = summary.max_size();
+    match estimator {
+        Estimator::Recursive | Estimator::RecursiveVoting => PROBE_SCRATCH.with(|s| {
+            // Probe the root before building anything: on a warm cache the
+            // whole query resolves to one intern and one lookup, with no
+            // arena, no expansion, and no allocation.
+            let (enc, buf) = &mut *s.borrow_mut();
+            enc.encode_into(twig, buf);
+            let id = cache.intern(buf);
+            if let Some(v) = cache.lookup(id) {
+                // One reference, no node materialized: warm repeats raise
+                // the cross-query dedup ratio instead of diluting it.
+                return (v, 0, DagStats { nodes: 0, refs: 1 });
+            }
+            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
+            let value = ev.eval_probed_root(buf, id);
+            (value, ev.max_depth(), ev.stats())
+        }),
+        // Canonicalize first so the pre-order cover (and hence the result)
+        // is identical for isomorphic queries.
+        Estimator::FixSized => {
+            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
+            let value = eval_fixed(
+                &mut ev,
+                &key_of(twig).decode(),
+                CoverStrategy::AncestorsFirst,
+                k,
+            );
+            (value, ev.max_depth(), ev.stats())
+        }
+        Estimator::FixSizedVoting => {
+            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
+            let canonical = key_of(twig).decode();
+            let strategies = [CoverStrategy::AncestorsFirst, CoverStrategy::ChildrenFirst];
+            let mut sum = 0.0f64;
+            for &st in &strategies {
+                sum += eval_fixed(&mut ev, &canonical, st, k);
+            }
+            let value = sum / strategies.len() as f64;
+            (value, ev.max_depth(), ev.stats())
+        }
+    }
+}
+
+/// The fix-sized telescoping product (Lemma 3) over DAG-evaluated windows.
+/// Windows are evaluated lazily in cover order with the same early-zero
+/// return as the recursive variant, so both the value and the set of
+/// evaluated windows match it exactly.
+fn eval_fixed<C: IdCache>(
+    ev: &mut DagEvaluator<'_, '_, C>,
+    twig: &Twig,
+    strategy: CoverStrategy,
+    k: usize,
+) -> f64 {
+    if twig.len() <= k {
+        return ev.eval_twig(twig);
+    }
+    assert!(
+        k >= 2,
+        "fix-sized estimation requires a summary of order >= 2"
+    );
+    let mut numerator = 1.0f64;
+    let mut denominator = 1.0f64;
+    for step in fixed_cover_with(twig, k, strategy) {
+        let s_sub = ev.eval_twig(&step.subtree);
+        if s_sub <= 0.0 {
+            return 0.0;
+        }
+        numerator *= s_sub;
+        if let Some(overlap) = &step.overlap {
+            let s_ov = ev.eval_twig(overlap);
+            if s_ov <= 0.0 {
+                return 0.0;
+            }
+            denominator *= s_ov;
+        }
+    }
+    numerator / denominator
+}
+
+#[cfg(test)]
+mod tests {
+    use tl_twig::canonical::key_of;
+    use tl_xml::LabelInterner;
+
+    use super::*;
+    use crate::estimator::{estimate_with_cache_depth, EstimateOptions, Estimator};
+
+    fn summary_of(patterns: &[(&str, u64)], k: usize) -> (Summary, LabelInterner) {
+        let mut it = LabelInterner::new();
+        let mut levels = vec![FxHashMap::default(); k];
+        for (q, c) in patterns {
+            let t = tl_twig::parse_twig(q, &mut it).unwrap();
+            assert!(t.len() <= k, "pattern {q} larger than k");
+            levels[t.len() - 1].insert(key_of(&t), *c);
+        }
+        (Summary::from_parts(levels, vec![false; k]), it)
+    }
+
+    fn q(it: &mut LabelInterner, s: &str) -> Twig {
+        tl_twig::parse_twig(s, it).unwrap()
+    }
+
+    /// The DAG path must agree bit-for-bit with the recursive path on every
+    /// estimator, including the reported decomposition depth for queries
+    /// with no zero short-circuits.
+    #[test]
+    fn dag_matches_recursive_path_bitwise() {
+        let (s, mut it) = summary_of(
+            &[
+                ("a", 2),
+                ("b", 4),
+                ("c", 8),
+                ("d", 16),
+                ("a/b", 6),
+                ("b/c", 12),
+                ("c/d", 24),
+                ("a/c", 3),
+                ("a/d", 5),
+                ("b/d", 7),
+            ],
+            2,
+        );
+        let queries = [
+            "a/b/c/d",
+            "a[b][c]",
+            "a[b][c][d]",
+            "a[b[c]][d]",
+            "a/b[c][d]",
+        ];
+        let opts = EstimateOptions::default();
+        for qs in queries {
+            let t = q(&mut it, qs);
+            for e in Estimator::ALL {
+                let mut memo: FxHashMap<tl_twig::TwigKey, f64> = FxHashMap::default();
+                let (rec_v, rec_d) = estimate_with_cache_depth(&s, &t, e, &opts, &mut memo);
+                let mut cache = LocalIdCache::default();
+                let (dag_v, dag_d, stats) = estimate_dag(&s, &t, e, &opts, &mut cache);
+                assert_eq!(rec_v.to_bits(), dag_v.to_bits(), "{e} on {qs}");
+                assert!(
+                    dag_d >= rec_d,
+                    "DAG depth can only grow (eagerness): {e} on {qs}"
+                );
+                assert!(stats.refs >= stats.nodes);
+            }
+        }
+    }
+
+    /// Pinned DAG shape for a known query: the Markov chain `a/b/c/d` over
+    /// an order-2 summary expands root → {b/c/d, a/b/c} → shared operands.
+    /// Distinct sub-twigs: abcd, bcd, abc, bc, cd, c, ab, b = 8 nodes;
+    /// references: 1 (root) + 3 per expansion × 3 expansions = 10, so the
+    /// dedup ratio is 10/8 — the `b/c` operand is shared between branches.
+    #[test]
+    fn dag_node_count_is_pinned_for_markov_chain() {
+        let (s, mut it) = summary_of(
+            &[
+                ("a", 2),
+                ("b", 4),
+                ("c", 8),
+                ("d", 16),
+                ("a/b", 6),
+                ("b/c", 12),
+                ("c/d", 24),
+            ],
+            2,
+        );
+        let t = q(&mut it, "a/b/c/d");
+        let mut cache = LocalIdCache::default();
+        let (value, depth, stats) = estimate_dag(
+            &s,
+            &t,
+            Estimator::Recursive,
+            &EstimateOptions::default(),
+            &mut cache,
+        );
+        let expected = 6.0 * 12.0 * 24.0 / (4.0 * 8.0);
+        assert!((value - expected).abs() < 1e-9);
+        assert_eq!(stats.nodes, 8, "distinct sub-twigs");
+        assert_eq!(stats.refs, 10, "total references");
+        assert!(stats.refs > stats.nodes, "dedup ratio > 1");
+        assert_eq!(depth, 2, "root at 1, b/c/d and a/b/c at 2");
+    }
+
+    /// A warm shared cache resolves repeat queries without re-expansion.
+    #[test]
+    fn warm_cache_resolves_without_expansion() {
+        let (s, mut it) = summary_of(&[("a", 2), ("b", 4), ("c", 8), ("a/b", 6), ("b/c", 12)], 2);
+        let t = q(&mut it, "a/b/c");
+        let opts = EstimateOptions::default();
+        let mut cache = LocalIdCache::default();
+        let (cold, _, cold_stats) = estimate_dag(&s, &t, Estimator::Recursive, &opts, &mut cache);
+        let (warm, warm_depth, warm_stats) =
+            estimate_dag(&s, &t, Estimator::Recursive, &opts, &mut cache);
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        assert!(cold_stats.nodes > 1);
+        assert_eq!(warm_stats.nodes, 0, "no node materialized on a warm root");
+        assert_eq!(warm_stats.refs, 1, "the repeat query is one reference");
+        assert_eq!(warm_depth, 0, "no expansion on a warm cache");
+    }
+
+    /// Voting over capped pairs only expands the taken pairs, like the
+    /// recursion's `pairs.iter().take(cap)`.
+    #[test]
+    fn voting_cap_limits_expansion() {
+        let (s, mut it) = summary_of(
+            &[
+                ("a", 2),
+                ("a/b", 4),
+                ("a/c", 6),
+                ("a/d", 8),
+                ("a[b][c]", 10),
+                ("a[b][d]", 20),
+                ("a[c][d]", 30),
+            ],
+            3,
+        );
+        let t = q(&mut it, "a[b][c][d]");
+        let full_opts = EstimateOptions::default();
+        let mut cache = LocalIdCache::default();
+        let (_, _, full) = estimate_dag(&s, &t, Estimator::RecursiveVoting, &full_opts, &mut cache);
+        let capped_opts = EstimateOptions {
+            voting_cap: 1,
+            ..EstimateOptions::default()
+        };
+        let mut cache2 = LocalIdCache::default();
+        let (capped_v, _, capped) = estimate_dag(
+            &s,
+            &t,
+            Estimator::RecursiveVoting,
+            &capped_opts,
+            &mut cache2,
+        );
+        assert!(capped.refs < full.refs, "cap must shrink the DAG");
+        let plain = crate::estimator::estimate(&s, &t, Estimator::Recursive, &full_opts);
+        assert_eq!(capped_v.to_bits(), plain.to_bits());
+    }
+}

@@ -30,6 +30,14 @@
 //!   1 (their inner recursions are identical), `RecursiveVoting` uses its
 //!   saturated `voting_cap`.
 //!
+//! Since the interned-id rework, the key axis is a dense [`TwigId`] from the
+//! engine-wide [`TwigInterner`] rather than the canonical byte string
+//! itself: each distinct sub-twig encoding is hashed and cloned exactly
+//! once, at id assignment; every later probe — including across generations
+//! and voting classes — is a `u32` shard-table lookup with no hashing of key
+//! bytes and no allocation. Ids are content-addressed and never recycled, so
+//! generation invalidation stays a per-value concern exactly as before.
+//!
 //! Because cached values equal what the per-query recursion would compute,
 //! batch results are bit-for-bit identical to a sequential
 //! [`TreeLattice::estimate_with`] loop, for every estimator and any thread
@@ -50,10 +58,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use tl_fault::{failpoints, Fault};
-use tl_twig::{Twig, TwigKey};
-use tl_xml::{FxHashMap, FxHasher};
+use tl_twig::{Twig, TwigId, TwigInterner, TwigKey};
+use tl_xml::FxHashMap;
 
-use crate::estimator::{estimate_with_cache_depth, SubtwigCache};
+use crate::dag::{estimate_dag, IdCache};
+use crate::estimator::SubtwigCache;
 use crate::resilient::{estimate_resilient_with_cache, ResilientEstimate};
 use crate::{Degradation, EstimateOptions, Estimator, TreeLattice};
 
@@ -88,12 +97,25 @@ pub struct EngineStats {
     pub misses: u64,
     /// Entries currently cached across all shards.
     pub entries: usize,
-    /// Approximate heap footprint of the cached entries, in bytes (table
-    /// capacity plus key bytes, mirroring `Summary::heap_bytes` accounting).
+    /// Approximate heap footprint of the cached entries, in bytes (shard
+    /// tables plus the interner's stored encodings, mirroring
+    /// `Summary::heap_bytes` accounting).
     pub bytes: usize,
     /// Wall-clock duration of the most recent
     /// [`EstimationEngine::estimate_batch`] call.
     pub last_batch: Duration,
+    /// Interner occupancy: distinct canonical encodings ever id-assigned.
+    pub interner_keys: usize,
+    /// Distinct sub-twig nodes materialized across all evaluation DAGs.
+    pub dag_nodes: u64,
+    /// Total sub-twig references across all evaluation DAGs; exceeds
+    /// `dag_nodes` whenever decomposition operands are shared.
+    pub dag_refs: u64,
+    /// Canonical key bytes cloned into the interner — charged only on first
+    /// sighting of an encoding. A warm probe clones zero key bytes; this
+    /// counter staying flat across a repeat workload is the allocation-free
+    /// lookup guarantee.
+    pub key_clone_bytes: u64,
 }
 
 impl EngineStats {
@@ -106,6 +128,17 @@ impl EngineStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Shared-sub-twig dedup ratio: DAG references per distinct DAG node.
+    /// Greater than 1 whenever structural sharing collapsed any references;
+    /// 0 when no DAG was built yet.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.dag_nodes == 0 {
+            0.0
+        } else {
+            self.dag_refs as f64 / self.dag_nodes as f64
+        }
+    }
 }
 
 /// One lock-guarded slice of the cache.
@@ -113,8 +146,9 @@ struct Shard {
     /// Generation the entries were computed against. Lookups for any other
     /// generation miss; stores for a newer one clear the shard first.
     generation: u64,
-    /// Voting class -> canonical key -> estimate.
-    classes: FxHashMap<u32, FxHashMap<TwigKey, f64>>,
+    /// `(voting class, interned twig id) -> estimate`, flattened to a
+    /// single probe on the warm path.
+    entries: FxHashMap<(u32, TwigId), f64>,
 }
 
 /// A persistent, thread-safe estimation service over [`TreeLattice`]s.
@@ -144,8 +178,16 @@ pub struct EstimationEngine {
     /// `shards.len() - 1`; shard count is a power of two.
     mask: usize,
     threads: usize,
+    /// Engine-wide id assignment for canonical sub-twig encodings. Read-lock
+    /// fast path for warm probes; a write lock is taken only to assign a
+    /// fresh id. Survives [`EstimationEngine::clear`] and generation bumps —
+    /// ids are content-addressed, so they stay valid forever.
+    interner: RwLock<TwigInterner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    key_clone_bytes: AtomicU64,
+    dag_nodes: AtomicU64,
+    dag_refs: AtomicU64,
     last_batch_nanos: AtomicU64,
     /// Metric sink shared with batch worker threads; [`tl_obs::Noop`]
     /// unless [`EstimationEngine::with_recorder`] installed a live one.
@@ -174,7 +216,7 @@ impl EstimationEngine {
             .map(|_| {
                 RwLock::new(Shard {
                     generation: 0,
-                    classes: FxHashMap::default(),
+                    entries: FxHashMap::default(),
                 })
             })
             .collect::<Vec<_>>()
@@ -183,8 +225,12 @@ impl EstimationEngine {
             shards,
             mask: n - 1,
             threads: config.threads,
+            interner: RwLock::new(TwigInterner::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            key_clone_bytes: AtomicU64::new(0),
+            dag_nodes: AtomicU64::new(0),
+            dag_refs: AtomicU64::new(0),
             last_batch_nanos: AtomicU64::new(0),
             rec,
         }
@@ -199,6 +245,23 @@ impl EstimationEngine {
         estimator: Estimator,
         opts: &EstimateOptions,
     ) -> f64 {
+        let mut cache =
+            SharedIdCache::new(self, lattice.generation(), voting_class(estimator, opts));
+        self.estimate_in(lattice, twig, estimator, opts, &mut cache)
+    }
+
+    /// One query against an existing cache adapter (whose `(generation,
+    /// voting class)` must match the arguments). Batch workers reuse one
+    /// adapter across all their queries so counters flush once per worker,
+    /// not once per query.
+    fn estimate_in(
+        &self,
+        lattice: &TreeLattice,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+        cache: &mut SharedIdCache<'_>,
+    ) -> f64 {
         // Same unknown-label guard as TreeLattice::estimate_with: a label
         // the document never contained cannot match anything.
         if twig
@@ -207,16 +270,10 @@ impl EstimationEngine {
         {
             return 0.0;
         }
-        let mut cache = SharedCache {
-            engine: self,
-            generation: lattice.generation(),
-            class: voting_class(estimator, opts),
-            hits: 0,
-            misses: 0,
-        };
-        let start = self.rec.enabled().then(Instant::now);
-        let (value, depth) =
-            estimate_with_cache_depth(lattice.summary(), twig, estimator, opts, &mut cache);
+        let start = cache.recording.then(Instant::now);
+        let (value, depth, stats) = estimate_dag(lattice.summary(), twig, estimator, opts, cache);
+        cache.dag_nodes += stats.nodes;
+        cache.dag_refs += stats.refs;
         if let Some(start) = start {
             self.rec.add(tl_obs::names::ENGINE_QUERIES, 1);
             self.rec.observe(
@@ -244,21 +301,27 @@ impl EstimationEngine {
         let _span = tl_obs::SpanGuard::start(&*self.rec, tl_obs::names::SPAN_BATCH);
         let start = Instant::now();
         let threads = self.effective_threads(batch.len());
+        let generation = lattice.generation();
+        let class = voting_class(estimator, opts);
         let results: Vec<f64> = if threads <= 1 {
+            let mut cache = SharedIdCache::new(self, generation, class);
             batch
                 .iter()
-                .map(|t| self.estimate(lattice, t, estimator, opts))
+                .map(|t| self.estimate_in(lattice, t, estimator, opts, &mut cache))
                 .collect()
         } else {
             let slots: Vec<AtomicU64> = batch.iter().map(|_| AtomicU64::new(0)).collect();
             let cursor = AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(twig) = batch.get(i) else { break };
-                        let v = self.estimate(lattice, twig, estimator, opts);
-                        slots[i].store(v.to_bits(), Ordering::Relaxed);
+                    scope.spawn(|| {
+                        let mut cache = SharedIdCache::new(self, generation, class);
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(twig) = batch.get(i) else { break };
+                            let v = self.estimate_in(lattice, twig, estimator, opts, &mut cache);
+                            slots[i].store(v.to_bits(), Ordering::Relaxed);
+                        }
                     });
                 }
             });
@@ -333,12 +396,12 @@ impl EstimationEngine {
                 cause: None,
             };
         }
-        let mut cache = SharedCache {
-            engine: self,
-            generation: lattice.generation(),
-            class: voting_class(estimator, opts),
-            hits: 0,
-            misses: 0,
+        // The resilient ladder stays on the byte-keyed `SubtwigCache`
+        // recursion (its budget accounting charges per key byte stored);
+        // the adapter below bridges those probes onto the id-keyed shards,
+        // so rung-1 values still share the engine cache with the DAG path.
+        let mut cache = SharedKeyCache {
+            inner: SharedIdCache::new(self, lattice.generation(), voting_class(estimator, opts)),
         };
         let start = self.rec.enabled().then(Instant::now);
         let est =
@@ -418,7 +481,7 @@ impl EstimationEngine {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut guard = shard.write();
-            guard.classes.clear();
+            guard.entries.clear();
             guard.generation = 0;
         }
     }
@@ -429,18 +492,20 @@ impl EstimationEngine {
         let mut bytes = 0usize;
         for shard in &self.shards {
             let guard = shard.read();
-            for map in guard.classes.values() {
-                entries += map.len();
-                bytes += map.capacity() * (std::mem::size_of::<(TwigKey, f64)>() + 1)
-                    + map.keys().map(|k| k.as_bytes().len()).sum::<usize>();
-            }
+            entries += guard.entries.len();
+            bytes += guard.entries.capacity() * (std::mem::size_of::<((u32, TwigId), f64)>() + 1);
         }
+        let interner = self.interner.read();
         EngineStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries,
-            bytes,
+            bytes: bytes + interner.heap_bytes(),
             last_batch: Duration::from_nanos(self.last_batch_nanos.load(Ordering::Relaxed)),
+            interner_keys: interner.len(),
+            dag_nodes: self.dag_nodes.load(Ordering::Relaxed),
+            dag_refs: self.dag_refs.load(Ordering::Relaxed),
+            key_clone_bytes: self.key_clone_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -453,16 +518,15 @@ impl EstimationEngine {
         configured.min(batch_len.max(1))
     }
 
-    fn shard_for(&self, key: &TwigKey) -> &RwLock<Shard> {
-        use std::hash::Hasher;
-        let mut h = FxHasher::default();
-        h.write(key.as_bytes());
-        &self.shards[(h.finish() as usize) & self.mask]
+    /// Dense ids need no hashing to pick a shard: the low bits are already
+    /// uniformly spread by first-sighting order.
+    fn shard_for_id(&self, id: TwigId) -> &RwLock<Shard> {
+        &self.shards[(id as usize) & self.mask]
     }
 }
 
 /// The effective voting width a cached estimate was computed under.
-fn voting_class(estimator: Estimator, opts: &EstimateOptions) -> u32 {
+pub(crate) fn voting_class(estimator: Estimator, opts: &EstimateOptions) -> u32 {
     match estimator {
         // The inner recursion of both fix-sized estimators runs non-voting,
         // identical to plain recursive decomposition (width 1).
@@ -471,25 +535,62 @@ fn voting_class(estimator: Estimator, opts: &EstimateOptions) -> u32 {
     }
 }
 
-/// Per-query adapter: routes the estimator's cache traffic to the engine's
-/// shards, batching counter updates until drop.
-struct SharedCache<'e> {
+/// Routes the DAG evaluator's id-keyed cache traffic to the engine's
+/// shards, batching counter updates until drop. Valid for one
+/// `(generation, voting class)` pair, so a batch worker holds a single
+/// adapter across all its queries and pays the atomic flush once.
+struct SharedIdCache<'e> {
     engine: &'e EstimationEngine,
     generation: u64,
     class: u32,
     hits: u64,
     misses: u64,
+    key_clone_bytes: u64,
+    fresh_keys: u64,
+    dag_nodes: u64,
+    dag_refs: u64,
+    /// `rec.enabled()` sampled once at construction, so the per-query path
+    /// skips the dynamic dispatch entirely while a worker holds the adapter.
+    recording: bool,
 }
 
-impl SubtwigCache for SharedCache<'_> {
-    fn lookup(&mut self, key: &TwigKey) -> Option<f64> {
-        let guard = self.engine.shard_for(key).read();
+impl<'e> SharedIdCache<'e> {
+    fn new(engine: &'e EstimationEngine, generation: u64, class: u32) -> Self {
+        Self {
+            engine,
+            generation,
+            class,
+            hits: 0,
+            misses: 0,
+            key_clone_bytes: 0,
+            fresh_keys: 0,
+            dag_nodes: 0,
+            dag_refs: 0,
+            recording: engine.rec.enabled(),
+        }
+    }
+}
+
+impl IdCache for SharedIdCache<'_> {
+    fn intern(&mut self, bytes: &[u8]) -> TwigId {
+        // Warm probe: a shared read lock and no allocation. Only a
+        // first-sighting encoding escalates to the write lock and pays the
+        // one-time clone.
+        if let Some(id) = self.engine.interner.read().get(bytes) {
+            return id;
+        }
+        let (id, cloned) = self.engine.interner.write().intern_bytes(bytes);
+        // `cloned > 0` iff this thread won the assignment race; a loser's
+        // write-lock re-probe hits and clones nothing.
+        self.key_clone_bytes += cloned as u64;
+        self.fresh_keys += (cloned > 0) as u64;
+        id
+    }
+
+    fn lookup(&mut self, id: TwigId) -> Option<f64> {
+        let guard = self.engine.shard_for_id(id).read();
         let value = if guard.generation == self.generation {
-            guard
-                .classes
-                .get(&self.class)
-                .and_then(|map| map.get(key))
-                .copied()
+            guard.entries.get(&(self.class, id)).copied()
         } else {
             None
         };
@@ -500,33 +601,81 @@ impl SubtwigCache for SharedCache<'_> {
         value
     }
 
-    fn store(&mut self, key: TwigKey, value: f64) {
-        let mut guard = self.engine.shard_for(&key).write();
+    fn store(&mut self, id: TwigId, value: f64) {
+        let mut guard = self.engine.shard_for_id(id).write();
         if guard.generation != self.generation {
             // Entries belong to a superseded summary; evict lazily.
-            guard.classes.clear();
+            guard.entries.clear();
             guard.generation = self.generation;
         }
-        guard
-            .classes
-            .entry(self.class)
-            .or_default()
-            .insert(key, value);
+        guard.entries.insert((self.class, id), value);
     }
 }
 
-impl Drop for SharedCache<'_> {
+impl Drop for SharedIdCache<'_> {
     fn drop(&mut self) {
-        self.engine.hits.fetch_add(self.hits, Ordering::Relaxed);
-        self.engine.misses.fetch_add(self.misses, Ordering::Relaxed);
-        if self.engine.rec.enabled() {
+        // Zero deltas skip the shared-line RMW: a warm single-probe query
+        // flushes exactly one counter.
+        if self.hits > 0 {
+            self.engine.hits.fetch_add(self.hits, Ordering::Relaxed);
+        }
+        if self.misses > 0 {
+            self.engine.misses.fetch_add(self.misses, Ordering::Relaxed);
+        }
+        if self.key_clone_bytes > 0 {
+            self.engine
+                .key_clone_bytes
+                .fetch_add(self.key_clone_bytes, Ordering::Relaxed);
+        }
+        if self.dag_nodes > 0 {
+            self.engine
+                .dag_nodes
+                .fetch_add(self.dag_nodes, Ordering::Relaxed);
+        }
+        if self.dag_refs > 0 {
+            self.engine
+                .dag_refs
+                .fetch_add(self.dag_refs, Ordering::Relaxed);
+        }
+        if self.recording {
             self.engine
                 .rec
                 .add(tl_obs::names::ENGINE_CACHE_HITS, self.hits);
             self.engine
                 .rec
                 .add(tl_obs::names::ENGINE_CACHE_MISSES, self.misses);
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_INTERNER_KEYS, self.fresh_keys);
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_KEY_CLONE_BYTES, self.key_clone_bytes);
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_DAG_NODES, self.dag_nodes);
+            self.engine
+                .rec
+                .add(tl_obs::names::ENGINE_DAG_REFS, self.dag_refs);
         }
+    }
+}
+
+/// Byte-keyed bridge for the resilient ladder: interns each probed key and
+/// forwards to the id-keyed shards, so rung-1 (undegraded) values are shared
+/// with the DAG fast path.
+struct SharedKeyCache<'e> {
+    inner: SharedIdCache<'e>,
+}
+
+impl SubtwigCache for SharedKeyCache<'_> {
+    fn lookup(&mut self, key: &TwigKey) -> Option<f64> {
+        let id = self.inner.intern(key.as_bytes());
+        self.inner.lookup(id)
+    }
+
+    fn store(&mut self, key: TwigKey, value: f64) {
+        let id = self.inner.intern(key.as_bytes());
+        self.inner.store(id, value);
     }
 }
 
@@ -681,6 +830,72 @@ mod tests {
             stats.misses
         );
         assert!(stats.hits > 0, "the repeated query must hit the cache");
+    }
+
+    #[test]
+    fn warm_probes_clone_zero_key_bytes() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("a[b[c][d]][e]").unwrap();
+        let opts = EstimateOptions::default();
+        engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        let cold = engine.stats();
+        assert!(cold.key_clone_bytes > 0, "first sighting pays the clone");
+        assert!(cold.interner_keys > 0);
+        for _ in 0..4 {
+            engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        }
+        let warm = engine.stats();
+        assert_eq!(
+            warm.key_clone_bytes, cold.key_clone_bytes,
+            "warm probes must clone zero key bytes"
+        );
+        assert_eq!(warm.interner_keys, cold.interner_keys);
+        assert!(
+            warm.hits > cold.hits,
+            "repeat queries answer from the shards"
+        );
+    }
+
+    #[test]
+    fn dedup_ratio_exceeds_one_on_standard_workload() {
+        let lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let opts = EstimateOptions::default();
+        for q in ["a[b[c][d]][e]", "a/b/c", "a[b][e]", "r/a/b/c"] {
+            let twig = lat.parse_query(q).unwrap();
+            engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        }
+        let stats = engine.stats();
+        assert!(stats.dag_nodes > 0);
+        assert!(
+            stats.dedup_ratio() > 1.0,
+            "shared sub-twigs must collapse references: {}",
+            stats.dedup_ratio()
+        );
+    }
+
+    #[test]
+    fn interner_survives_clear_and_generation_bumps() {
+        let mut lat = sample_lattice();
+        let engine = EstimationEngine::default();
+        let twig = lat.parse_query("a[b[c][d]][e]").unwrap();
+        let opts = EstimateOptions::default();
+        engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        let keys = engine.stats().interner_keys;
+        engine.clear();
+        lat.prune(0.0);
+        // Pruning may force deeper expansion (new sub-twigs, new ids) …
+        engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        let first = engine.stats();
+        assert!(first.interner_keys >= keys, "ids are never recycled");
+        // … but ids are content-addressed: repeating the workload against
+        // the cleared cache and new generation re-clones nothing.
+        engine.clear();
+        engine.estimate(&lat, &twig, Estimator::Recursive, &opts);
+        let second = engine.stats();
+        assert_eq!(second.interner_keys, first.interner_keys);
+        assert_eq!(second.key_clone_bytes, first.key_clone_bytes);
     }
 
     #[test]

@@ -128,14 +128,19 @@ impl SubtwigCache for FxHashMap<TwigKey, f64> {
 ///
 /// Returns a non-negative estimate; `0.0` means the summary proves (or the
 /// decomposition concludes) the query cannot match.
+///
+/// Runs on the iterative decomposition-DAG evaluator ([`crate::dag`]) with a
+/// throwaway id cache; bit-identical to the recursive byte-keyed path, which
+/// remains available through [`estimate_with_cache`] for the budget-enforced
+/// resilient rungs and as a differential baseline.
 pub fn estimate(
     summary: &Summary,
     twig: &Twig,
     estimator: Estimator,
     opts: &EstimateOptions,
 ) -> f64 {
-    let mut memo: FxHashMap<TwigKey, f64> = FxHashMap::default();
-    estimate_with_cache(summary, twig, estimator, opts, &mut memo)
+    let mut cache = crate::dag::LocalIdCache::default();
+    crate::dag::estimate_dag(summary, twig, estimator, opts, &mut cache).0
 }
 
 /// [`estimate`] reading and writing sub-twig estimates through `cache`.

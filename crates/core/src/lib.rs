@@ -45,12 +45,14 @@
 //! * [`serialize`] — versioned binary persistence of summaries;
 //! * [`trie`] — a prefix-tree summary store kept for the §4.2 ablation.
 
+pub(crate) mod dag;
 pub mod engine;
 pub mod estimator;
 pub mod explain;
 pub mod interval;
 pub mod online;
 pub mod pruning;
+pub mod reference;
 pub mod resilient;
 pub mod serialize;
 pub mod summary;
@@ -66,6 +68,7 @@ pub use explain::explain;
 pub use interval::{estimate_interval, IntervalEstimate};
 pub use online::{TunedLattice, TunerStats};
 pub use pruning::{prune_derivable, PruneReport};
+pub use reference::ReferenceEngine;
 pub use resilient::{markov_estimate, ResilientEstimate};
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
@@ -263,9 +266,9 @@ impl TreeLattice {
             return 0.0;
         }
         let start = rec.enabled().then(std::time::Instant::now);
-        let mut memo: tl_xml::FxHashMap<tl_twig::TwigKey, f64> = tl_xml::FxHashMap::default();
-        let (value, depth) =
-            estimator::estimate_with_cache_depth(&self.summary, twig, estimator, opts, &mut memo);
+        let mut cache = dag::LocalIdCache::default();
+        let (value, depth, _stats) =
+            dag::estimate_dag(&self.summary, twig, estimator, opts, &mut cache);
         if let Some(start) = start {
             rec.add(tl_obs::names::ENGINE_QUERIES, 1);
             rec.observe(

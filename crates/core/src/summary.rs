@@ -76,6 +76,22 @@ impl Summary {
         self.lookup(&key_of(twig))
     }
 
+    /// [`Summary::lookup`] over raw canonical encoding bytes, without
+    /// materializing a boxed [`TwigKey`]. Allocation-free: the per-level maps
+    /// are probed through `TwigKey`'s `Borrow<[u8]>` bridge. This is the
+    /// lookup the interner-backed evaluation DAG uses on every node.
+    pub fn lookup_bytes(&self, bytes: &[u8]) -> Lookup {
+        let size = bytes.len() / 6;
+        if size == 0 || size > self.levels.len() {
+            return Lookup::TooLarge;
+        }
+        match self.levels[size - 1].get(bytes) {
+            Some(&c) => Lookup::Exact(c),
+            None if self.pruned[size - 1] => Lookup::Derivable,
+            None => Lookup::Exact(0),
+        }
+    }
+
     /// Raw stored count, ignoring pruned-level semantics.
     pub fn stored(&self, key: &TwigKey) -> Option<u64> {
         let size = key.node_count();

@@ -1,7 +1,7 @@
 //! The mining algorithm: candidate generation + root-map counting.
 
 use tl_fault::{failpoints, Budget, Fault, FaultKind};
-use tl_twig::canonical::{key_of, key_of_subtree};
+use tl_twig::canonical::{key_of, KeyEncoder};
 use tl_twig::{Twig, TwigKey};
 use tl_xml::{DocIndex, Document, FxHashMap, FxHashSet, LabelId};
 
@@ -256,9 +256,15 @@ fn generate_candidates(prev: &FxHashMap<TwigKey, u64>, index: &DocIndex) -> Vec<
     let mut out: Vec<(TwigKey, Twig)> = Vec::new();
     // Scratch twigs reused across the whole enumeration: `base` receives
     // each previous-level pattern, `sub` each one-smaller sub-pattern of a
-    // candidate during the Apriori check.
+    // candidate during the Apriori check. Keys are encoded into reused
+    // buffers and probed as raw bytes (`TwigKey: Borrow<[u8]>`), so the
+    // duplicate-heavy enumeration boxes a key only on the first sighting of
+    // each distinct candidate and the Apriori probes box nothing at all.
     let mut base = Twig::single(LabelId(0));
     let mut sub = Twig::single(LabelId(0));
+    let mut enc = KeyEncoder::new();
+    let mut ext_buf: Vec<u8> = Vec::new();
+    let mut sub_buf: Vec<u8> = Vec::new();
     for key in prev.keys() {
         key.decode_into(&mut base);
         let n = base.len() as u32;
@@ -268,8 +274,8 @@ fn generate_candidates(prev: &FxHashMap<TwigKey, u64>, index: &DocIndex) -> Vec<
                 // extension out at the bottom of the loop, so a clone is
                 // paid only for candidates that survive every filter.
                 let added = base.add_child(q, l);
-                let ext_key = key_of(&base);
-                if seen.contains(&ext_key) {
+                enc.encode_into(&base, &mut ext_buf);
+                if seen.contains(ext_buf.as_slice()) {
                     base.pop_leaf(added);
                     continue;
                 }
@@ -283,8 +289,10 @@ fn generate_candidates(prev: &FxHashMap<TwigKey, u64>, index: &DocIndex) -> Vec<
                     .filter(|&r| r != added)
                     .all(|r| {
                         base.remove_node_into(r, &mut sub);
-                        prev.contains_key(&key_of(&sub))
+                        enc.encode_into(&sub, &mut sub_buf);
+                        prev.contains_key(sub_buf.as_slice())
                     });
+                let ext_key = TwigKey::from_raw(ext_buf.as_slice().into());
                 if ok {
                     out.push((ext_key.clone(), base.clone()));
                 }
@@ -346,6 +354,10 @@ struct Scratch<'c> {
     facc: Vec<Vec<u64>>,
     facc_support: Vec<Vec<u32>>,
     pair_cache: FxHashMap<(u32, u32), PairCounts>,
+    /// Pooled canonical encoder + output buffer for probing the level cache
+    /// by raw bytes, instead of boxing a fresh key per non-leaf child.
+    enc: KeyEncoder,
+    key_buf: Vec<u8>,
 }
 
 impl PairCounts {
@@ -467,7 +479,10 @@ fn count_one<'c>(
         if twig.children(c).is_empty() {
             scratch.cached.push(None); // Leaf: m = 1 on label match.
         } else {
-            match cache.get(&key_of_subtree(twig, c)) {
+            scratch
+                .enc
+                .encode_subtree_into(twig, c, &mut scratch.key_buf);
+            match cache.get(scratch.key_buf.as_slice()) {
                 Some(pairs) => scratch.cached.push(Some(pairs)),
                 // Subtree does not occur => the candidate cannot occur.
                 None => return (0, keep_map.then(RootMap::new)),
@@ -488,6 +503,7 @@ fn count_one<'c>(
         facc,
         facc_support,
         pair_cache,
+        ..
     } = scratch;
 
     // Group child indices by label (first-appearance order), reusing the

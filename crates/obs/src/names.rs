@@ -38,6 +38,17 @@ pub const ENGINE_CACHE_HITS: &str = "engine.cache.hits";
 pub const ENGINE_CACHE_MISSES: &str = "engine.cache.misses";
 /// Queries estimated (engine or observed per-query path).
 pub const ENGINE_QUERIES: &str = "engine.queries";
+/// Distinct sub-twig nodes materialized across all evaluation DAGs.
+pub const ENGINE_DAG_NODES: &str = "engine.dag.nodes";
+/// Total sub-twig references across all evaluation DAGs; the ratio to
+/// `engine.dag.nodes` is the structural dedup factor.
+pub const ENGINE_DAG_REFS: &str = "engine.dag.refs";
+/// Fresh canonical encodings assigned an interned id (cumulative interner
+/// occupancy when one engine feeds the recorder).
+pub const ENGINE_INTERNER_KEYS: &str = "engine.interner.keys";
+/// Canonical key bytes cloned into the interner; stays flat on warm
+/// workloads — the allocation-free-probe guarantee, measurable.
+pub const ENGINE_KEY_CLONE_BYTES: &str = "engine.interner.key_clone_bytes";
 /// Histogram: per-query estimation latency in microseconds.
 pub const QUERY_LATENCY_US: &str = "engine.query.latency_us";
 /// Histogram: maximum decomposition recursion depth per query.
@@ -90,6 +101,10 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
     ENGINE_CACHE_HITS,
     ENGINE_CACHE_MISSES,
     ENGINE_QUERIES,
+    ENGINE_DAG_NODES,
+    ENGINE_DAG_REFS,
+    ENGINE_INTERNER_KEYS,
+    ENGINE_KEY_CLONE_BYTES,
     ENGINE_DEGRADED,
     FAULT_TOTAL,
     FAULT_WORKER_PANICS,

@@ -121,20 +121,39 @@ impl TwigKey {
     ///
     /// Panics under the same conditions as [`TwigKey::decode`].
     pub fn decode_into(&self, out: &mut Twig) {
-        let b = &self.0;
-        assert!(
-            b.len() >= 6 && b.len().is_multiple_of(6),
-            "corrupt twig key"
-        );
-        let mut pos = 0usize;
-        let root_label = read_label(b, &mut pos);
-        assert_eq!(b[pos], OPEN, "corrupt twig key");
-        pos += 1;
-        out.reset(root_label);
-        decode_children(b, &mut pos, out, 0);
-        assert_eq!(b[pos], CLOSE, "corrupt twig key");
-        pos += 1;
-        assert_eq!(pos, b.len(), "trailing bytes in twig key");
+        decode_bytes_into(&self.0, out);
+    }
+}
+
+/// [`TwigKey::decode_into`] over raw encoding bytes, for callers (the
+/// interner-backed evaluation DAG) that hold an encoding without a boxed key.
+///
+/// # Panics
+///
+/// Panics if the bytes are not a valid canonical encoding.
+pub fn decode_bytes_into(b: &[u8], out: &mut Twig) {
+    assert!(
+        b.len() >= 6 && b.len().is_multiple_of(6),
+        "corrupt twig key"
+    );
+    let mut pos = 0usize;
+    let root_label = read_label(b, &mut pos);
+    assert_eq!(b[pos], OPEN, "corrupt twig key");
+    pos += 1;
+    out.reset(root_label);
+    decode_children(b, &mut pos, out, 0);
+    assert_eq!(b[pos], CLOSE, "corrupt twig key");
+    pos += 1;
+    assert_eq!(pos, b.len(), "trailing bytes in twig key");
+}
+
+/// Allocation-free hash-map probes: a `FxHashMap<TwigKey, V>` can be probed
+/// by raw encoding bytes. Sound because `TwigKey`'s derived `Hash`/`Eq`
+/// forward to the wrapped `[u8]`, so `k.borrow()` hashes and compares
+/// identically to `k` itself.
+impl std::borrow::Borrow<[u8]> for TwigKey {
+    fn borrow(&self) -> &[u8] {
+        &self.0
     }
 }
 
@@ -211,6 +230,76 @@ fn encode_node(t: &Twig, n: TwigNodeId) -> Vec<u8> {
     }
     out.push(CLOSE);
     out
+}
+
+/// A pooled canonical encoder: [`key_of`] without the per-call allocations.
+///
+/// `key_of` allocates one `Vec<u8>` per node (child encodings collected,
+/// sorted, concatenated) and a boxed key for the result. The encoder keeps a
+/// pool of child buffers and writes the encoding into a caller-supplied
+/// `Vec<u8>`, so a hot loop that encodes millions of sub-twigs reuses the
+/// same handful of allocations. Output bytes are identical to `key_of`:
+/// children are encoded in twig order into pooled buffers, sorted
+/// lexicographically by content (the same comparison `encode_node` applies
+/// to its freshly collected vectors), and concatenated.
+#[derive(Debug, Default)]
+pub struct KeyEncoder {
+    /// Free-list of child encoding buffers, recycled across calls.
+    pool: Vec<Vec<u8>>,
+    /// In-flight child encodings; each recursion level operates on the
+    /// suffix it pushed, so nested multi-child nodes nest like stack frames.
+    stack: Vec<Vec<u8>>,
+}
+
+impl KeyEncoder {
+    /// An encoder with empty pools.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the canonical encoding of `twig` into `out` (cleared first).
+    /// The bytes equal `key_of(twig).as_bytes()`.
+    pub fn encode_into(&mut self, twig: &Twig, out: &mut Vec<u8>) {
+        out.clear();
+        self.encode_node_into(twig, twig.root(), out);
+    }
+
+    /// Writes the canonical encoding of the subtree of `twig` rooted at
+    /// `node` into `out` (cleared first). The bytes equal
+    /// `key_of_subtree(twig, node).as_bytes()`.
+    pub fn encode_subtree_into(&mut self, twig: &Twig, node: TwigNodeId, out: &mut Vec<u8>) {
+        out.clear();
+        self.encode_node_into(twig, node, out);
+    }
+
+    fn encode_node_into(&mut self, t: &Twig, n: TwigNodeId, out: &mut Vec<u8>) {
+        out.extend_from_slice(&t.label(n).0.to_be_bytes());
+        out.push(OPEN);
+        let children = t.children(n);
+        match children.len() {
+            0 => {}
+            // A single child needs no sort: encode it straight into `out`.
+            1 => self.encode_node_into(t, children[0], out),
+            _ => {
+                let start = self.stack.len();
+                for i in 0..children.len() {
+                    let c = t.children(n)[i];
+                    let mut buf = self.pool.pop().unwrap_or_default();
+                    buf.clear();
+                    self.encode_node_into(t, c, &mut buf);
+                    self.stack.push(buf);
+                }
+                self.stack[start..].sort_unstable();
+                for i in start..self.stack.len() {
+                    out.extend_from_slice(&self.stack[i]);
+                }
+                while self.stack.len() > start {
+                    self.pool.push(self.stack.pop().expect("suffix non-empty"));
+                }
+            }
+        }
+        out.push(CLOSE);
+    }
 }
 
 /// Returns a structurally canonical copy of `twig`: same isomorphism class,
@@ -395,6 +484,73 @@ mod tests {
         assert!(TwigKey::from_raw(Box::from(&b""[..]))
             .try_decode()
             .is_none());
+    }
+
+    #[test]
+    fn key_encoder_matches_key_of() {
+        let l = labels(5);
+        // A mix of shapes: deep chain, bushy root, nested multi-child with
+        // identical siblings — everything that exercises the sort paths.
+        let mut shapes: Vec<Twig> = Vec::new();
+        shapes.push(Twig::single(l[0]));
+        shapes.push(Twig::path(&[l[0], l[1], l[2], l[3]]));
+        let mut bushy = Twig::single(l[0]);
+        bushy.add_child(bushy.root(), l[4]);
+        bushy.add_child(bushy.root(), l[1]);
+        let b = bushy.add_child(bushy.root(), l[2]);
+        bushy.add_child(b, l[3]);
+        bushy.add_child(b, l[1]);
+        bushy.add_child(b, l[1]);
+        shapes.push(bushy);
+        let mut enc = KeyEncoder::new();
+        let mut buf = Vec::new();
+        for t in &shapes {
+            enc.encode_into(t, &mut buf);
+            assert_eq!(
+                buf.as_slice(),
+                key_of(t).as_bytes(),
+                "pooled encoding diverged"
+            );
+        }
+        // Re-encoding with warm pools is still identical.
+        for t in shapes.iter().rev() {
+            enc.encode_into(t, &mut buf);
+            assert_eq!(buf.as_slice(), key_of(t).as_bytes());
+        }
+        // Subtree encoding matches key_of_subtree for every node.
+        for t in &shapes {
+            for n in t.nodes() {
+                enc.encode_subtree_into(t, n, &mut buf);
+                assert_eq!(buf.as_slice(), key_of_subtree(t, n).as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_byte_probes_hit_keyed_maps() {
+        use std::collections::HashMap;
+        let l = labels(3);
+        let t = Twig::path(&[l[0], l[1], l[2]]);
+        let key = key_of(&t);
+        let mut map: HashMap<TwigKey, u64> = HashMap::new();
+        map.insert(key.clone(), 7);
+        let bytes = key.as_bytes().to_vec();
+        assert_eq!(map.get(bytes.as_slice()), Some(&7));
+    }
+
+    #[test]
+    fn decode_bytes_into_matches_decode_into() {
+        let l = labels(4);
+        let mut t = Twig::single(l[0]);
+        let b = t.add_child(t.root(), l[2]);
+        t.add_child(b, l[1]);
+        t.add_child(t.root(), l[3]);
+        let key = key_of(&t);
+        let mut via_key = Twig::single(l[0]);
+        let mut via_bytes = Twig::single(l[0]);
+        key.decode_into(&mut via_key);
+        decode_bytes_into(key.as_bytes(), &mut via_bytes);
+        assert_eq!(via_key, via_bytes);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   simplification).
 
 pub mod canonical;
+pub mod interner;
 pub mod matcher;
 pub mod ops;
 pub mod parser;
@@ -25,6 +26,7 @@ pub mod reference;
 pub mod twig;
 
 pub use canonical::TwigKey;
+pub use interner::{TwigId, TwigInterner};
 pub use matcher::{count_matches, MatchCounter, MatchError, MAX_SIBLING_GROUP};
 pub use parser::{parse_twig, parse_twig_in, parse_twig_valued, TwigParseError};
 pub use reference::ReferenceMatchCounter;

@@ -312,7 +312,7 @@ impl<'d> MatchCounter<'d> {
                     .map(|(&v, &count)| (v, count)),
             );
         }
-        Ok(m_root.iter().fold(0u64, |a, &b| a.saturating_add(b)))
+        Ok(sum_saturating(m_root))
     }
 
     /// Counts assignments for one same-label child group under the document
@@ -329,19 +329,19 @@ impl<'d> MatchCounter<'d> {
         scratch: &mut Scratch,
     ) -> u64 {
         let index = self.index();
-        let doc_children = index.children_with_label(v, group.label);
+        // The kernel only consumes per-label table positions, so it walks
+        // the index's precomputed rank slice — one contiguous `u32` stream,
+        // no per-child `node -> rank` indirection.
+        let doc_ranks = index.child_ranks_with_label(v, group.label);
         if group.members.len() == 1 {
             let q = group.members[0];
             if twig.children(q).is_empty() {
-                return doc_children.len() as u64;
+                return doc_ranks.len() as u64;
             }
-            let m_q = &m[q as usize];
-            return doc_children
-                .iter()
-                .fold(0u64, |a, &u| a.saturating_add(m_q[index.rank(u) as usize]));
+            return sum_gather_saturating(&m[q as usize], doc_ranks);
         }
         let g = group.members.len();
-        if doc_children.len() < g {
+        if doc_ranks.len() < g {
             return 0; // Injectivity needs g distinct document children.
         }
         // Subset DP: f[mask] = #injective assignments of the query children
@@ -354,8 +354,8 @@ impl<'d> MatchCounter<'d> {
         scratch.weights.resize(g, 0);
         let f = &mut scratch.dp;
         let weights = &mut scratch.weights;
-        for &u in doc_children {
-            let rank = index.rank(u) as usize;
+        for &rank in doc_ranks {
+            let rank = rank as usize;
             let mut any = false;
             for (i, &q) in group.members.iter().enumerate() {
                 weights[i] = if twig.children(q).is_empty() {
@@ -385,6 +385,56 @@ impl<'d> MatchCounter<'d> {
         }
         f[full]
     }
+}
+
+/// Saturating sum of a dense m-vector, four independent accumulator lanes
+/// over `chunks_exact` so the loop body carries no cross-iteration
+/// dependency and autovectorizes.
+///
+/// Any association of saturating `u64` adds over non-negative terms equals
+/// `min(true sum, u64::MAX)` — saturation is absorbing and the true sum only
+/// grows — so lane splitting is bit-exact against the sequential fold.
+#[inline]
+fn sum_saturating(values: &[u64]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] = lanes[0].saturating_add(c[0]);
+        lanes[1] = lanes[1].saturating_add(c[1]);
+        lanes[2] = lanes[2].saturating_add(c[2]);
+        lanes[3] = lanes[3].saturating_add(c[3]);
+    }
+    let mut total = lanes[0]
+        .saturating_add(lanes[1])
+        .saturating_add(lanes[2].saturating_add(lanes[3]));
+    for &v in chunks.remainder() {
+        total = total.saturating_add(v);
+    }
+    total
+}
+
+/// Saturating sum of `m_q[rank]` over a contiguous rank slice (the
+/// single-member child-group fast path): the gather indexes are a plain
+/// `u32` stream, the adds run in four independent lanes, and the loop body
+/// has no data-dependent branch. Bit-exact per the same association
+/// argument as [`sum_saturating`].
+#[inline]
+fn sum_gather_saturating(m_q: &[u64], ranks: &[u32]) -> u64 {
+    let mut lanes = [0u64; 4];
+    let mut chunks = ranks.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] = lanes[0].saturating_add(m_q[c[0] as usize]);
+        lanes[1] = lanes[1].saturating_add(m_q[c[1] as usize]);
+        lanes[2] = lanes[2].saturating_add(m_q[c[2] as usize]);
+        lanes[3] = lanes[3].saturating_add(m_q[c[3] as usize]);
+    }
+    let mut total = lanes[0]
+        .saturating_add(lanes[1])
+        .saturating_add(lanes[2].saturating_add(lanes[3]));
+    for &r in chunks.remainder() {
+        total = total.saturating_add(m_q[r as usize]);
+    }
+    total
 }
 
 /// A maximal set of children of one query node sharing a label.
@@ -726,6 +776,32 @@ mod tests {
         // Non-leaf query nodes a (1 candidate) and b (2 candidates).
         let h = &snap.histograms[tl_obs::names::TWIG_MATCH_M_ENTRIES];
         assert_eq!((h.count, h.sum), (1, 3));
+    }
+
+    #[test]
+    fn lane_split_folds_match_sequential_saturating_sums() {
+        // Lengths straddle the chunks_exact boundary (remainder 0..=3) and
+        // include saturating inputs; lane order must not change the result.
+        for len in 0..13usize {
+            let values: Vec<u64> = (0..len as u64).map(|i| i * i + 1).collect();
+            let seq = values.iter().fold(0u64, |a, &b| a.saturating_add(b));
+            assert_eq!(sum_saturating(&values), seq, "len {len}");
+            let ranks: Vec<u32> = (0..len as u32).rev().collect();
+            let gathered = ranks
+                .iter()
+                .fold(0u64, |a, &r| a.saturating_add(values[r as usize]));
+            assert_eq!(
+                sum_gather_saturating(&values, &ranks),
+                gathered,
+                "len {len}"
+            );
+        }
+        let big = vec![u64::MAX / 2; 7];
+        assert_eq!(sum_saturating(&big), u64::MAX, "saturation is absorbing");
+        assert_eq!(
+            sum_gather_saturating(&big, &[0, 1, 2, 3, 4, 5, 6]),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -91,6 +91,10 @@ pub struct DocIndex {
     /// All children, grouped by (parent, label), document order inside a
     /// group; `ChildGroup` ranges index into this.
     child_ids: Vec<NodeId>,
+    /// `child_ranks[i] == rank[child_ids[i]]`: the within-label rank of each
+    /// CSR child, precomputed so counting kernels gather per-label data with
+    /// one load per child instead of chasing `child -> rank` indirection.
+    child_ranks: Vec<u32>,
     /// Distinct child labels under each parent label (sorted): label `l`'s
     /// child labels are
     /// `label_child_ids[label_child_offsets[l] .. label_child_offsets[l+1]]`.
@@ -144,6 +148,7 @@ impl DocIndex {
         group_offsets.push(0u32);
         let mut groups = Vec::new();
         let mut child_ids = Vec::with_capacity(n.saturating_sub(1));
+        let mut child_ranks = Vec::with_capacity(n.saturating_sub(1));
         let mut scratch: Vec<NodeId> = Vec::new();
         for v in doc.pre_order() {
             scratch.clear();
@@ -155,6 +160,7 @@ impl DocIndex {
                 let start = child_ids.len() as u32;
                 while i < scratch.len() && doc.label(scratch[i]) == label {
                     child_ids.push(scratch[i]);
+                    child_ranks.push(rank[scratch[i].index()]);
                     i += 1;
                 }
                 groups.push(ChildGroup {
@@ -194,6 +200,7 @@ impl DocIndex {
             group_offsets,
             groups,
             child_ids,
+            child_ranks,
             label_child_offsets,
             label_child_ids,
         }
@@ -261,6 +268,28 @@ impl DocIndex {
         &self.child_ids[group.start as usize..group.end as usize]
     }
 
+    /// The within-label ranks of one child group's members, parallel to
+    /// [`DocIndex::group_nodes`]: `group_ranks(g)[i] == rank(group_nodes(g)[i])`.
+    #[inline]
+    pub fn group_ranks(&self, group: ChildGroup) -> &[u32] {
+        &self.child_ranks[group.start as usize..group.end as usize]
+    }
+
+    /// The within-label ranks of the children of `v` labeled `label`, as
+    /// one contiguous slice parallel to
+    /// [`DocIndex::children_with_label`]. Counting kernels that only need
+    /// per-label table positions iterate this directly — one contiguous
+    /// `u32` stream, no `child -> rank` indirection per element.
+    #[inline]
+    pub fn child_ranks_with_label(&self, v: NodeId, label: LabelId) -> &[u32] {
+        for &g in self.child_groups(v) {
+            if g.label == label {
+                return self.group_ranks(g);
+            }
+        }
+        &[]
+    }
+
     /// The children of `v` labeled `label`, as one contiguous slice
     /// (document order). Empty when `v` has no such child.
     #[inline]
@@ -305,6 +334,7 @@ impl DocIndex {
             + self.group_offsets.len() * 4
             + self.groups.len() * std::mem::size_of::<ChildGroup>()
             + self.child_ids.len() * 4
+            + self.child_ranks.len() * 4
             + self.label_child_offsets.len() * 4
             + self.label_child_ids.len() * 4
     }
@@ -374,6 +404,29 @@ mod tests {
         let bs = idx.children_with_label(root, b);
         assert_eq!(bs.len(), 2);
         assert!(bs[0].0 < bs[1].0);
+    }
+
+    #[test]
+    fn child_ranks_parallel_child_ids() {
+        let d = doc("<a><b/><c/><b/><d/><c/><b><c/><b/></b></a>");
+        let idx = DocIndex::new(&d);
+        for v in d.pre_order() {
+            for &g in idx.child_groups(v) {
+                let nodes = idx.group_nodes(g);
+                let ranks = idx.group_ranks(g);
+                assert_eq!(nodes.len(), ranks.len());
+                for (&u, &r) in nodes.iter().zip(ranks) {
+                    assert_eq!(r, idx.rank(u));
+                }
+            }
+            let b = d.labels().get("b").unwrap();
+            let by_label: Vec<u32> = idx
+                .children_with_label(v, b)
+                .iter()
+                .map(|&u| idx.rank(u))
+                .collect();
+            assert_eq!(idx.child_ranks_with_label(v, b), by_label.as_slice());
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@ use tl_datagen::{Dataset, GenConfig};
 use tl_workload::{negative_workload, positive_workload};
 use tl_xml::{append_subtree, parse_document, Document, ParseOptions};
 use treelattice::{
-    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, TreeLattice,
+    BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, ReferenceEngine,
+    TreeLattice,
 };
 
 fn dataset() -> Document {
@@ -271,6 +272,7 @@ mod cache_generation_properties {
 
     fn assert_engine_transparent(
         engine: &EstimationEngine,
+        reference: &ReferenceEngine,
         lattice: &TreeLattice,
         twigs: &[tl_twig::Twig],
         step: usize,
@@ -291,6 +293,18 @@ mod cache_generation_properties {
                         pass
                     );
                 }
+                // The interned-id engine must also agree bit-for-bit with
+                // the byte-keyed reference architecture under the same
+                // interleaving of estimates and mutations.
+                let byte_keyed = reference.estimate(lattice, twig, est, &opts).to_bits();
+                prop_assert_eq!(
+                    byte_keyed,
+                    fresh,
+                    "step {}, {}, twig {}: reference engine diverged",
+                    step,
+                    est,
+                    i
+                );
             }
         }
         Ok(())
@@ -310,10 +324,13 @@ mod cache_generation_properties {
                 twig_specs.iter().map(|s| build_twig(s, &doc)).collect();
             let mut lattice = TreeLattice::build(&doc, &BuildConfig::with_k(3));
             // One engine for the whole run: its cache must survive every
-            // mutation only through generation-tagged invalidation.
+            // mutation only through generation-tagged invalidation. The
+            // byte-keyed reference engine rides along as the differential
+            // baseline for the interned-id architecture.
             let engine = EstimationEngine::new(EngineConfig { shards: 4, threads: 1 });
+            let reference = ReferenceEngine::new();
 
-            assert_engine_transparent(&engine, &lattice, &twigs, 0)?;
+            assert_engine_transparent(&engine, &reference, &lattice, &twigs, 0)?;
             // `update_after_edit` requires an unpruned summary (the API
             // contract is "prune after updates"), so edits stop once a
             // prune has happened.
@@ -341,8 +358,66 @@ mod cache_generation_properties {
                     }
                     Op::Append(..) | Op::Remove(_) | Op::Check => {}
                 }
-                assert_engine_transparent(&engine, &lattice, &twigs, step + 1)?;
+                assert_engine_transparent(&engine, &reference, &lattice, &twigs, step + 1)?;
             }
+        }
+    }
+}
+
+/// Satellite property: canonical-encoding interning round-trips — dense
+/// first-sighting ids, byte-exact resolution, zero clone bytes on warm
+/// probes, and duplicate encodings collapsing onto one id.
+mod interner_properties {
+    use proptest::prelude::*;
+    use tl_twig::canonical::key_of;
+    use tl_twig::{Twig, TwigInterner};
+    use tl_xml::LabelId;
+
+    /// Node i hangs off `spec[i].0 % i` with label id `spec[i].1`.
+    fn build_twig(spec: &[(u32, u8)]) -> Twig {
+        let mut t = Twig::single(LabelId(u32::from(spec[0].1)));
+        let mut ids = vec![0u32; spec.len()];
+        for (i, &(p, l)) in spec.iter().enumerate().skip(1) {
+            ids[i] = t.add_child(ids[(p as usize) % i], LabelId(u32::from(l)));
+        }
+        t
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn interning_round_trips_and_warm_probes_are_free(
+            specs in prop::collection::vec(
+                prop::collection::vec((any::<u32>(), 0..6u8), 1..8),
+                1..20,
+            ),
+        ) {
+            let mut interner = TwigInterner::new();
+            let keys: Vec<_> = specs.iter().map(|s| key_of(&build_twig(s))).collect();
+            let ids: Vec<_> = keys
+                .iter()
+                .map(|k| interner.intern_bytes(k.as_bytes()).0)
+                .collect();
+            for (k, &id) in keys.iter().zip(&ids) {
+                // Round-trip: resolve returns the exact encoding bytes...
+                prop_assert_eq!(interner.resolve(id).as_bytes(), k.as_bytes());
+                // ...and decoding stays in the same isomorphism class.
+                prop_assert_eq!(&key_of(&interner.resolve(id).decode()), k);
+                // Re-interning is stable and clones zero key bytes.
+                let (again, cloned) = interner.intern_bytes(k.as_bytes());
+                prop_assert_eq!(again, id);
+                prop_assert_eq!(cloned, 0);
+                prop_assert_eq!(interner.get(k.as_bytes()), Some(id));
+            }
+            // Distinct encodings get distinct ids; duplicates collapse.
+            let distinct: std::collections::HashSet<&[u8]> =
+                keys.iter().map(|k| k.as_bytes()).collect();
+            prop_assert_eq!(interner.len(), distinct.len());
+            let mut unique_ids = ids.clone();
+            unique_ids.sort_unstable();
+            unique_ids.dedup();
+            prop_assert_eq!(unique_ids.len(), distinct.len());
         }
     }
 }
