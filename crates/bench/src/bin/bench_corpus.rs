@@ -1,0 +1,12 @@
+//! Corpus-scale sharded mining benchmark runner; see
+//! `tl_bench::experiments::corpus`.
+//!
+//! Mines the fixed 64-document XMark corpus (~800 000 elements, two orders
+//! of magnitude over the single-document fixtures) sequentially and with
+//! 2 / all-core sharding, asserts every sharded build is bit-identical to
+//! the sequential one, and writes construction scaling, merged-summary
+//! size, and mmap cold-lookup latency to `BENCH_corpus.json`.
+
+fn main() {
+    tl_bench::experiments::corpus::run(&tl_bench::experiments::corpus::bench_config());
+}

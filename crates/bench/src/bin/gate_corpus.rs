@@ -1,0 +1,80 @@
+//! CI corpus mining gate; see `tl_bench::gates`.
+//!
+//! ```text
+//! gate_corpus [--thresholds <path>] [--write-thresholds]
+//! ```
+//!
+//! Mines the reduced deterministic corpus fixture sequentially and
+//! sharded, then enforces the merge-monoid contract against the committed
+//! thresholds (default `tests/gates/corpus.json`): every sharded build
+//! must serialize bit-identically to the sequential one (always), and the
+//! widest sharded build must beat sequential by the committed speedup
+//! floor (on multi-core hosts; single-core hosts get an explicit waiver
+//! line — they cannot measure parallelism, but they still verify
+//! identity). Exits 1 on any failure. `--write-thresholds` regenerates
+//! the thresholds file instead of checking.
+
+use std::path::PathBuf;
+
+use tl_bench::{experiments::corpus, gates};
+
+fn main() {
+    let mut thresholds: Option<PathBuf> = None;
+    let mut write = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(p) => thresholds = Some(PathBuf::from(p)),
+                None => usage("--thresholds needs a value"),
+            },
+            "--write-thresholds" => write = true,
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let path =
+        thresholds.unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/corpus.json"));
+
+    let cfg = gates::corpus_gate_config();
+    println!(
+        "corpus gate: xmark {} docs x {} elements, seed {}, k {}",
+        cfg.docs, cfg.elements_per_doc, cfg.seed, cfg.k
+    );
+    // One warm-up build then the measured run, so first-touch costs (page
+    // cache, lazy allocations) do not count against the gate.
+    let _ = corpus::build(&cfg);
+    let measured = corpus::build(&cfg);
+
+    if write {
+        let snap = gates::corpus_thresholds(&measured);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let report = gates::check_corpus(&measured, &snapshot);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.passed() {
+        eprintln!("corpus gate FAILED ({} check(s))", report.failures.len());
+        std::process::exit(1);
+    }
+    println!("corpus gate passed");
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_corpus [--thresholds <path>] [--write-thresholds]");
+    std::process::exit(2);
+}

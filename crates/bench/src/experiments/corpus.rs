@@ -1,0 +1,326 @@
+//! Corpus-scale sharded mining benchmark (`bench_corpus`).
+//!
+//! Builds one merged summary over a generated multi-document corpus two
+//! orders of magnitude larger than the single-document fixtures, three
+//! times — sequentially, with 2 shards, and with one shard per host core —
+//! asserts the sharded builds are **bit-identical** to the sequential one
+//! (the merge-monoid contract), and records construction-time scaling,
+//! merged-summary size, and the zero-copy mmap catalog's cold-lookup
+//! latency in `BENCH_corpus.json`. The record uses the `tl-metrics/1`
+//! snapshot schema, so `treelattice metrics report BENCH_corpus.json`
+//! renders it like any other snapshot.
+
+use std::time::Instant;
+
+use tl_datagen::{Dataset, GenConfig};
+use tl_miner::CorpusConfig;
+use tl_xml::Document;
+use treelattice::{MmapCatalog, PatternStore, TreeLattice};
+
+use crate::Table;
+
+/// Shape of the generated corpus and measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusBenchConfig {
+    /// Documents in the corpus.
+    pub docs: usize,
+    /// Target elements per document (each document gets its own seed).
+    pub elements_per_doc: usize,
+    /// Base seed; document `i` is generated with `seed + i`.
+    pub seed: u64,
+    /// Summary order.
+    pub k: usize,
+    /// Timed samples per shard count (median is reported).
+    pub repeats: usize,
+}
+
+/// The fixed full-scale configuration `bench_corpus` runs with: 64 XMark
+/// documents of 12 500 elements ≈ 800 000 elements, two orders of
+/// magnitude over the 8 000-element accuracy fixture.
+pub fn bench_config() -> CorpusBenchConfig {
+    CorpusBenchConfig {
+        docs: 64,
+        elements_per_doc: 12_500,
+        seed: 42,
+        k: 4,
+        repeats: 3,
+    }
+}
+
+/// One shard count's construction timing.
+#[derive(Clone, Debug)]
+pub struct CorpusScalingRow {
+    /// Worker shards used for this build.
+    pub shards: usize,
+    /// Median wall time of the full corpus build, ms.
+    pub build_ms: f64,
+    /// Sequential build time over this row's (`>= 1` shard rows only).
+    pub speedup: f64,
+}
+
+/// The full corpus measurement.
+#[derive(Clone, Debug)]
+pub struct CorpusBench {
+    /// Configuration echo.
+    pub cfg: CorpusBenchConfig,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the gate waives the speedup floor on single-core hosts.
+    pub host_threads: usize,
+    /// One row per measured shard count (always starts with 1).
+    pub rows: Vec<CorpusScalingRow>,
+    /// Whether every sharded build serialized bit-identically to the
+    /// sequential build. The gate fails hard when false.
+    pub merge_identical: bool,
+    /// Milliseconds spent in the final tree-reduction merge of the
+    /// widest sharded build.
+    pub merge_ms: f64,
+    /// Distinct patterns in the merged summary.
+    pub summary_patterns: usize,
+    /// Merged summary heap footprint, bytes.
+    pub summary_heap_bytes: usize,
+    /// Frame bytes served zero-copy by the mmap catalog.
+    pub mmap_bytes: usize,
+    /// Median nanoseconds per lookup against a freshly opened mmap
+    /// catalog (every probe is a first sighting — cold page cache aside,
+    /// this is the no-warmup path a just-opened process pays).
+    pub mmap_cold_lookup_ns: f64,
+    /// Probes behind the cold-lookup median.
+    pub mmap_probes: usize,
+}
+
+fn generate_corpus(cfg: &CorpusBenchConfig) -> Vec<Document> {
+    (0..cfg.docs)
+        .map(|i| {
+            Dataset::Xmark.generate(GenConfig {
+                seed: cfg.seed + i as u64,
+                target_elements: cfg.elements_per_doc,
+            })
+        })
+        .collect()
+}
+
+fn corpus_config(cfg: &CorpusBenchConfig, shards: usize) -> CorpusConfig {
+    CorpusConfig {
+        max_size: cfg.k,
+        shards,
+        // Per-document mining stays single-threaded: the bench measures
+        // cross-document sharding, not intra-document candidate counting.
+        threads: 1,
+    }
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Runs the measurement without printing or writing.
+pub fn build(cfg: &CorpusBenchConfig) -> CorpusBench {
+    let docs = generate_corpus(cfg);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Sequential reference build: its bytes are the identity every sharded
+    // build must reproduce, and its time is the scaling denominator.
+    let sequential = TreeLattice::build_corpus(&docs, corpus_config(cfg, 1), None);
+    let reference_bytes = sequential.to_bytes();
+
+    let mut shard_counts = vec![1usize, 2, host_threads];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+
+    let mut rows = Vec::new();
+    let mut merge_identical = true;
+    for &shards in &shard_counts {
+        let samples: Vec<f64> = (0..cfg.repeats.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                let lat = TreeLattice::build_corpus(&docs, corpus_config(cfg, shards), None);
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                merge_identical &= lat.to_bytes() == reference_bytes;
+                ms
+            })
+            .collect();
+        rows.push(CorpusScalingRow {
+            shards,
+            build_ms: median(samples),
+            speedup: 0.0, // filled below once the sequential median is known
+        });
+    }
+    let sequential_ms = rows[0].build_ms;
+    for r in &mut rows {
+        r.speedup = sequential_ms / r.build_ms.max(1e-9);
+    }
+
+    // Merge time of the widest build, via the observed mining path.
+    let widest = *shard_counts.last().expect("at least one shard count");
+    let rec = tl_obs::MetricsRecorder::new();
+    let _ = TreeLattice::build_corpus_observed(&docs, corpus_config(cfg, widest), None, &rec);
+    let merge_ms = rec
+        .snapshot()
+        .counters
+        .get(tl_obs::names::MINER_MERGE_MS)
+        .copied()
+        .unwrap_or(0) as f64;
+
+    // Zero-copy cold lookups: write the merged frame, open it fresh, and
+    // probe real keys sampled from every level — each probe is a binary
+    // search straight over the mapped bytes.
+    let dir = std::env::temp_dir().join(format!("tl-bench-corpus-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let path = dir.join("corpus.tlat");
+    std::fs::write(&path, &reference_bytes).expect("write corpus frame");
+    let probes: Vec<Vec<u8>> = (1..=cfg.k)
+        .flat_map(|size| {
+            sequential
+                .summary()
+                .iter_level(size)
+                .take(64)
+                .map(|(key, _)| key.as_bytes().to_vec())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let catalog = MmapCatalog::open(&path).expect("open corpus frame");
+    let mmap_bytes = catalog.bytes_mapped();
+    let mut lookup_ns: Vec<f64> = probes
+        .iter()
+        .map(|key| {
+            let t0 = Instant::now();
+            std::hint::black_box(catalog.lookup_bytes(key));
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    lookup_ns.sort_by(f64::total_cmp);
+    let mmap_cold_lookup_ns = lookup_ns[lookup_ns.len() / 2];
+    drop(catalog);
+    std::fs::remove_dir_all(&dir).ok();
+
+    CorpusBench {
+        cfg: *cfg,
+        host_threads,
+        rows,
+        merge_identical,
+        merge_ms,
+        summary_patterns: sequential.summary().len(),
+        summary_heap_bytes: sequential.summary().heap_bytes(),
+        mmap_bytes,
+        mmap_cold_lookup_ns,
+        mmap_probes: probes.len(),
+    }
+}
+
+/// Renders the result as a `tl-metrics/1` snapshot.
+pub fn to_snapshot(b: &CorpusBench) -> tl_obs::Snapshot {
+    let mut snap = tl_obs::Snapshot::default();
+    snap.meta.insert("bench".into(), "corpus".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("docs".into(), b.cfg.docs.to_string());
+    snap.meta.insert(
+        "elements_per_doc".into(),
+        b.cfg.elements_per_doc.to_string(),
+    );
+    snap.meta.insert("seed".into(), b.cfg.seed.to_string());
+    snap.meta.insert("k".into(), b.cfg.k.to_string());
+    snap.meta
+        .insert("host_threads".into(), b.host_threads.to_string());
+    for r in &b.rows {
+        snap.gauges.insert(
+            format!("bench.corpus.build_ms.shards_{}", r.shards),
+            r.build_ms,
+        );
+        snap.gauges.insert(
+            format!("bench.corpus.speedup.shards_{}", r.shards),
+            r.speedup,
+        );
+    }
+    snap.gauges
+        .insert("bench.corpus.merge_ms".into(), b.merge_ms);
+    snap.gauges.insert(
+        "bench.corpus.mmap_cold_lookup_ns".into(),
+        b.mmap_cold_lookup_ns,
+    );
+    snap.counters.insert(
+        "bench.corpus.merge_identical".into(),
+        u64::from(b.merge_identical),
+    );
+    snap.counters.insert(
+        "bench.corpus.summary_patterns".into(),
+        b.summary_patterns as u64,
+    );
+    snap.counters.insert(
+        "bench.corpus.summary_heap_bytes".into(),
+        b.summary_heap_bytes as u64,
+    );
+    snap.counters
+        .insert("bench.corpus.mmap_bytes_mapped".into(), b.mmap_bytes as u64);
+    snap.counters
+        .insert("bench.corpus.mmap_probes".into(), b.mmap_probes as u64);
+    snap
+}
+
+/// [`to_snapshot`] serialized as JSON.
+pub fn to_json(b: &CorpusBench) -> String {
+    to_snapshot(b).to_json()
+}
+
+/// Runs, prints, and writes `BENCH_corpus.json`.
+pub fn run(cfg: &CorpusBenchConfig) -> CorpusBench {
+    let b = build(cfg);
+    let mut t = Table::new(
+        "Corpus mining: shard scaling over the merge monoid",
+        &["Shards", "Build", "Speedup"],
+    );
+    for r in &b.rows {
+        t.row(vec![
+            r.shards.to_string(),
+            format!("{:.1}ms", r.build_ms),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    t.print();
+    println!(
+        "merge identical: {} | merge {:.1}ms | {} patterns, {} heap bytes | mmap {} bytes, cold lookup {:.0}ns (median of {})",
+        b.merge_identical,
+        b.merge_ms,
+        b.summary_patterns,
+        b.summary_heap_bytes,
+        b.mmap_bytes,
+        b.mmap_cold_lookup_ns,
+        b.mmap_probes,
+    );
+    let path = crate::workspace_root().join("BENCH_corpus.json");
+    match std::fs::write(&path, to_json(&b)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_measurement_is_identical_and_well_formed() {
+        let cfg = CorpusBenchConfig {
+            docs: 4,
+            elements_per_doc: 400,
+            seed: 7,
+            k: 3,
+            repeats: 1,
+        };
+        let b = build(&cfg);
+        assert!(b.merge_identical, "sharded builds must be bit-identical");
+        assert!(!b.rows.is_empty() && b.rows[0].shards == 1);
+        assert!(b.summary_patterns > 0);
+        assert!(b.mmap_bytes > 0 && b.mmap_probes > 0);
+        assert!(b.mmap_cold_lookup_ns >= 0.0);
+        let snap = to_snapshot(&b);
+        let parsed = tl_obs::Snapshot::from_json(&to_json(&b)).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(snap.counters["bench.corpus.merge_identical"], 1);
+        assert!(snap.gauges.contains_key("bench.corpus.build_ms.shards_1"));
+        assert!(snap.gauges.contains_key("bench.corpus.mmap_cold_lookup_ns"));
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per table/figure.
 
 pub mod ablation;
+pub mod corpus;
 pub mod decompose;
 pub mod fig10;
 pub mod fig11;
@@ -38,4 +39,5 @@ pub fn run_all(cfg: &ExpConfig) {
     scale_sweep::run(cfg);
     matcher::run(cfg);
     decompose::run(&decompose::bench_config());
+    corpus::run(&corpus::bench_config());
 }

@@ -16,9 +16,14 @@
 //! * **Decompose** ([`check_decompose`]): runs the `bench_decompose`
 //!   comparison on a reduced fixture and fails when the id-keyed DAG
 //!   engine's warm-batch speedup over the byte-keyed recursive reference
-//!   falls below `gate.decompose.min_warm_speedup`, or the DAG dedup
-//!   ratio falls below `gate.decompose.min_dedup_ratio`. Fail-closed: a
+//!   falls below `gate.decompose.min_warm_speedup`, its cold-batch
+//!   speedup below `gate.decompose.min_cold_speedup`, or the DAG dedup
+//!   ratio below `gate.decompose.min_dedup_ratio`. Fail-closed: a
 //!   missing threshold gauge is itself a failure.
+//! * **Corpus** ([`check_corpus`]): mines the reduced corpus fixture
+//!   sequentially and sharded, and fails unless every sharded build is
+//!   bit-identical to the sequential one and (on multi-core hosts) the
+//!   sharded build clears `gate.corpus.min_parallel_speedup`.
 //!
 //! Every quantity the gates measure is seeded and single-threaded, so the
 //! committed thresholds can be tight: reruns of the same build produce the
@@ -37,7 +42,7 @@ use treelattice::{
 };
 
 use crate::{
-    experiments::{decompose, matcher},
+    experiments::{corpus, decompose, matcher},
     ExpConfig,
 };
 
@@ -51,6 +56,14 @@ pub const MATCHER_BUILD_MS: &str = "gate.perf.matcher_build_ms";
 pub const MIN_WARM_SPEEDUP: &str = "gate.decompose.min_warm_speedup";
 /// Threshold gauge name for the decompose DAG dedup-ratio floor.
 pub const MIN_DEDUP_RATIO: &str = "gate.decompose.min_dedup_ratio";
+/// Threshold gauge name for the decompose cold-batch speedup floor.
+pub const MIN_COLD_SPEEDUP: &str = "gate.decompose.min_cold_speedup";
+/// Threshold gauge name for the corpus parallel-construction speedup floor.
+pub const MIN_PARALLEL_SPEEDUP: &str = "gate.corpus.min_parallel_speedup";
+/// Threshold gauge marking the shard-merge bit-identity check as required
+/// (`1.0`). Carried in the thresholds file so the identity check is
+/// fail-closed like every other comparison: an empty file fails.
+pub const REQUIRE_MERGE_IDENTITY: &str = "gate.corpus.require_merge_identity";
 
 /// The fixed configuration the accuracy gate runs with. Changing it
 /// invalidates `tests/gates/accuracy.json`; regenerate with
@@ -287,17 +300,22 @@ pub fn decompose_config() -> ExpConfig {
 }
 
 /// Renders a measured decompose run as a thresholds snapshot with
-/// headroom: the speedup floor at half the worst measured row (timing
-/// ratios are same-machine and noise-robust, but CI runners throttle),
-/// the dedup floor at `0.9×` the worst measured row. Both floors are
-/// clamped to at least 1: the gate's contract is that the DAG path is
-/// never slower than the recursion it replaced and always shares at
-/// least some operands.
+/// headroom: the warm and cold speedup floors at half the worst measured
+/// row (timing ratios are same-machine and noise-robust, but CI runners
+/// throttle), the dedup floor at `0.9×` the worst measured row. All
+/// floors are clamped to at least 1: the gate's contract is that the DAG
+/// path is never slower than the recursion it replaced — cold or warm —
+/// and always shares at least some operands.
 pub fn decompose_thresholds(b: &decompose::DecomposeBench, cfg: &ExpConfig) -> Snapshot {
     let worst_speedup = b
         .rows
         .iter()
         .map(|r| r.warm_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let worst_cold = b
+        .rows
+        .iter()
+        .map(|r| r.cold_speedup)
         .fold(f64::INFINITY, f64::min);
     let worst_dedup = b
         .rows
@@ -314,6 +332,8 @@ pub fn decompose_thresholds(b: &decompose::DecomposeBench, cfg: &ExpConfig) -> S
         .insert("queries_per_size".into(), cfg.queries.to_string());
     snap.gauges
         .insert(MIN_WARM_SPEEDUP.into(), (worst_speedup * 0.5).max(1.0));
+    snap.gauges
+        .insert(MIN_COLD_SPEEDUP.into(), (worst_cold * 0.5).max(1.0));
     snap.gauges
         .insert(MIN_DEDUP_RATIO.into(), (worst_dedup * 0.9).max(1.0));
     snap
@@ -340,6 +360,23 @@ pub fn check_decompose(b: &decompose::DecomposeBench, thresholds: &Snapshot) -> 
             format!("thresholds missing gauge `{MIN_WARM_SPEEDUP}`"),
         ),
     }
+    match thresholds.gauges.get(MIN_COLD_SPEEDUP) {
+        Some(&min) => {
+            for r in &b.rows {
+                report.check(
+                    r.cold_speedup >= min,
+                    format!(
+                        "{}: cold speedup {:.2}x over byte-keyed recursion (min {min:.2}x)",
+                        r.estimator, r.cold_speedup
+                    ),
+                );
+            }
+        }
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{MIN_COLD_SPEEDUP}`"),
+        ),
+    }
     match thresholds.gauges.get(MIN_DEDUP_RATIO) {
         Some(&min) => {
             for r in &b.rows {
@@ -355,6 +392,103 @@ pub fn check_decompose(b: &decompose::DecomposeBench, thresholds: &Snapshot) -> 
         None => report.check(
             false,
             format!("thresholds missing gauge `{MIN_DEDUP_RATIO}`"),
+        ),
+    }
+    report
+}
+
+/// The reduced corpus the corpus gate mines: small enough for CI seconds,
+/// sharded enough to exercise the tree-reduction merge. Changing it
+/// invalidates `tests/gates/corpus.json`; regenerate with
+/// `gate_corpus --write-thresholds`.
+pub fn corpus_gate_config() -> corpus::CorpusBenchConfig {
+    corpus::CorpusBenchConfig {
+        docs: 8,
+        elements_per_doc: 1_200,
+        seed: 42,
+        k: 3,
+        repeats: 3,
+    }
+}
+
+/// Renders corpus-gate thresholds. The parallel speedup floor is a fixed
+/// contract (`2.0`) rather than a measured fraction: the merge monoid's
+/// whole point is that N shards cut construction time, and on a
+/// multi-core runner 2 of N cores must at least halve it. The bit-identity
+/// requirement is carried as a `1.0` gauge so an empty thresholds file
+/// fails closed.
+pub fn corpus_thresholds(b: &corpus::CorpusBench) -> Snapshot {
+    let cfg = &b.cfg;
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "corpus".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("docs".into(), cfg.docs.to_string());
+    snap.meta
+        .insert("elements_per_doc".into(), cfg.elements_per_doc.to_string());
+    snap.meta.insert("seed".into(), cfg.seed.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.gauges.insert(MIN_PARALLEL_SPEEDUP.into(), 2.0);
+    snap.gauges.insert(REQUIRE_MERGE_IDENTITY.into(), 1.0);
+    snap
+}
+
+/// Compares a corpus measurement against a thresholds snapshot.
+///
+/// * **Bit-identity** (always enforced): every sharded build must
+///   serialize byte-for-byte equal to the sequential one.
+/// * **Parallel speedup** (enforced on multi-core hosts): the widest
+///   sharded build must beat sequential by the committed floor. A
+///   single-core host cannot measure parallel speedup at all, so the
+///   check passes there with an explicit waiver line — the *identity*
+///   half of the contract still runs everywhere.
+///
+/// A missing threshold gauge is a failure either way.
+pub fn check_corpus(b: &corpus::CorpusBench, thresholds: &Snapshot) -> GateReport {
+    let mut report = GateReport::default();
+    match thresholds.gauges.get(REQUIRE_MERGE_IDENTITY) {
+        Some(&req) if req > 0.0 => report.check(
+            b.merge_identical,
+            format!(
+                "merge: sharded builds ({} shard configs) bit-identical to sequential: {}",
+                b.rows.len(),
+                b.merge_identical
+            ),
+        ),
+        Some(_) => report.check(false, "merge identity requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_MERGE_IDENTITY}`"),
+        ),
+    }
+    match thresholds.gauges.get(MIN_PARALLEL_SPEEDUP) {
+        Some(&min) => {
+            let best = b
+                .rows
+                .iter()
+                .filter(|r| r.shards > 1)
+                .map(|r| r.speedup)
+                .fold(0.0, f64::max);
+            if b.host_threads < 2 {
+                report.check(
+                    true,
+                    format!(
+                        "parallel: speedup floor {min:.2}x waived (host has {} core)",
+                        b.host_threads
+                    ),
+                );
+            } else {
+                report.check(
+                    best >= min,
+                    format!(
+                        "parallel: best sharded speedup {best:.2}x over sequential (min {min:.2}x, {} cores)",
+                        b.host_threads
+                    ),
+                );
+            }
+        }
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{MIN_PARALLEL_SPEEDUP}`"),
         ),
     }
     report
@@ -463,8 +597,9 @@ mod tests {
         let cfg = decompose_config();
         let good = bench(4.0, 2.0);
         let thresholds = decompose_thresholds(&good, &cfg);
-        // Floors: half the measured speedup, 0.9x the measured dedup.
+        // Floors: half the measured speedups, 0.9x the measured dedup.
         assert_eq!(thresholds.gauges[MIN_WARM_SPEEDUP], 2.0);
+        assert_eq!(thresholds.gauges[MIN_COLD_SPEEDUP], 1.0);
         assert_eq!(thresholds.gauges[MIN_DEDUP_RATIO], 1.8);
         assert!(check_decompose(&good, &thresholds).passed());
         // A slower or less-shared build fails...
@@ -477,7 +612,85 @@ mod tests {
         // Floors never drop below 1 even for a barely-faster measurement.
         let weak = decompose_thresholds(&bench(1.1, 1.05), &cfg);
         assert_eq!(weak.gauges[MIN_WARM_SPEEDUP], 1.0);
+        assert_eq!(weak.gauges[MIN_COLD_SPEEDUP], 1.0);
         assert_eq!(weak.gauges[MIN_DEDUP_RATIO], 1.0);
+    }
+
+    #[test]
+    fn decompose_gate_fails_a_cold_regression() {
+        // A row that is fast warm but *slower than the reference cold* —
+        // the regression this floor exists to catch — must fail against
+        // thresholds demanding cold parity.
+        let slow_cold = decompose::DecomposeBench {
+            scale: 2_000,
+            seed: 42,
+            rows: vec![decompose::DecomposeRow {
+                estimator: "recursive",
+                queries: 10,
+                reference_cold_ms: 1.0,
+                reference_warm_ms: 1.0,
+                engine_cold_ms: 1.3,
+                engine_warm_ms: 0.2,
+                cold_speedup: 0.79,
+                warm_speedup: 5.0,
+                warm_ns_per_query: 100.0,
+                dedup_ratio: 2.0,
+                interner_keys: 10,
+                dag_nodes: 10,
+                dag_refs: 20,
+            }],
+        };
+        let mut thresholds = Snapshot::default();
+        thresholds.gauges.insert(MIN_WARM_SPEEDUP.into(), 1.0);
+        thresholds.gauges.insert(MIN_COLD_SPEEDUP.into(), 1.0);
+        thresholds.gauges.insert(MIN_DEDUP_RATIO.into(), 1.0);
+        let report = check_decompose(&slow_cold, &thresholds);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("cold speedup")));
+    }
+
+    #[test]
+    fn corpus_gate_checks_identity_and_speedup() {
+        let bench = |identical: bool, speedup: f64, host: usize| corpus::CorpusBench {
+            cfg: corpus_gate_config(),
+            host_threads: host,
+            rows: vec![
+                corpus::CorpusScalingRow {
+                    shards: 1,
+                    build_ms: 100.0,
+                    speedup: 1.0,
+                },
+                corpus::CorpusScalingRow {
+                    shards: 4,
+                    build_ms: 100.0 / speedup,
+                    speedup,
+                },
+            ],
+            merge_identical: identical,
+            merge_ms: 1.0,
+            summary_patterns: 500,
+            summary_heap_bytes: 40_000,
+            mmap_bytes: 20_000,
+            mmap_cold_lookup_ns: 300.0,
+            mmap_probes: 128,
+        };
+        let good = bench(true, 3.0, 4);
+        let thresholds = corpus_thresholds(&good);
+        assert_eq!(thresholds.gauges[MIN_PARALLEL_SPEEDUP], 2.0);
+        assert!(check_corpus(&good, &thresholds).passed());
+        // Bit-identity failures are fatal regardless of speed or cores.
+        assert!(!check_corpus(&bench(false, 3.0, 4), &thresholds).passed());
+        assert!(!check_corpus(&bench(false, 3.0, 1), &thresholds).passed());
+        // Slow scaling fails on a multi-core host...
+        assert!(!check_corpus(&bench(true, 1.1, 4), &thresholds).passed());
+        // ...but is waived (with identity still required) on one core.
+        let waived = check_corpus(&bench(true, 1.0, 1), &thresholds);
+        assert!(waived.passed());
+        assert!(waived.lines.iter().any(|l| l.contains("waived")));
+        // Fail-closed on an empty thresholds file.
+        let report = check_corpus(&good, &Snapshot::default());
+        assert!(!report.passed());
+        assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
     }
 
     #[test]

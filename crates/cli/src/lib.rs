@@ -65,8 +65,8 @@ use tl_fault::failpoints;
 use tl_twig::parse_twig;
 use tl_xml::{parse_document_observed, DocIndex, ParseOptions, ValueMode};
 use treelattice::{
-    Budget, BuildConfig, EngineConfig, EstimateOptions, EstimationEngine, Estimator, Fault,
-    ResilientEstimate, TreeLattice,
+    Budget, BuildConfig, Catalog as _, CorpusConfig, EngineConfig, EstimateOptions,
+    EstimationEngine, Estimator, Fault, MmapCatalog, ResilientEstimate, TreeLattice,
 };
 
 /// A CLI failure: message plus suggested exit code.
@@ -117,7 +117,9 @@ treelattice — twig selectivity estimation over XML documents
 
 USAGE:
   treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
-  treelattice estimate <summary.tlat|input.xml> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N] [--k N]
+  treelattice mine <corpus-dir> -o <summary.tlat> [--k N] [--shards N] [--threads N] [--delta D] [--values MODE]
+  treelattice summary merge <a.tlat> <b.tlat> [more.tlat ...] -o <out.tlat> [--delta D]
+  treelattice estimate <summary.tlat|input.xml> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--mmap] [--threads N] [--k N]
   treelattice workload <summary.tlat> <queries.txt> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
   treelattice explain <summary.tlat> <query>
   treelattice truth <input.xml> <query> [--values MODE]
@@ -142,7 +144,18 @@ Budgeted estimates degrade (smaller fix-sized order, then a first-order
 Markov model) instead of failing, exit 0, and note the rung on stderr.
 The global --chaos <spec> / --chaos-seed <N> flags (or TL_CHAOS /
 TL_CHAOS_SEED) activate the deterministic fail-point harness.
+`mine` builds one merged summary over every .xml file in a directory
+(lexicographic order), sharding documents across --shards workers
+(0 = all cores); results are bit-identical for every shard count.
+`summary merge` folds existing summaries into one: counts add, label
+universes union. With --delta, pruning runs once after the final merge
+(delta-pruning does not commute with merging). `estimate --mmap` serves
+pattern lookups zero-copy from the on-disk frame through a
+checksum-validated memory map instead of loading the summary.
 Exit codes: 0 = success or degraded, 2 = usage error, 3 = fault.
+Catalog-open faults exit 3 like any other fault: a missing file, a
+truncated frame, or a checksum mismatch (CorruptSummary) — whether from
+`estimate`, `estimate --mmap`, `summary merge`, or `inspect`.
 ";
 
 /// Per-invocation observability: holds a live [`tl_obs::MetricsRecorder`]
@@ -284,6 +297,8 @@ pub fn run(args: &[String], out: &mut String, err: &mut String) -> Result<(), Cl
     let rest = &args[1..];
     let result = match command.as_str() {
         "build" => cmd_build(rest, out, err, obs),
+        "mine" => cmd_mine(rest, out, obs),
+        "summary" => cmd_summary(rest, out),
         "estimate" => cmd_estimate(rest, out, err, obs),
         "workload" => cmd_workload(rest, out, err, obs),
         "explain" => cmd_explain(rest, out),
@@ -547,6 +562,132 @@ fn cmd_build(
     Ok(())
 }
 
+/// `mine <corpus-dir>`: builds one merged summary over every `.xml` file
+/// in a directory, sharding documents across workers (the merge-monoid
+/// path — bit-identical to mining the concatenated corpus sequentially).
+fn cmd_mine(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("mine needs -o <summary.tlat>"))?
+        .to_owned();
+    let k: usize = args.numeric("--k")?.unwrap_or(4);
+    let shards: usize = args.numeric("--shards")?.unwrap_or(0);
+    let threads: usize = args.numeric("--threads")?.unwrap_or(1);
+    let delta: Option<f64> = args.numeric("--delta")?;
+    let values = {
+        let raw = args.flag_value("--values")?.map(str::to_owned);
+        parse_value_mode(raw.as_deref())?
+    };
+    let input = args.positional("corpus-dir")?.to_owned();
+    args.finish()?;
+    if k < 2 {
+        return Err(CliError::usage("--k must be at least 2"));
+    }
+    if let Some(d) = delta {
+        if !(0.0..=1.0).contains(&d) {
+            return Err(CliError::usage("--delta must be in [0, 1]"));
+        }
+    }
+
+    let entries =
+        std::fs::read_dir(&input).map_err(|e| CliError::fault(format!("{input}: {e}")))?;
+    let mut files: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+        .collect();
+    // Lexicographic order keeps the corpus — and hence the merged summary
+    // bytes — independent of directory-enumeration order.
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::fault(format!("{input}: no .xml files")));
+    }
+    let docs: Vec<tl_xml::Document> = files
+        .iter()
+        .map(|p| load_document_with(&p.to_string_lossy(), values, obs.rec()))
+        .collect::<Result<_, _>>()?;
+
+    let start = std::time::Instant::now();
+    let lattice = TreeLattice::build_corpus_observed(
+        &docs,
+        CorpusConfig {
+            max_size: k,
+            shards,
+            threads,
+        },
+        delta,
+        obs.rec(),
+    );
+    let elapsed = start.elapsed();
+    write_file(&output, &lattice.to_bytes())?;
+    let elements: usize = docs.iter().map(tl_xml::Document::len).sum();
+    let _ = writeln!(
+        out,
+        "mined {} documents ({} elements) into a {}-lattice in {:.2?}: {} patterns, {} bytes -> {output}",
+        docs.len(),
+        elements,
+        lattice.k(),
+        elapsed,
+        lattice.summary().len(),
+        lattice.summary_bytes(),
+    );
+    Ok(())
+}
+
+/// `summary merge`: folds stored summaries into one over the union of
+/// their label universes, with counts added and δ-pruning (if requested)
+/// applied once after the final merge.
+fn cmd_summary(rest: &[String], out: &mut String) -> Result<(), CliError> {
+    let mut args = Args::new(rest);
+    let action = args.positional("merge")?.to_owned();
+    if action != "merge" {
+        return Err(CliError::usage(format!(
+            "unknown summary action `{action}` (expected merge)"
+        )));
+    }
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("summary merge needs -o <out.tlat>"))?
+        .to_owned();
+    let delta: Option<f64> = args.numeric("--delta")?;
+    let mut inputs = Vec::new();
+    while let Ok(path) = args.positional("summary.tlat") {
+        inputs.push(path.to_owned());
+    }
+    args.finish()?;
+    if inputs.len() < 2 {
+        return Err(CliError::usage(
+            "summary merge needs at least two input summaries",
+        ));
+    }
+    if let Some(d) = delta {
+        if !(0.0..=1.0).contains(&d) {
+            return Err(CliError::usage("--delta must be in [0, 1]"));
+        }
+    }
+
+    let mut merged = load_summary(&inputs[0])?;
+    for path in &inputs[1..] {
+        let other = load_summary(path)?;
+        merged.merge(&other);
+    }
+    if let Some(d) = delta {
+        merged.prune(d);
+    }
+    write_file(&output, &merged.to_bytes())?;
+    let _ = writeln!(
+        out,
+        "merged {} summaries: k = {}, {} labels, {} patterns, {} bytes -> {output}",
+        inputs.len(),
+        merged.k(),
+        merged.labels().len(),
+        merged.summary().len(),
+        merged.summary_bytes(),
+    );
+    Ok(())
+}
+
 fn cmd_estimate(
     rest: &[String],
     out: &mut String,
@@ -563,6 +704,7 @@ fn cmd_estimate(
         parse_value_mode(raw.as_deref())?
     };
     let engine_cache = args.flag("--engine-cache");
+    let use_mmap = args.flag("--mmap");
     let threads: usize = args.numeric("--threads")?.unwrap_or(0);
     let k: usize = args.numeric("--k")?.unwrap_or(4);
     let (budget, budgeted) = parse_budget(&mut args)?;
@@ -571,6 +713,38 @@ fn cmd_estimate(
     args.finish()?;
     if k < 2 {
         return Err(CliError::usage("--k must be at least 2"));
+    }
+
+    // Zero-copy mode: validate the frame once, then serve every pattern
+    // lookup straight from the mapped bytes — nothing is deserialized.
+    if use_mmap {
+        if summary_path.ends_with(".xml") {
+            return Err(CliError::usage("--mmap needs a stored <summary.tlat>"));
+        }
+        if budgeted {
+            return Err(CliError::usage(
+                "--mmap does not combine with --budget-* (the degradation ladder is in-memory only)",
+            ));
+        }
+        let catalog = MmapCatalog::open_observed(Path::new(&summary_path), obs.rec())
+            .map_err(|e| CliError::fault(format!("{summary_path}: {e}")))?;
+        let twig = parse_query_in(catalog.labels(), &query, values)?;
+        let opts = EstimateOptions::default();
+        let est = if engine_cache {
+            let engine = EstimationEngine::with_recorder(
+                EngineConfig {
+                    threads,
+                    ..EngineConfig::default()
+                },
+                obs.shared(),
+            );
+            engine.estimate_catalog(&catalog, &twig, estimator, &opts)
+        } else {
+            treelattice::estimate_catalog(&catalog, &twig, estimator, &opts)
+        };
+        catalog.flush_lookups(obs.rec());
+        let _ = writeln!(out, "{est:.3}");
+        return Ok(());
     }
 
     // One-shot mode: given raw XML, build a throwaway lattice in memory and
@@ -652,7 +826,17 @@ fn parse_query_for(
     query: &str,
     values: ValueMode,
 ) -> Result<tl_twig::Twig, CliError> {
-    let mut labels = lattice.labels().clone();
+    parse_query_in(lattice.labels(), query, values)
+}
+
+/// [`parse_query_for`] against a bare label table — what catalog backends
+/// expose without materializing a lattice.
+fn parse_query_in(
+    labels: &tl_xml::LabelInterner,
+    query: &str,
+    values: ValueMode,
+) -> Result<tl_twig::Twig, CliError> {
+    let mut labels = labels.clone();
     match values {
         ValueMode::Ignore => parse_twig(query, &mut labels),
         mode => tl_twig::parse_twig_valued(query, &mut labels, mode),
@@ -1757,6 +1941,254 @@ mod tests {
 
         let err = call(&["metrics", "frobnicate", metrics.to_str().unwrap()]).unwrap_err();
         assert_eq!(err.code, 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Writes a small corpus of generated XMark documents into
+    /// `dir/corpus/` and returns that directory.
+    fn gen_corpus(dir: &std::path::Path, docs: usize) -> std::path::PathBuf {
+        let corpus = dir.join("corpus");
+        std::fs::create_dir_all(&corpus).unwrap();
+        for i in 0..docs {
+            let xml = corpus.join(format!("doc{i}.xml"));
+            call(&[
+                "gen",
+                "xmark",
+                "-o",
+                xml.to_str().unwrap(),
+                "--scale",
+                "400",
+                "--seed",
+                &(10 + i).to_string(),
+            ])
+            .unwrap();
+        }
+        corpus
+    }
+
+    #[test]
+    fn mine_shards_a_corpus_directory_bit_identically() {
+        let dir = tempdir();
+        let corpus = gen_corpus(&dir, 3);
+        // A stray non-XML file must be ignored, not parsed.
+        std::fs::write(corpus.join("README.txt"), "not xml").unwrap();
+
+        let serial = dir.join("serial.tlat");
+        let sharded = dir.join("sharded.tlat");
+        let out = call(&[
+            "mine",
+            corpus.to_str().unwrap(),
+            "-o",
+            serial.to_str().unwrap(),
+            "--k",
+            "3",
+            "--shards",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("mined 3 documents"), "{out}");
+
+        let out = call(&[
+            "mine",
+            corpus.to_str().unwrap(),
+            "-o",
+            sharded.to_str().unwrap(),
+            "--k",
+            "3",
+            "--shards",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("mined 3 documents"), "{out}");
+        assert_eq!(
+            std::fs::read(&serial).unwrap(),
+            std::fs::read(&sharded).unwrap(),
+            "sharded mining must serialize bit-identically to sequential"
+        );
+
+        // The mined summary answers queries like any built one.
+        let est = call(&["estimate", serial.to_str().unwrap(), "item/mailbox"]).unwrap();
+        let _: f64 = est.trim().parse().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mine_rejects_empty_and_missing_corpus_as_fault() {
+        let dir = tempdir();
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let out = dir.join("x.tlat");
+        let err =
+            call(&["mine", empty.to_str().unwrap(), "-o", out.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+        assert!(err.message.contains("no .xml files"), "{}", err.message);
+
+        let missing = dir.join("nope");
+        let err = call(&[
+            "mine",
+            missing.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn summary_merge_matches_mining_the_union() {
+        let dir = tempdir();
+        let corpus = gen_corpus(&dir, 2);
+        let files: Vec<std::path::PathBuf> = {
+            let mut v: Vec<_> = std::fs::read_dir(&corpus)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            v.sort();
+            v
+        };
+        // Build each document alone, then merge the stored summaries.
+        let mut parts = Vec::new();
+        for (i, xml) in files.iter().enumerate() {
+            let tlat = dir.join(format!("part{i}.tlat"));
+            call(&[
+                "build",
+                xml.to_str().unwrap(),
+                "-o",
+                tlat.to_str().unwrap(),
+                "--k",
+                "3",
+            ])
+            .unwrap();
+            parts.push(tlat);
+        }
+        let merged = dir.join("merged.tlat");
+        let out = call(&[
+            "summary",
+            "merge",
+            parts[0].to_str().unwrap(),
+            parts[1].to_str().unwrap(),
+            "-o",
+            merged.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("merged 2 summaries"), "{out}");
+
+        // Mining the same two documents as one corpus must give the same
+        // bytes: merge is exactly "mine the union".
+        let mined = dir.join("mined.tlat");
+        call(&[
+            "mine",
+            corpus.to_str().unwrap(),
+            "-o",
+            mined.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&merged).unwrap(),
+            std::fs::read(&mined).unwrap(),
+            "summary merge must agree with corpus mining"
+        );
+
+        // Fewer than two inputs is a usage error, as is an unknown action.
+        let err = call(&[
+            "summary",
+            "merge",
+            parts[0].to_str().unwrap(),
+            "-o",
+            merged.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = call(&["summary", "split", parts[0].to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.code, 2);
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn estimate_mmap_agrees_with_in_memory_catalog() {
+        let dir = tempdir();
+        let xml = dir.join("m.xml");
+        let tlat = dir.join("m.tlat");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "2000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+
+        for query in ["item/mailbox", "item[mailbox][payment]", "site/regions"] {
+            let memory = call(&["estimate", tlat.to_str().unwrap(), query]).unwrap();
+            let mapped = call(&["estimate", tlat.to_str().unwrap(), query, "--mmap"]).unwrap();
+            assert_eq!(memory, mapped, "{query}");
+        }
+
+        // The mmap path feeds the same metrics pipeline, including the
+        // zero-copy catalog counters.
+        let metrics = dir.join("m.json");
+        call(&[
+            "estimate",
+            tlat.to_str().unwrap(),
+            "item/mailbox",
+            "--mmap",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = call(&["metrics", "report", metrics.to_str().unwrap()]).unwrap();
+        assert!(report.contains("catalog.mmap.opens"), "{report}");
+        assert!(report.contains("catalog.mmap.lookups"), "{report}");
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn estimate_mmap_guards_inputs_and_corruption() {
+        let dir = tempdir();
+        // `--mmap` needs a stored frame, not raw XML.
+        let xml = dir.join("g.xml");
+        std::fs::write(&xml, "<r><a><b/></a></r>").unwrap();
+        let err = call(&["estimate", xml.to_str().unwrap(), "a/b", "--mmap"]).unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        // A checksum-corrupted frame is a catalog-open fault: exit 3.
+        let tlat = dir.join("g.tlat");
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        let mut bytes = std::fs::read(&tlat).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&tlat, &bytes).unwrap();
+        let err = call(&["estimate", tlat.to_str().unwrap(), "a/b", "--mmap"]).unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+
         let _ = std::fs::remove_dir_all(dir);
     }
 }

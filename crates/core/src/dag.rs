@@ -27,14 +27,27 @@
 //! the recursion skipped past a zero factor still get evaluated and cached,
 //! which can only add cache entries, never change a value (every sub-twig's
 //! estimate is a pure function of the summary and the voting class).
+//!
+//! Two cold-path economies keep single-query latency below the reference
+//! engine's (the `gate.decompose.min_cold_speedup` floor): the arena
+//! buffers live in a thread-local [`DagScratch`] pool, so a cold query
+//! reuses the previous query's capacity instead of growing fresh vectors;
+//! and roots the pattern store can answer directly (within-`k` patterns —
+//! exact counts or trivially-zero levels) return after one store probe
+//! without touching the arenas at all.
+//!
+//! The evaluator is generic over [`PatternStore`], so the same DAG runs
+//! against the in-memory summary, the eager file catalog, or the zero-copy
+//! mmap catalog (see [`crate::catalog`]).
 
 use tl_twig::canonical::{decode_bytes_into, key_of, KeyEncoder};
 use tl_twig::ops::{decompose_pair_into, fixed_cover_with, removable_pairs_into, CoverStrategy};
 use tl_twig::{Twig, TwigId, TwigInterner, TwigNodeId};
 use tl_xml::{FxHashMap, LabelId};
 
+use crate::catalog::PatternStore;
 use crate::estimator::{EstimateOptions, Estimator};
-use crate::summary::{Lookup, Summary};
+use crate::summary::Lookup;
 
 /// Where interned ids and resolved sub-twig estimates live during DAG
 /// evaluation. The id-keyed sibling of the byte-keyed `SubtwigCache`: the
@@ -105,13 +118,14 @@ struct DagNode {
     state: State,
 }
 
-/// The explicit decomposition DAG of one query (or one batch of fix-sized
-/// windows), built and evaluated without recursion.
-pub(crate) struct DagEvaluator<'s, 'c, C: IdCache> {
-    summary: &'s Summary,
-    cache: &'c mut C,
-    voting: bool,
-    cap: usize,
+/// The pooled arena storage behind a [`DagEvaluator`]: node and pair
+/// arenas, the dedup index, worklists, and the encode/decode scratch
+/// buffers. One instance lives per thread (see [`with_dag_scratch`]) and is
+/// reset — clearing lengths, keeping capacities — at the start of every
+/// evaluation, so cold queries stop paying the arena's allocation ramp-up
+/// after the thread's first query.
+#[derive(Default)]
+pub(crate) struct DagScratch {
     /// Node arena, in first-reference order.
     nodes: Vec<DagNode>,
     /// Pair arena: `[t1, t2, t12]` node indices per taken removable pair.
@@ -127,29 +141,69 @@ pub(crate) struct DagEvaluator<'s, 'c, C: IdCache> {
     byte_pool: Vec<Vec<u8>>,
     rm_nodes: Vec<TwigNodeId>,
     rm_pairs: Vec<(TwigNodeId, TwigNodeId)>,
+    /// Evaluation order scratch for `evaluate`.
+    order: Vec<u32>,
+}
+
+impl DagScratch {
+    /// Clears per-evaluation state; pools and capacities survive.
+    fn reset(&mut self) {
+        // Pending build twigs would leak out of the pool otherwise (a
+        // previous evaluation can only leave these empty, but reset must
+        // hold unconditionally).
+        for (_, _, twig) in self.build_stack.drain(..) {
+            self.twig_pool.push(twig);
+        }
+        self.nodes.clear();
+        self.pairs.clear();
+        self.index.clear();
+        self.pending.clear();
+        self.order.clear();
+    }
+}
+
+thread_local! {
+    /// One arena pool per thread: DAG evaluation never nests (no callback
+    /// re-enters the estimator), so a single borrow is always available.
+    static DAG_SCRATCH: std::cell::RefCell<DagScratch> =
+        std::cell::RefCell::new(DagScratch::default());
+}
+
+/// Runs `f` with the thread's pooled [`DagScratch`].
+fn with_dag_scratch<R>(f: impl FnOnce(&mut DagScratch) -> R) -> R {
+    DAG_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The explicit decomposition DAG of one query (or one batch of fix-sized
+/// windows), built and evaluated without recursion against any
+/// [`PatternStore`] backend.
+pub(crate) struct DagEvaluator<'a, 's, 'c, C: IdCache, S: PatternStore + ?Sized> {
+    store: &'s S,
+    cache: &'c mut C,
+    voting: bool,
+    cap: usize,
+    scratch: &'a mut DagScratch,
     /// Deepest expansion reached — mirrors the recursion's depth counter:
     /// the root of each `eval_twig` expands at depth 1, its operands at 2, …
     max_depth: usize,
     refs: u64,
 }
 
-impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
-    pub(crate) fn new(summary: &'s Summary, cache: &'c mut C, voting: bool, cap: usize) -> Self {
+impl<'a, 's, 'c, C: IdCache, S: PatternStore + ?Sized> DagEvaluator<'a, 's, 'c, C, S> {
+    pub(crate) fn new(
+        store: &'s S,
+        cache: &'c mut C,
+        voting: bool,
+        cap: usize,
+        scratch: &'a mut DagScratch,
+    ) -> Self {
+        scratch.reset();
         Self {
-            summary,
+            store,
             cache,
             voting,
             cap,
-            nodes: Vec::new(),
-            pairs: Vec::new(),
-            index: FxHashMap::default(),
-            pending: Vec::new(),
-            build_stack: Vec::new(),
-            encoder: KeyEncoder::new(),
-            twig_pool: Vec::new(),
-            byte_pool: Vec::new(),
-            rm_nodes: Vec::new(),
-            rm_pairs: Vec::new(),
+            scratch,
             max_depth: 0,
             refs: 0,
         }
@@ -157,7 +211,7 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
 
     pub(crate) fn stats(&self) -> DagStats {
         DagStats {
-            nodes: self.nodes.len() as u64,
+            nodes: self.scratch.nodes.len() as u64,
             refs: self.refs,
         }
     }
@@ -170,10 +224,10 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
     /// one bottom-up pass, returns the root's estimate. Callable repeatedly
     /// on the same evaluator — fix-sized windows share the node table.
     pub(crate) fn eval_twig(&mut self, twig: &Twig) -> f64 {
-        let mut buf = self.byte_pool.pop().unwrap_or_default();
-        self.encoder.encode_into(twig, &mut buf);
+        let mut buf = self.scratch.byte_pool.pop().unwrap_or_default();
+        self.scratch.encoder.encode_into(twig, &mut buf);
         let root = self.ensure(&buf, 1);
-        self.byte_pool.push(buf);
+        self.scratch.byte_pool.push(buf);
         self.build();
         self.evaluate();
         self.resolved(root)
@@ -192,13 +246,13 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
     }
 
     /// Interns `bytes` and returns its node index, creating the node if this
-    /// is its first reference: resolved straight from the cache or summary
+    /// is its first reference: resolved straight from the cache or store
     /// where possible, queued for expansion otherwise. `depth` is the
     /// expansion depth the node gets *if* it needs decomposing.
     fn ensure(&mut self, bytes: &[u8], depth: usize) -> u32 {
         self.refs += 1;
         let id = self.cache.intern(bytes);
-        if let Some(&ix) = self.index.get(&id) {
+        if let Some(&ix) = self.scratch.index.get(&id) {
             return ix;
         }
         let cached = self.cache.lookup(id);
@@ -208,12 +262,12 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
     /// Materializes the node for a first-referenced id, given the result of
     /// its (already counted) cache lookup.
     fn admit(&mut self, bytes: &[u8], depth: usize, id: TwigId, cached: Option<f64>) -> u32 {
-        let ix = u32::try_from(self.nodes.len()).expect("DAG node arena overflow");
+        let ix = u32::try_from(self.scratch.nodes.len()).expect("DAG node arena overflow");
         let size = (bytes.len() / 6) as u32;
         let state = if let Some(v) = cached {
             State::Resolved(v)
         } else {
-            match self.summary.lookup_bytes(bytes) {
+            match self.store.lookup_bytes(bytes) {
                 Lookup::Exact(c) => {
                     let v = c as f64;
                     self.cache.store(id, v);
@@ -222,17 +276,18 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
                 Lookup::Derivable | Lookup::TooLarge => {
                     if size <= 2 {
                         // Levels 1–2 are never pruned; reaching here means
-                        // the summary genuinely lacks the pattern.
+                        // the store genuinely lacks the pattern.
                         self.cache.store(id, 0.0);
                         State::Resolved(0.0)
                     } else {
                         let mut twig = self
+                            .scratch
                             .twig_pool
                             .pop()
                             .unwrap_or_else(|| Twig::single(LabelId(0)));
                         decode_bytes_into(bytes, &mut twig);
-                        self.build_stack.push((ix, depth, twig));
-                        self.pending.push(ix);
+                        self.scratch.build_stack.push((ix, depth, twig));
+                        self.scratch.pending.push(ix);
                         // Placeholder; `expand` fills the pair slice in.
                         State::Pending {
                             first_pair: 0,
@@ -242,29 +297,29 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
                 }
             }
         };
-        self.nodes.push(DagNode { id, size, state });
-        self.index.insert(id, ix);
+        self.scratch.nodes.push(DagNode { id, size, state });
+        self.scratch.index.insert(id, ix);
         ix
     }
 
     /// Drains the expansion worklist depth-first.
     fn build(&mut self) {
-        while let Some((ix, depth, twig)) = self.build_stack.pop() {
+        while let Some((ix, depth, twig)) = self.scratch.build_stack.pop() {
             self.max_depth = self.max_depth.max(depth);
             self.expand(ix, depth, &twig);
-            self.twig_pool.push(twig);
+            self.scratch.twig_pool.push(twig);
         }
     }
 
     /// Materializes one node's removable-pair operands into the arenas.
     fn expand(&mut self, ix: u32, depth: usize, twig: &Twig) {
-        let mut rm_nodes = std::mem::take(&mut self.rm_nodes);
-        let mut rm_pairs = std::mem::take(&mut self.rm_pairs);
+        let mut rm_nodes = std::mem::take(&mut self.scratch.rm_nodes);
+        let mut rm_pairs = std::mem::take(&mut self.scratch.rm_pairs);
         removable_pairs_into(twig, &mut rm_nodes, &mut rm_pairs);
         debug_assert!(!rm_pairs.is_empty(), "size >= 3 twigs always decompose");
         let take = if self.voting { self.cap } else { 1 };
         let n = take.min(rm_pairs.len());
-        let first_pair = u32::try_from(self.pairs.len()).expect("DAG pair arena overflow");
+        let first_pair = u32::try_from(self.scratch.pairs.len()).expect("DAG pair arena overflow");
         let mut t1 = self.pooled_twig();
         let mut t2 = self.pooled_twig();
         let mut t12 = self.pooled_twig();
@@ -273,30 +328,31 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
             let a = self.ensure_twig(&t1, depth + 1);
             let b = self.ensure_twig(&t2, depth + 1);
             let c = self.ensure_twig(&t12, depth + 1);
-            self.pairs.push([a, b, c]);
+            self.scratch.pairs.push([a, b, c]);
         }
-        self.twig_pool.push(t1);
-        self.twig_pool.push(t2);
-        self.twig_pool.push(t12);
-        self.rm_nodes = rm_nodes;
-        self.rm_pairs = rm_pairs;
-        self.nodes[ix as usize].state = State::Pending {
+        self.scratch.twig_pool.push(t1);
+        self.scratch.twig_pool.push(t2);
+        self.scratch.twig_pool.push(t12);
+        self.scratch.rm_nodes = rm_nodes;
+        self.scratch.rm_pairs = rm_pairs;
+        self.scratch.nodes[ix as usize].state = State::Pending {
             first_pair,
             n_pairs: n as u32,
         };
     }
 
     fn pooled_twig(&mut self) -> Twig {
-        self.twig_pool
+        self.scratch
+            .twig_pool
             .pop()
             .unwrap_or_else(|| Twig::single(LabelId(0)))
     }
 
     fn ensure_twig(&mut self, twig: &Twig, depth: usize) -> u32 {
-        let mut buf = self.byte_pool.pop().unwrap_or_default();
-        self.encoder.encode_into(twig, &mut buf);
+        let mut buf = self.scratch.byte_pool.pop().unwrap_or_default();
+        self.scratch.encoder.encode_into(twig, &mut buf);
         let ix = self.ensure(&buf, depth);
-        self.byte_pool.push(buf);
+        self.scratch.byte_pool.push(buf);
         ix
     }
 
@@ -306,16 +362,21 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
     /// round or in a previous one. Each node's value replicates the
     /// recursive `decompose` average over its taken pairs exactly.
     fn evaluate(&mut self) {
-        if self.pending.is_empty() {
+        if self.scratch.pending.is_empty() {
             return;
         }
-        let mut order = std::mem::take(&mut self.pending);
+        std::mem::swap(&mut self.scratch.pending, &mut self.scratch.order);
+        self.scratch.pending.clear();
+        let order = std::mem::take(&mut self.scratch.order);
         {
-            let nodes = &self.nodes;
+            let nodes = &self.scratch.nodes;
+            let mut order = order;
             order.sort_unstable_by_key(|&ix| (nodes[ix as usize].size, ix));
+            self.scratch.order = order;
         }
-        for &ix in &order {
-            let (first, n) = match self.nodes[ix as usize].state {
+        for i in 0..self.scratch.order.len() {
+            let ix = self.scratch.order[i];
+            let (first, n) = match self.scratch.nodes[ix as usize].state {
                 State::Pending {
                     first_pair,
                     n_pairs,
@@ -325,7 +386,7 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
             let mut sum = 0.0;
             let mut cnt = 0usize;
             for p in first..first + n {
-                let [a, b, c] = self.pairs[p];
+                let [a, b, c] = self.scratch.pairs[p];
                 let e1 = self.resolved(a);
                 if e1 <= 0.0 {
                     cnt += 1;
@@ -343,15 +404,14 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
                 cnt += 1;
             }
             let value = if cnt == 0 { 0.0 } else { sum / cnt as f64 };
-            self.nodes[ix as usize].state = State::Resolved(value);
-            self.cache.store(self.nodes[ix as usize].id, value);
+            self.scratch.nodes[ix as usize].state = State::Resolved(value);
+            self.cache.store(self.scratch.nodes[ix as usize].id, value);
         }
-        order.clear();
-        self.pending = order;
+        self.scratch.order.clear();
     }
 
     fn resolved(&self, ix: u32) -> f64 {
-        match self.nodes[ix as usize].state {
+        match self.scratch.nodes[ix as usize].state {
             State::Resolved(v) => v,
             State::Pending { .. } => unreachable!("operand evaluated before its dependent"),
         }
@@ -359,9 +419,9 @@ impl<'s, 'c, C: IdCache> DagEvaluator<'s, 'c, C> {
 }
 
 thread_local! {
-    /// Scratch for the warm-probe fast path: one pooled encoder and key
-    /// buffer reused across queries on this thread, so a repeat query is
-    /// answered with zero allocations.
+    /// Scratch for the root-probe fast path: one pooled encoder and key
+    /// buffer reused across queries on this thread, so a repeat (or
+    /// store-answered) query is handled with zero allocations.
     static PROBE_SCRATCH: std::cell::RefCell<(KeyEncoder, Vec<u8>)> =
         std::cell::RefCell::new((KeyEncoder::new(), Vec::new()));
 }
@@ -369,9 +429,10 @@ thread_local! {
 /// The DAG-backed equivalent of the recursive
 /// `estimate_with_cache_depth`: same estimator dispatch, same
 /// canonicalize-first handling for the fix-sized covers, bit-identical
-/// values. Returns `(estimate, max expansion depth, dag statistics)`.
-pub(crate) fn estimate_dag<C: IdCache>(
-    summary: &Summary,
+/// values. Generic over the pattern-store backend. Returns
+/// `(estimate, max expansion depth, dag statistics)`.
+pub(crate) fn estimate_dag<C: IdCache, S: PatternStore + ?Sized>(
+    store: &S,
     twig: &Twig,
     estimator: Estimator,
     opts: &EstimateOptions,
@@ -382,7 +443,7 @@ pub(crate) fn estimate_dag<C: IdCache>(
         Estimator::RecursiveVoting => opts.voting_cap.max(1),
         _ => 1,
     };
-    let k = summary.max_size();
+    let k = store.max_size();
     match estimator {
         Estimator::Recursive | Estimator::RecursiveVoting => PROBE_SCRATCH.with(|s| {
             // Probe the root before building anything: on a warm cache the
@@ -396,14 +457,31 @@ pub(crate) fn estimate_dag<C: IdCache>(
                 // the cross-query dedup ratio instead of diluting it.
                 return (v, 0, DagStats { nodes: 0, refs: 1 });
             }
-            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
-            let value = ev.eval_probed_root(buf, id);
-            (value, ev.max_depth(), ev.stats())
+            // Cold direct probe, mirroring `admit`'s resolution rules:
+            // roots the store can answer (within-k exact counts, trivially
+            // absent size ≤ 2 patterns) skip the arena machinery entirely.
+            match store.lookup_bytes(buf) {
+                Lookup::Exact(c) => {
+                    let v = c as f64;
+                    cache.store(id, v);
+                    return (v, 0, DagStats { nodes: 0, refs: 1 });
+                }
+                Lookup::Derivable | Lookup::TooLarge if buf.len() / 6 <= 2 => {
+                    cache.store(id, 0.0);
+                    return (0.0, 0, DagStats { nodes: 0, refs: 1 });
+                }
+                Lookup::Derivable | Lookup::TooLarge => {}
+            }
+            with_dag_scratch(|scratch| {
+                let mut ev = DagEvaluator::new(store, cache, voting, cap, scratch);
+                let value = ev.eval_probed_root(buf, id);
+                (value, ev.max_depth(), ev.stats())
+            })
         }),
         // Canonicalize first so the pre-order cover (and hence the result)
         // is identical for isomorphic queries.
-        Estimator::FixSized => {
-            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
+        Estimator::FixSized => with_dag_scratch(|scratch| {
+            let mut ev = DagEvaluator::new(store, cache, voting, cap, scratch);
             let value = eval_fixed(
                 &mut ev,
                 &key_of(twig).decode(),
@@ -411,9 +489,9 @@ pub(crate) fn estimate_dag<C: IdCache>(
                 k,
             );
             (value, ev.max_depth(), ev.stats())
-        }
-        Estimator::FixSizedVoting => {
-            let mut ev = DagEvaluator::new(summary, cache, voting, cap);
+        }),
+        Estimator::FixSizedVoting => with_dag_scratch(|scratch| {
+            let mut ev = DagEvaluator::new(store, cache, voting, cap, scratch);
             let canonical = key_of(twig).decode();
             let strategies = [CoverStrategy::AncestorsFirst, CoverStrategy::ChildrenFirst];
             let mut sum = 0.0f64;
@@ -422,7 +500,7 @@ pub(crate) fn estimate_dag<C: IdCache>(
             }
             let value = sum / strategies.len() as f64;
             (value, ev.max_depth(), ev.stats())
-        }
+        }),
     }
 }
 
@@ -430,8 +508,8 @@ pub(crate) fn estimate_dag<C: IdCache>(
 /// Windows are evaluated lazily in cover order with the same early-zero
 /// return as the recursive variant, so both the value and the set of
 /// evaluated windows match it exactly.
-fn eval_fixed<C: IdCache>(
-    ev: &mut DagEvaluator<'_, '_, C>,
+fn eval_fixed<C: IdCache, S: PatternStore + ?Sized>(
+    ev: &mut DagEvaluator<'_, '_, '_, C, S>,
     twig: &Twig,
     strategy: CoverStrategy,
     k: usize,
@@ -469,6 +547,7 @@ mod tests {
 
     use super::*;
     use crate::estimator::{estimate_with_cache_depth, EstimateOptions, Estimator};
+    use crate::summary::Summary;
 
     fn summary_of(patterns: &[(&str, u64)], k: usize) -> (Summary, LabelInterner) {
         let mut it = LabelInterner::new();
@@ -583,6 +662,31 @@ mod tests {
         assert_eq!(warm_depth, 0, "no expansion on a warm cache");
     }
 
+    /// A root the summary answers directly (size ≤ k) must not build a DAG
+    /// even on a stone-cold cache — the cold-path economy behind the
+    /// decompose gate's cold-speedup floor.
+    #[test]
+    fn within_k_roots_skip_the_arena_when_cold() {
+        let (s, mut it) = summary_of(&[("a", 2), ("b", 4), ("a/b", 6)], 2);
+        let opts = EstimateOptions::default();
+        // Stored pattern: answered exactly.
+        let t = q(&mut it, "a/b");
+        let mut cache = LocalIdCache::default();
+        let (v, depth, stats) = estimate_dag(&s, &t, Estimator::Recursive, &opts, &mut cache);
+        assert_eq!(v, 6.0);
+        assert_eq!(stats.nodes, 0, "no node materialized");
+        assert_eq!(stats.refs, 1);
+        assert_eq!(depth, 0);
+        // Absent small pattern: exact zero, same shape.
+        let t0 = q(&mut it, "b/a");
+        let (v0, _, stats0) = estimate_dag(&s, &t0, Estimator::Recursive, &opts, &mut cache);
+        assert_eq!(v0, 0.0);
+        assert_eq!(stats0.nodes, 0);
+        // Both roots are cached now: a repeat is a pure cache hit.
+        let (v1, _, _) = estimate_dag(&s, &t, Estimator::Recursive, &opts, &mut cache);
+        assert_eq!(v1.to_bits(), v.to_bits());
+    }
+
     /// Voting over capped pairs only expands the taken pairs, like the
     /// recursion's `pairs.iter().take(cap)`.
     #[test]
@@ -618,5 +722,44 @@ mod tests {
         assert!(capped.refs < full.refs, "cap must shrink the DAG");
         let plain = crate::estimator::estimate(&s, &t, Estimator::Recursive, &full_opts);
         assert_eq!(capped_v.to_bits(), plain.to_bits());
+    }
+
+    /// Back-to-back evaluations on one thread reuse the pooled scratch and
+    /// stay bit-identical to fresh-arena evaluation (the pool only recycles
+    /// capacity, never state).
+    #[test]
+    fn pooled_scratch_is_reset_between_queries() {
+        let (s, mut it) = summary_of(
+            &[
+                ("a", 2),
+                ("b", 4),
+                ("c", 8),
+                ("d", 16),
+                ("a/b", 6),
+                ("b/c", 12),
+                ("c/d", 24),
+            ],
+            2,
+        );
+        let opts = EstimateOptions::default();
+        let queries = ["a/b/c/d", "a/b/c", "b/c/d", "a/b/c/d"];
+        let mut first_pass: Vec<u64> = Vec::new();
+        for qs in queries {
+            let t = q(&mut it, qs);
+            // Fresh cache every time: every evaluation is fully cold and
+            // reuses the thread's scratch left dirty by the previous one.
+            let mut cache = LocalIdCache::default();
+            let (v, _, _) = estimate_dag(&s, &t, Estimator::Recursive, &opts, &mut cache);
+            first_pass.push(v.to_bits());
+        }
+        assert_eq!(first_pass[0], first_pass[3], "same query, same bits");
+        // And against the recursive reference, still bit-identical.
+        for (qs, bits) in queries.iter().zip(&first_pass) {
+            let t = q(&mut it, qs);
+            let mut memo: FxHashMap<tl_twig::TwigKey, f64> = FxHashMap::default();
+            let (rec_v, _) =
+                estimate_with_cache_depth(&s, &t, Estimator::Recursive, &opts, &mut memo);
+            assert_eq!(rec_v.to_bits(), *bits, "{qs}");
+        }
     }
 }

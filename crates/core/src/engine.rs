@@ -61,6 +61,7 @@ use tl_fault::{failpoints, Fault};
 use tl_twig::{Twig, TwigId, TwigInterner, TwigKey};
 use tl_xml::FxHashMap;
 
+use crate::catalog::Catalog;
 use crate::dag::{estimate_dag, IdCache};
 use crate::estimator::SubtwigCache;
 use crate::resilient::{estimate_resilient_with_cache, ResilientEstimate};
@@ -116,6 +117,10 @@ pub struct EngineStats {
     /// counter staying flat across a repeat workload is the allocation-free
     /// lookup guarantee.
     pub key_clone_bytes: u64,
+    /// Pattern-store probes served by counting backends (the mmap catalog)
+    /// during `estimate_catalog` / `estimate_batch_catalog` calls on this
+    /// engine. In-memory backends are not metered and contribute 0.
+    pub catalog_lookups: u64,
 }
 
 impl EngineStats {
@@ -188,6 +193,7 @@ pub struct EstimationEngine {
     key_clone_bytes: AtomicU64,
     dag_nodes: AtomicU64,
     dag_refs: AtomicU64,
+    catalog_lookups: AtomicU64,
     last_batch_nanos: AtomicU64,
     /// Metric sink shared with batch worker threads; [`tl_obs::Noop`]
     /// unless [`EstimationEngine::with_recorder`] installed a live one.
@@ -231,6 +237,7 @@ impl EstimationEngine {
             key_clone_bytes: AtomicU64::new(0),
             dag_nodes: AtomicU64::new(0),
             dag_refs: AtomicU64::new(0),
+            catalog_lookups: AtomicU64::new(0),
             last_batch_nanos: AtomicU64::new(0),
             rec,
         }
@@ -245,18 +252,40 @@ impl EstimationEngine {
         estimator: Estimator,
         opts: &EstimateOptions,
     ) -> f64 {
+        self.estimate_catalog(lattice, twig, estimator, opts)
+    }
+
+    /// [`estimate`](Self::estimate) against any [`Catalog`] backend — the
+    /// in-memory lattice, an eagerly loaded file, or the zero-copy mmap
+    /// reader — through the same shared cache. Generations keep backends
+    /// apart: every opened catalog carries a fresh one, so cached values
+    /// never leak between stores.
+    pub fn estimate_catalog<C: Catalog + ?Sized>(
+        &self,
+        catalog: &C,
+        twig: &Twig,
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> f64 {
+        let before = catalog.served_lookups();
         let mut cache =
-            SharedIdCache::new(self, lattice.generation(), voting_class(estimator, opts));
-        self.estimate_in(lattice, twig, estimator, opts, &mut cache)
+            SharedIdCache::new(self, catalog.generation(), voting_class(estimator, opts));
+        let value = self.estimate_in(catalog, twig, estimator, opts, &mut cache);
+        drop(cache);
+        self.catalog_lookups.fetch_add(
+            catalog.served_lookups().saturating_sub(before),
+            Ordering::Relaxed,
+        );
+        value
     }
 
     /// One query against an existing cache adapter (whose `(generation,
     /// voting class)` must match the arguments). Batch workers reuse one
     /// adapter across all their queries so counters flush once per worker,
     /// not once per query.
-    fn estimate_in(
+    fn estimate_in<C: Catalog + ?Sized>(
         &self,
-        lattice: &TreeLattice,
+        catalog: &C,
         twig: &Twig,
         estimator: Estimator,
         opts: &EstimateOptions,
@@ -266,12 +295,12 @@ impl EstimationEngine {
         // the document never contained cannot match anything.
         if twig
             .nodes()
-            .any(|n| twig.label(n).index() >= lattice.labels().len())
+            .any(|n| twig.label(n).index() >= catalog.labels().len())
         {
             return 0.0;
         }
         let start = cache.recording.then(Instant::now);
-        let (value, depth, stats) = estimate_dag(lattice.summary(), twig, estimator, opts, cache);
+        let (value, depth, stats) = estimate_dag(catalog, twig, estimator, opts, cache);
         cache.dag_nodes += stats.nodes;
         cache.dag_refs += stats.refs;
         if let Some(start) = start {
@@ -298,16 +327,30 @@ impl EstimationEngine {
         estimator: Estimator,
         opts: &EstimateOptions,
     ) -> Vec<f64> {
+        self.estimate_batch_catalog(lattice, batch, estimator, opts)
+    }
+
+    /// [`estimate_batch`](Self::estimate_batch) against any [`Catalog`]
+    /// backend. `Sync` because workers probe the store concurrently — every
+    /// backend qualifies (the mmap catalog's lookup counter is atomic).
+    pub fn estimate_batch_catalog<C: Catalog + Sync + ?Sized>(
+        &self,
+        catalog: &C,
+        batch: &[Twig],
+        estimator: Estimator,
+        opts: &EstimateOptions,
+    ) -> Vec<f64> {
         let _span = tl_obs::SpanGuard::start(&*self.rec, tl_obs::names::SPAN_BATCH);
         let start = Instant::now();
+        let probes_before = catalog.served_lookups();
         let threads = self.effective_threads(batch.len());
-        let generation = lattice.generation();
+        let generation = catalog.generation();
         let class = voting_class(estimator, opts);
         let results: Vec<f64> = if threads <= 1 {
             let mut cache = SharedIdCache::new(self, generation, class);
             batch
                 .iter()
-                .map(|t| self.estimate_in(lattice, t, estimator, opts, &mut cache))
+                .map(|t| self.estimate_in(catalog, t, estimator, opts, &mut cache))
                 .collect()
         } else {
             let slots: Vec<AtomicU64> = batch.iter().map(|_| AtomicU64::new(0)).collect();
@@ -319,7 +362,7 @@ impl EstimationEngine {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(twig) = batch.get(i) else { break };
-                            let v = self.estimate_in(lattice, twig, estimator, opts, &mut cache);
+                            let v = self.estimate_in(catalog, twig, estimator, opts, &mut cache);
                             slots[i].store(v.to_bits(), Ordering::Relaxed);
                         }
                     });
@@ -330,6 +373,10 @@ impl EstimationEngine {
                 .map(|bits| f64::from_bits(bits.into_inner()))
                 .collect()
         };
+        self.catalog_lookups.fetch_add(
+            catalog.served_lookups().saturating_sub(probes_before),
+            Ordering::Relaxed,
+        );
         self.last_batch_nanos
             .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         results
@@ -506,6 +553,7 @@ impl EstimationEngine {
             dag_nodes: self.dag_nodes.load(Ordering::Relaxed),
             dag_refs: self.dag_refs.load(Ordering::Relaxed),
             key_clone_bytes: self.key_clone_bytes.load(Ordering::Relaxed),
+            catalog_lookups: self.catalog_lookups.load(Ordering::Relaxed),
         }
     }
 
@@ -719,6 +767,39 @@ mod tests {
         assert!(stats.hits > 0, "repeat queries must hit");
         assert!(stats.entries > 0);
         assert!(stats.bytes > 0);
+    }
+
+    /// The engine's batch path must produce bit-identical results whether
+    /// it reads from the in-memory lattice or the zero-copy mmap catalog,
+    /// and the two generations must not share cache entries.
+    #[test]
+    fn engine_batch_agrees_across_catalog_backends() {
+        let lat = sample_lattice();
+        let dir = std::env::temp_dir().join(format!(
+            "tl-engine-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.tlat");
+        std::fs::write(&path, lat.to_bytes()).unwrap();
+        let mmap = crate::catalog::MmapCatalog::open(&path).unwrap();
+        let queries = ["a[b[c][d]][e]", "a/b/c", "a[b][e]", "r/a/b/c"];
+        let batch: Vec<Twig> = queries
+            .iter()
+            .map(|q| lat.parse_query(q).unwrap())
+            .collect();
+        let engine = EstimationEngine::default();
+        for est in Estimator::ALL {
+            let opts = EstimateOptions::default();
+            let mem = engine.estimate_batch(&lat, &batch, est, &opts);
+            let via_mmap = engine.estimate_batch_catalog(&mmap, &batch, est, &opts);
+            for (q, (a, b)) in queries.iter().zip(mem.iter().zip(&via_mmap)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{est} {q}");
+            }
+        }
+        assert!(mmap.lookups() > 0, "mmap backend actually served probes");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -43,8 +43,11 @@
 //! * [`mod@explain`] — human-readable decomposition traces (EXPLAIN for the
 //!   estimator);
 //! * [`serialize`] — versioned binary persistence of summaries;
+//! * [`catalog`] — swappable pattern-store backends: in-memory, eager file
+//!   load, and a zero-copy mmap reader serving lookups from frame bytes;
 //! * [`trie`] — a prefix-tree summary store kept for the §4.2 ablation.
 
+pub mod catalog;
 pub(crate) mod dag;
 pub mod engine;
 pub mod estimator;
@@ -59,9 +62,14 @@ pub mod summary;
 pub mod trie;
 
 use tl_miner::{mine_with_index_budgeted, MineConfig};
-use tl_twig::{parse_twig, Twig, TwigParseError};
-use tl_xml::{DocIndex, Document, LabelInterner};
+use tl_twig::canonical::KeyEncoder;
+use tl_twig::{parse_twig, Twig, TwigKey, TwigParseError};
+use tl_xml::{DocIndex, Document, FxHashMap, LabelId, LabelInterner};
 
+pub use catalog::{
+    estimate_catalog, estimate_catalog_query, Catalog, CatalogError, FileCatalog, MmapCatalog,
+    PatternStore,
+};
 pub use engine::{EngineConfig, EngineStats, EstimationEngine};
 pub use estimator::{estimate, estimate_fixed_at, EstimateOptions, Estimator};
 pub use explain::explain;
@@ -72,6 +80,9 @@ pub use reference::ReferenceEngine;
 pub use resilient::{markov_estimate, ResilientEstimate};
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
+// Corpus mining's config/report are part of the build API surface:
+// `TreeLattice::build_corpus` takes the former and summarizes the latter.
+pub use tl_miner::{CorpusConfig, CorpusReport};
 // The fault vocabulary is part of this crate's public API surface: budgets
 // ride in `EstimateOptions`/`BuildConfig`, resilient results are tagged
 // with `Degradation`, and fallible paths report `Fault`.
@@ -193,6 +204,77 @@ impl TreeLattice {
             },
             stopped_early,
         )
+    }
+
+    /// Builds a lattice over a multi-document corpus: documents are sharded
+    /// across workers, mined independently, and the per-shard lattices are
+    /// merged in a tree reduction (see [`tl_miner::mine_corpus`]). The
+    /// resulting counts — and the canonical serialization — are identical
+    /// for every shard count. When `prune_delta` is set, δ-pruning runs once
+    /// over the *merged* summary (pruning does not commute with merging, so
+    /// it must come last).
+    pub fn build_corpus(docs: &[Document], config: CorpusConfig, prune_delta: Option<f64>) -> Self {
+        Self::build_corpus_observed(docs, config, prune_delta, &tl_obs::NOOP)
+    }
+
+    /// [`build_corpus`](TreeLattice::build_corpus), recording
+    /// `miner.corpus.shards` and `miner.merge.ms` to `rec`.
+    pub fn build_corpus_observed(
+        docs: &[Document],
+        config: CorpusConfig,
+        prune_delta: Option<f64>,
+        rec: &dyn tl_obs::Recorder,
+    ) -> Self {
+        let report = tl_miner::mine_corpus_observed(docs, config, rec);
+        let mut summary = Summary::from_mined(report.lattice);
+        if let Some(delta) = prune_delta {
+            let (pruned, _) = prune_derivable(&summary, delta);
+            summary = pruned;
+        }
+        Self {
+            labels: report.labels,
+            summary,
+            generation: next_generation(),
+        }
+    }
+
+    /// Merges `other`'s summary into this one: label universes union (ids
+    /// already assigned here never move), pattern counts add, pruned flags
+    /// OR. Keys of `other` expressed in a different label universe are
+    /// translated and re-canonicalized on the way in.
+    ///
+    /// Merging is commutative and associative in the stored counts, but
+    /// δ-pruning is *not* a monoid homomorphism: a pattern derivable in each
+    /// operand may not be derivable in the sum. Merge all operands first,
+    /// then [`prune`](TreeLattice::prune) once — the order `gate_corpus`
+    /// verifies against sequential mining.
+    pub fn merge(&mut self, other: &TreeLattice) {
+        let map = self.labels.extend_from(other.labels());
+        if map.iter().enumerate().all(|(i, id)| id.index() == i) {
+            self.summary.merge(other.summary());
+        } else {
+            let mut enc = KeyEncoder::new();
+            let mut buf: Vec<u8> = Vec::new();
+            let mut scratch = Twig::single(LabelId(0));
+            let k = other.summary.max_size();
+            let mut levels: Vec<FxHashMap<TwigKey, u64>> = Vec::with_capacity(k);
+            let mut pruned_flags: Vec<bool> = Vec::with_capacity(k);
+            for size in 1..=k {
+                let mut level = FxHashMap::default();
+                for (key, count) in other.summary.iter_level(size) {
+                    key.decode_into(&mut scratch);
+                    scratch.relabel(&map);
+                    // Canonical order depends on label ids: re-encode.
+                    enc.encode_into(&scratch, &mut buf);
+                    level.insert(TwigKey::from_raw(buf.as_slice().into()), count);
+                }
+                levels.push(level);
+                pruned_flags.push(other.summary.is_pruned(size));
+            }
+            self.summary
+                .merge(&Summary::from_parts(levels, pruned_flags));
+        }
+        self.generation = next_generation();
     }
 
     /// Assembles a lattice from pre-built parts (deserialization, tests).
@@ -533,6 +615,48 @@ mod tests {
         let depth = &snap.histograms[tl_obs::names::DECOMP_DEPTH];
         assert_eq!(depth.count, 1);
         assert!(depth.sum >= 1, "size-5 query over k=3 must decompose");
+    }
+
+    #[test]
+    fn corpus_build_matches_merged_single_builds() {
+        let docs = vec![
+            doc("<a><b><c/></b><b/></a>"),
+            doc("<x><a><b/></a><a/></x>"),
+            doc("<b><a/></b>"),
+        ];
+        let corpus = TreeLattice::build_corpus(&docs, CorpusConfig::with_max_size(3), None);
+        let mut folded = TreeLattice::build(&docs[0], &BuildConfig::with_k(3));
+        for d in &docs[1..] {
+            folded.merge(&TreeLattice::build(d, &BuildConfig::with_k(3)));
+        }
+        assert_eq!(
+            corpus.to_bytes(),
+            folded.to_bytes(),
+            "corpus build and pairwise lattice merges serialize identically"
+        );
+        let q = corpus.estimate_query("a/b", Estimator::Recursive).unwrap();
+        assert_eq!(q, 3.0, "counts sum across documents");
+    }
+
+    #[test]
+    fn merge_translates_label_universes() {
+        // `other` interns b before a, so its ids differ from `base`'s.
+        let mut base = TreeLattice::build(&doc("<a><b/></a>"), &BuildConfig::with_k(2));
+        let other = TreeLattice::build(&doc("<b><a/><c/></b>"), &BuildConfig::with_k(2));
+        let gen_before = base.generation();
+        base.merge(&other);
+        assert_ne!(base.generation(), gen_before, "merge is a mutation");
+        assert_eq!(base.labels().len(), 3);
+        for (q, want) in [
+            ("a", 2.0),
+            ("b", 2.0),
+            ("a/b", 1.0),
+            ("b/a", 1.0),
+            ("b/c", 1.0),
+        ] {
+            let est = base.estimate_query(q, Estimator::Recursive).unwrap();
+            assert_eq!(est, want, "{q}");
+        }
     }
 
     #[test]

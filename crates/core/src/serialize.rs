@@ -29,12 +29,12 @@ use tl_xml::{FxHashMap, LabelInterner};
 use crate::summary::Summary;
 use crate::TreeLattice;
 
-const MAGIC: &[u8; 4] = b"TLAT";
+pub(crate) const MAGIC: &[u8; 4] = b"TLAT";
 /// Version 2 introduced the crc32 + length integrity frame; version-1
 /// files (no frame) are no longer readable and re-serialize on upgrade.
-const VERSION: u8 = 2;
+pub(crate) const VERSION: u8 = 2;
 /// Bytes before the payload: magic, version, crc32, payload length.
-const HEADER_LEN: usize = 4 + 1 + 4 + 8;
+pub(crate) const HEADER_LEN: usize = 4 + 1 + 4 + 8;
 
 /// Deserialization failure.
 #[derive(Clone, Debug, PartialEq, Eq)]

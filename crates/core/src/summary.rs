@@ -53,6 +53,52 @@ impl Summary {
         Self { levels, pruned }
     }
 
+    /// The identity of the merge monoid: no levels, no patterns. Merging
+    /// any summary with it leaves the other operand unchanged.
+    pub fn empty() -> Self {
+        Self {
+            levels: Vec::new(),
+            pruned: Vec::new(),
+        }
+    }
+
+    /// Merges `other`'s pattern counts into `self`: counts of shared keys
+    /// add (saturating), missing keys are inserted, pruned flags OR.
+    ///
+    /// Both operands must be keyed against the **same label universe** —
+    /// canonical keys embed label ids, so merging summaries mined under
+    /// different interners silently conflates unrelated patterns. Corpus
+    /// mining guarantees this by interning every document's labels into one
+    /// shared table up front; [`crate::TreeLattice::merge`] handles the
+    /// general case by re-keying first.
+    ///
+    /// A level present in one operand but absent from the other is treated
+    /// as *complete with zero counts*, which matches how the miner produces
+    /// short lattices: mining stops at the first empty level, and by
+    /// downward closure every larger pattern's count is exactly zero. Under
+    /// that contract merging is commutative and associative (u64 addition),
+    /// so shard-merge reductions in any order produce identical summaries.
+    ///
+    /// δ-pruning does **not** commute with merging: a pattern derivable in
+    /// each shard alone need not be derivable in the union. Callers that
+    /// want a pruned result re-run [`crate::prune_derivable`] *after* the
+    /// final merge (the unpruned merge of pruned operands stays correct —
+    /// pruned flags OR, so estimation misses keep deriving).
+    pub fn merge(&mut self, other: &Summary) {
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(FxHashMap::default());
+            self.pruned.push(false);
+        }
+        for (i, level) in other.levels.iter().enumerate() {
+            self.levels[i].reserve(level.len());
+            for (key, &count) in level {
+                let slot = self.levels[i].entry(key.clone()).or_insert(0);
+                *slot = slot.saturating_add(count);
+            }
+            self.pruned[i] = self.pruned[i] || other.pruned[i];
+        }
+    }
+
     /// The summary order `k` (largest pattern size stored).
     pub fn max_size(&self) -> usize {
         self.levels.len()
@@ -280,6 +326,71 @@ mod tests {
         // Another size-3 key is absent but the level is incomplete.
         let abd = key_of(&tl_twig::parse_twig("a/b/d", &mut it).unwrap());
         assert_eq!(s.lookup(&abd), Lookup::Derivable);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_unions_keys() {
+        let (mut a, mut it) = summary_of(&[("a", 4), ("a/b", 2)]);
+        let b = {
+            let parsed: Vec<(tl_twig::Twig, u64)> = [("a", 3), ("a/c", 5)]
+                .iter()
+                .map(|(q, c)| (tl_twig::parse_twig(q, &mut it).unwrap(), *c))
+                .collect();
+            let mut levels = vec![FxHashMap::default(); 2];
+            for (t, c) in parsed {
+                levels[t.len() - 1].insert(key_of(&t), c);
+            }
+            Summary::from_parts(levels, vec![false; 2])
+        };
+        a.merge(&b);
+        let mut key = |q: &str| key_of(&tl_twig::parse_twig(q, &mut it).unwrap());
+        assert_eq!(a.lookup(&key("a")), Lookup::Exact(7), "shared counts add");
+        assert_eq!(a.lookup(&key("a/b")), Lookup::Exact(2));
+        assert_eq!(a.lookup(&key("a/c")), Lookup::Exact(5));
+        assert_eq!(a.lookup(&key("b/c")), Lookup::Exact(0), "complete miss");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let (s, _) = summary_of(&[("a", 4), ("a/b", 2), ("a/b/c", 1)]);
+        let mut left = s.clone();
+        left.merge(&Summary::empty());
+        let mut right = Summary::empty();
+        right.merge(&s);
+        for m in [&left, &right] {
+            assert_eq!(m.max_size(), s.max_size());
+            assert_eq!(m.level_info(), s.level_info());
+            for (key, count) in s.iter() {
+                assert_eq!(m.stored(key), Some(count));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_extends_short_operand_with_complete_levels() {
+        let (mut a, mut it) = summary_of(&[("a", 1)]); // one level, complete
+        let (b, _) = {
+            let mut other = LabelInterner::new();
+            other.intern("a");
+            other.intern("b");
+            summary_of(&[("a", 2), ("a/b", 3)])
+        };
+        a.merge(&b);
+        assert_eq!(a.max_size(), 2);
+        assert!(!a.is_pruned(2), "absent level merges as zero-complete");
+        let ab = key_of(&tl_twig::parse_twig("a/b", &mut it).unwrap());
+        assert_eq!(a.lookup(&ab), Lookup::Exact(3));
+    }
+
+    #[test]
+    fn merge_ors_pruned_flags() {
+        let (mut a, mut it) = summary_of(&[("a", 1), ("a/b", 1), ("a/b/c", 4)]);
+        let (mut b, _) = summary_of(&[("a", 1), ("a/b", 1), ("a/b/c", 4)]);
+        let abc = key_of(&tl_twig::parse_twig("a/b/c", &mut it).unwrap());
+        b.remove(&abc); // marks level 3 pruned in b
+        a.merge(&b);
+        assert!(a.is_pruned(3), "pruned-ness is sticky under merge");
+        assert_eq!(a.lookup(&abc), Lookup::Exact(4), "kept count survives");
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl MinedLattice {
     pub fn level_map(&self, size: usize) -> Option<&FxHashMap<TwigKey, u64>> {
         self.levels.get(size.wrapping_sub(1))
     }
+
+    /// Merges `other`'s counts into `self`: shared keys add (saturating),
+    /// missing keys are inserted, and a shorter operand is padded with empty
+    /// levels.
+    ///
+    /// Both lattices must be expressed over the *same* label universe —
+    /// corpus mining remaps per-document keys into the shared interner
+    /// before merging. Because u64 addition is commutative and associative,
+    /// merging per-shard lattices in any tree order yields the same counts
+    /// as mining the concatenated corpus sequentially.
+    pub fn merge(&mut self, other: &MinedLattice) {
+        while self.levels.len() < other.levels.len() {
+            self.levels.push(FxHashMap::default());
+        }
+        for (i, level) in other.levels.iter().enumerate() {
+            self.levels[i].reserve(level.len());
+            for (key, &count) in level {
+                let slot = self.levels[i].entry(key.clone()).or_insert(0);
+                *slot = slot.saturating_add(count);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +147,35 @@ mod tests {
         assert_eq!(lat.get_twig(&t), None);
         let big = tl_twig::parse_twig("a/b/c/d/e/f", &mut it).unwrap();
         assert_eq!(lat.get_twig(&big), None, "beyond max_size is None");
+    }
+
+    #[test]
+    fn merge_adds_counts_and_pads_levels() {
+        let (mut a, _) = lattice_with(&[("a", 10), ("a/b", 4)]);
+        // Reuse one interner path: build `b` with the same label ids.
+        let (b, mut it) = lattice_with(&[("a", 5), ("a/b/c", 7)]);
+        a.merge(&b);
+        assert_eq!(a.max_size(), 3);
+        let key = |q: &str, it: &mut LabelInterner| key_of(&tl_twig::parse_twig(q, it).unwrap());
+        assert_eq!(a.get(&key("a", &mut it)), Some(15));
+        assert_eq!(a.get(&key("a/b", &mut it)), Some(4));
+        assert_eq!(a.get(&key("a/b/c", &mut it)), Some(7));
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let (orig, _) = lattice_with(&[("a", 3), ("a[b][c]", 2)]);
+        let mut left = orig.clone();
+        left.merge(&MinedLattice::default());
+        let mut right = MinedLattice::default();
+        right.merge(&orig);
+        for merged in [&left, &right] {
+            assert_eq!(merged.max_size(), orig.max_size());
+            assert_eq!(merged.len(), orig.len());
+            for (k, c) in orig.iter() {
+                assert_eq!(merged.get(k), Some(c));
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,18 @@ pub const MINER_CANDIDATES: &str = "miner.candidates";
 pub const MINER_KEPT: &str = "miner.patterns_kept";
 /// Candidates counted to zero and dropped, across all levels.
 pub const MINER_PRUNED_ZERO: &str = "miner.pruned_zero";
+/// Shards (worker partial lattices) used by the last corpus mining run.
+pub const MINER_CORPUS_SHARDS: &str = "miner.corpus.shards";
+/// Milliseconds spent tree-reducing per-shard partial lattices into the
+/// merged corpus lattice.
+pub const MINER_MERGE_MS: &str = "miner.merge.ms";
+
+/// Mmap catalogs opened (`treelattice::MmapCatalog`).
+pub const CATALOG_MMAP_OPENS: &str = "catalog.mmap.opens";
+/// Pattern-count lookups served straight from mapped frame bytes.
+pub const CATALOG_MMAP_LOOKUPS: &str = "catalog.mmap.lookups";
+/// Bytes mapped (or read, on the non-mmap fallback) across all opens.
+pub const CATALOG_MMAP_BYTES_MAPPED: &str = "catalog.mmap.bytes_mapped";
 
 /// Sub-twig lookups answered from the engine's shared cache.
 pub const ENGINE_CACHE_HITS: &str = "engine.cache.hits";
@@ -98,6 +110,11 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
     MINER_CANDIDATES,
     MINER_KEPT,
     MINER_PRUNED_ZERO,
+    MINER_CORPUS_SHARDS,
+    MINER_MERGE_MS,
+    CATALOG_MMAP_OPENS,
+    CATALOG_MMAP_LOOKUPS,
+    CATALOG_MMAP_BYTES_MAPPED,
     ENGINE_CACHE_HITS,
     ENGINE_CACHE_MISSES,
     ENGINE_QUERIES,

@@ -144,6 +144,21 @@ impl Twig {
         }
     }
 
+    /// Rewrites every node's label through `map` (indexed by the old
+    /// [`LabelId`]), translating the twig into another label universe —
+    /// e.g. from one document's interner into a shared corpus interner.
+    /// The structure is untouched; callers must re-canonicalize afterwards,
+    /// since the canonical node order depends on label ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node's label is not covered by `map`.
+    pub fn relabel(&mut self, map: &[LabelId]) {
+        for label in &mut self.labels {
+            *label = map[label.index()];
+        }
+    }
+
     /// All node ids, in storage order.
     pub fn nodes(&self) -> impl Iterator<Item = TwigNodeId> {
         0..self.labels.len() as u32
@@ -374,6 +389,22 @@ mod tests {
             .map(|s| it.intern(s))
             .collect();
         (it, ids)
+    }
+
+    #[test]
+    fn relabel_translates_labels_and_keeps_structure() {
+        let (_, ids) = interner();
+        let mut t = Twig::single(ids[0]);
+        let b = t.add_child(t.root(), ids[1]);
+        t.add_child(b, ids[2]);
+        // Shift every label by one: a->b, b->c, c->d, d->e, e->a.
+        let map = [ids[1], ids[2], ids[3], ids[4], ids[0]];
+        let before_parents: Vec<_> = t.nodes().map(|n| t.parent(n)).collect();
+        t.relabel(&map);
+        assert_eq!(t.label(t.root()), ids[1]);
+        assert_eq!(t.label(b), ids[2]);
+        let after_parents: Vec<_> = t.nodes().map(|n| t.parent(n)).collect();
+        assert_eq!(before_parents, after_parents, "structure untouched");
     }
 
     #[test]

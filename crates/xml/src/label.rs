@@ -101,6 +101,20 @@ impl LabelInterner {
             .enumerate()
             .map(|(i, s)| (LabelId(i as u32), s.as_str()))
     }
+
+    /// Interns every label of `other` (in `other`'s id order) and returns
+    /// the translation table: `map[other_id.index()]` is the id the same
+    /// string carries in `self`.
+    ///
+    /// Growth is prefix-consistent — ids already assigned in `self` never
+    /// change — so repeatedly extending one shared interner from a sequence
+    /// of documents yields a label universe that depends only on the
+    /// sequence order, not on how the work was later sharded. This is the
+    /// property corpus mining relies on to make summary merging a pure
+    /// count addition.
+    pub fn extend_from(&mut self, other: &LabelInterner) -> Vec<LabelId> {
+        other.names.iter().map(|name| self.intern(name)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +166,23 @@ mod tests {
         it.intern("two");
         let pairs: Vec<_> = it.iter().map(|(id, s)| (id.0, s.to_owned())).collect();
         assert_eq!(pairs, vec![(0, "one".to_owned()), (1, "two".to_owned())]);
+    }
+
+    #[test]
+    fn extend_from_translates_and_is_prefix_consistent() {
+        let mut target = LabelInterner::new();
+        target.intern("a");
+        target.intern("b");
+        let mut other = LabelInterner::new();
+        other.intern("b");
+        other.intern("c");
+        let map = target.extend_from(&other);
+        // other's "b" (id 0) maps onto target's existing id 1; "c" is fresh.
+        assert_eq!(map, vec![LabelId(1), LabelId(2)]);
+        assert_eq!(target.get("a"), Some(LabelId(0)), "existing ids unchanged");
+        assert_eq!(target.resolve(LabelId(2)), "c");
+        // Extending again is a no-op translation.
+        assert_eq!(target.extend_from(&other), map);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Property tests for the summary merge monoid.
+//!
+//! The sharded corpus miner relies on three algebraic facts:
+//!
+//! * [`Summary::empty`] is a two-sided identity for [`Summary::merge`];
+//! * merging is commutative and associative — in the stored counts always,
+//!   and **up to δ-re-pruning** when a pruning pass runs once after the
+//!   final merge (pruning itself does not commute with merging);
+//! * sharding a corpus and merging the per-shard lattices serializes
+//!   bit-identically to mining the whole corpus sequentially, for every
+//!   shard and thread count.
+//!
+//! Lattices merged across *different* label universes are compared by a
+//! label-name fingerprint (canonical keys embed label ids, which legitimately
+//! differ between merge orders), while same-universe checks compare raw key
+//! bytes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tl_datagen::{Dataset, GenConfig};
+use tl_xml::{Document, DocumentBuilder};
+use treelattice::{BuildConfig, CorpusConfig, Summary, TreeLattice};
+
+/// Raw tree description: node i has parent `spec[i].0 % i` (node 0 is the
+/// root) and label `l<offset + spec[i].1>`.
+type TreeSpec = Vec<(u32, u8)>;
+
+fn arb_tree(max_nodes: usize, labels: u8) -> impl Strategy<Value = TreeSpec> {
+    prop::collection::vec((any::<u32>(), 0..labels), 1..max_nodes)
+}
+
+/// Builds a document from a tree spec. `offset` shifts the label alphabet
+/// so different documents get overlapping-but-distinct label universes.
+fn build_doc(spec: &TreeSpec, offset: u8) -> Document {
+    let n = spec.len();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &(p, _)) in spec.iter().enumerate().skip(1) {
+        children[(p as usize) % i].push(i);
+    }
+    let mut b = DocumentBuilder::new();
+    enum Ev {
+        Enter(usize),
+        Exit,
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(i) => {
+                b.begin(&format!("l{}", offset + spec[i].1));
+                stack.push(Ev::Exit);
+                for &c in children[i].iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit => b.end(),
+        }
+    }
+    b.finish().expect("spec builds a single tree")
+}
+
+/// Same-universe fingerprint: raw key bytes → count, plus per-level pruned
+/// flags. Canonical keys of different sizes have different byte lengths, so
+/// one flat map cannot conflate levels.
+type SummaryFingerprint = (Vec<(usize, bool)>, BTreeMap<Vec<u8>, u64>);
+
+fn summary_fingerprint(s: &Summary) -> SummaryFingerprint {
+    let counts = s
+        .iter()
+        .map(|(key, count)| (key.as_bytes().to_vec(), count))
+        .collect();
+    (s.level_info(), counts)
+}
+
+/// Cross-universe fingerprint: every stored pattern rendered over label
+/// *names* with siblings sorted by their rendered form. Canonical child
+/// order follows label *ids*, which legitimately differ between merge
+/// orders, so the rendering must re-normalize by name.
+fn lattice_fingerprint(lat: &TreeLattice) -> BTreeMap<String, u64> {
+    fn render(twig: &tl_twig::Twig, node: tl_twig::TwigNodeId, lat: &TreeLattice) -> String {
+        let mut kids: Vec<String> = twig
+            .children(node)
+            .iter()
+            .map(|&c| render(twig, c, lat))
+            .collect();
+        kids.sort();
+        let mut out = lat.labels().resolve(twig.label(node)).to_string();
+        for kid in kids {
+            out.push('[');
+            out.push_str(&kid);
+            out.push(']');
+        }
+        out
+    }
+    lat.summary()
+        .iter()
+        .map(|(key, count)| {
+            let twig = key.decode();
+            (render(&twig, twig.root(), lat), count)
+        })
+        .collect()
+}
+
+fn merged(a: &TreeLattice, b: &TreeLattice) -> TreeLattice {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `merge(s, empty) == s == merge(empty, s)` on the raw key bytes.
+    #[test]
+    fn empty_summary_is_a_two_sided_merge_identity(spec in arb_tree(24, 4)) {
+        let doc = build_doc(&spec, 0);
+        let lat = TreeLattice::build(&doc, &BuildConfig::with_k(3));
+        let reference = summary_fingerprint(lat.summary());
+
+        let mut right = lat.summary().clone();
+        right.merge(&Summary::empty());
+        prop_assert_eq!(summary_fingerprint(&right), reference.clone());
+
+        let mut left = Summary::empty();
+        left.merge(lat.summary());
+        prop_assert_eq!(summary_fingerprint(&left), reference);
+    }
+
+    /// Merging is commutative and associative over overlapping-but-distinct
+    /// label universes, and stays so when δ-pruning re-runs once after the
+    /// final merge (the order `build_corpus` uses).
+    #[test]
+    fn merge_is_commutative_and_associative_up_to_repruning(
+        sa in arb_tree(20, 4),
+        sb in arb_tree(20, 4),
+        sc in arb_tree(20, 4),
+    ) {
+        let k = BuildConfig::with_k(3);
+        let a = TreeLattice::build(&build_doc(&sa, 0), &k);
+        let b = TreeLattice::build(&build_doc(&sb, 2), &k);
+        let c = TreeLattice::build(&build_doc(&sc, 4), &k);
+
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(lattice_fingerprint(&ab), lattice_fingerprint(&ba));
+
+        let ab_c = merged(&ab, &c);
+        let bc = merged(&b, &c);
+        let a_bc = merged(&a, &bc);
+        prop_assert_eq!(lattice_fingerprint(&ab_c), lattice_fingerprint(&a_bc));
+
+        // Pruning after the final merge commutes with the merge order even
+        // though pruning the operands first would not.
+        let mut left = ab_c;
+        let mut right = a_bc;
+        left.prune(0.1);
+        right.prune(0.1);
+        prop_assert_eq!(lattice_fingerprint(&left), lattice_fingerprint(&right));
+    }
+
+    /// Sharded corpus mining serializes bit-identically to sequential
+    /// mining for every shard/thread split of a seeded corpus.
+    #[test]
+    fn shard_then_merge_is_bit_identical_to_sequential(
+        seed in 0u64..1000,
+        docs in 2usize..5,
+        shards in 2usize..6,
+        threads in 1usize..4,
+    ) {
+        let corpus: Vec<Document> = (0..docs)
+            .map(|i| Dataset::Xmark.generate(GenConfig {
+                seed: seed + i as u64,
+                target_elements: 300,
+            }))
+            .collect();
+        let config = |shards, threads| CorpusConfig { max_size: 3, shards, threads };
+
+        let sequential = TreeLattice::build_corpus(&corpus, config(1, 1), None);
+        let sharded = TreeLattice::build_corpus(&corpus, config(shards, threads), None);
+        prop_assert_eq!(sequential.to_bytes(), sharded.to_bytes());
+
+        // The same holds when δ-pruning runs after the merge.
+        let sequential = TreeLattice::build_corpus(&corpus, config(1, 1), Some(0.05));
+        let sharded = TreeLattice::build_corpus(&corpus, config(shards, threads), Some(0.05));
+        prop_assert_eq!(sequential.to_bytes(), sharded.to_bytes());
+    }
+}

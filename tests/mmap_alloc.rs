@@ -1,0 +1,96 @@
+//! Proves the mmap catalog's hot path is zero-copy *and* zero-alloc.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! opens an [`MmapCatalog`], warms nothing, and asserts that a burst of
+//! `lookup_bytes` probes — hits, completed-level misses, and pruned-level
+//! misses alike — performs **zero** heap allocations. Binary search over
+//! the fixed-stride frame bytes must borrow, never copy.
+//!
+//! This lives in its own integration-test binary because the allocator
+//! hook is process-global: sharing a binary with other tests would make
+//! the counter racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use treelattice::{BuildConfig, Lookup, MmapCatalog, PatternStore, TreeLattice};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn mmap_lookups_allocate_zero_bytes_on_the_hot_path() {
+    // Setup (allocates freely): build a pruned lattice, persist the frame,
+    // open the mapped catalog, and pre-collect every probe key.
+    let doc = tl_datagen::Dataset::Xmark.generate(tl_datagen::GenConfig {
+        seed: 42,
+        target_elements: 2_000,
+    });
+    let mut lat = TreeLattice::build(&doc, &BuildConfig::with_k(4));
+    lat.prune(0.05);
+
+    let dir = std::env::temp_dir().join(format!("tl-mmap-alloc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("frame.tlat");
+    std::fs::write(&path, lat.to_bytes()).unwrap();
+
+    let catalog = MmapCatalog::open(&path).unwrap();
+    let mut probes: Vec<Vec<u8>> = lat
+        .summary()
+        .iter()
+        .map(|(key, _)| key.as_bytes().to_vec())
+        .collect();
+    // Misses too: mutate stored keys so binary search fails at every level.
+    let missing: Vec<Vec<u8>> = probes
+        .iter()
+        .map(|k| {
+            let mut k = k.clone();
+            let last = k.len() - 1;
+            k[last] ^= 0x55;
+            k
+        })
+        .collect();
+    probes.extend(missing);
+    assert!(probes.len() > 100, "corpus too small to be meaningful");
+
+    // Measured region: nothing but lookups between the two counter reads.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut hits = 0u64;
+    for key in &probes {
+        if let Lookup::Exact(c) = catalog.lookup_bytes(key) {
+            hits += c;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert!(hits > 0, "probe set never hit the catalog");
+    assert_eq!(
+        after - before,
+        0,
+        "mmap lookup hot path allocated ({} probes)",
+        probes.len()
+    );
+
+    drop(catalog);
+    let _ = std::fs::remove_dir_all(dir);
+}
