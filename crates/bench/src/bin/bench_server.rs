@@ -1,0 +1,10 @@
+//! Closed-loop server soak; see `tl_bench::experiments::server`.
+//!
+//! Runs the full million-request mixed-tenant load against an in-process
+//! `tl-server` and writes `BENCH_server.json`.
+
+use tl_bench::experiments::server;
+
+fn main() {
+    server::run(&server::bench_config());
+}

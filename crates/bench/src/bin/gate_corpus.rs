@@ -1,4 +1,5 @@
-//! CI corpus mining gate; see `tl_bench::gates`.
+//! CI corpus mining gate; thin wrapper over `tl_bench::gate_runner` (the
+//! `gates` binary runs the same code path).
 //!
 //! ```text
 //! gate_corpus [--thresholds <path>] [--write-thresholds]
@@ -16,61 +17,22 @@
 
 use std::path::PathBuf;
 
-use tl_bench::{experiments::corpus, gates};
+use tl_bench::gate_runner::{run_gate, Gate, GateRun};
 
 fn main() {
-    let mut thresholds: Option<PathBuf> = None;
-    let mut write = false;
+    let mut opts = GateRun::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--thresholds" => match args.next() {
-                Some(p) => thresholds = Some(PathBuf::from(p)),
+                Some(p) => opts.thresholds = Some(PathBuf::from(p)),
                 None => usage("--thresholds needs a value"),
             },
-            "--write-thresholds" => write = true,
+            "--write-thresholds" => opts.write = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
-    let path =
-        thresholds.unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/corpus.json"));
-
-    let cfg = gates::corpus_gate_config();
-    println!(
-        "corpus gate: xmark {} docs x {} elements, seed {}, k {}",
-        cfg.docs, cfg.elements_per_doc, cfg.seed, cfg.k
-    );
-    // One warm-up build then the measured run, so first-touch costs (page
-    // cache, lazy allocations) do not count against the gate.
-    let _ = corpus::build(&cfg);
-    let measured = corpus::build(&cfg);
-
-    if write {
-        let snap = gates::corpus_thresholds(&measured);
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        if let Err(e) = std::fs::write(&path, snap.to_json()) {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
-        return;
-    }
-
-    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let report = gates::check_corpus(&measured, &snapshot);
-    for line in &report.lines {
-        println!("{line}");
-    }
-    if !report.passed() {
-        eprintln!("corpus gate FAILED ({} check(s))", report.failures.len());
-        std::process::exit(1);
-    }
-    println!("corpus gate passed");
+    std::process::exit(run_gate(Gate::Corpus, &opts));
 }
 
 fn usage(msg: &str) -> ! {

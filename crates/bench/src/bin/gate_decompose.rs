@@ -1,4 +1,5 @@
-//! CI decomposition-path perf gate; see `tl_bench::gates`.
+//! CI decomposition-path perf gate; thin wrapper over
+//! `tl_bench::gate_runner` (the `gates` binary runs the same code path).
 //!
 //! ```text
 //! gate_decompose [--thresholds <path>] [--write-thresholds]
@@ -14,61 +15,22 @@
 
 use std::path::PathBuf;
 
-use tl_bench::{experiments::decompose, gates};
+use tl_bench::gate_runner::{run_gate, Gate, GateRun};
 
 fn main() {
-    let mut thresholds: Option<PathBuf> = None;
-    let mut write = false;
+    let mut opts = GateRun::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--thresholds" => match args.next() {
-                Some(p) => thresholds = Some(PathBuf::from(p)),
+                Some(p) => opts.thresholds = Some(PathBuf::from(p)),
                 None => usage("--thresholds needs a value"),
             },
-            "--write-thresholds" => write = true,
+            "--write-thresholds" => opts.write = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
-    let path =
-        thresholds.unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/decompose.json"));
-
-    let cfg = gates::decompose_config();
-    println!(
-        "decompose gate: xmark scale {} seed {} k {} ({} queries/size)",
-        cfg.scale, cfg.seed, cfg.k, cfg.queries
-    );
-    // One warm-up build then the measured run, so first-touch costs (page
-    // cache, lazy allocations) do not count against the gate.
-    let _ = decompose::build(&cfg);
-    let measured = decompose::build(&cfg);
-
-    if write {
-        let snap = gates::decompose_thresholds(&measured, &cfg);
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        if let Err(e) = std::fs::write(&path, snap.to_json()) {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
-        return;
-    }
-
-    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let report = gates::check_decompose(&measured, &snapshot);
-    for line in &report.lines {
-        println!("{line}");
-    }
-    if !report.passed() {
-        eprintln!("decompose gate FAILED ({} check(s))", report.failures.len());
-        std::process::exit(1);
-    }
-    println!("decompose gate passed");
+    std::process::exit(run_gate(Gate::Decompose, &opts));
 }
 
 fn usage(msg: &str) -> ! {

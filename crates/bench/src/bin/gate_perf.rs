@@ -1,4 +1,5 @@
-//! CI perf smoke gate; see `tl_bench::gates`.
+//! CI perf smoke gate; thin wrapper over `tl_bench::gate_runner` (the
+//! `gates` binary runs the same code path).
 //!
 //! ```text
 //! gate_perf [--baseline <path>] [--factor F] [--write-baseline]
@@ -11,66 +12,26 @@
 
 use std::path::PathBuf;
 
-use tl_bench::gates;
+use tl_bench::gate_runner::{run_gate, Gate, GateRun};
 
 fn main() {
-    let mut baseline: Option<PathBuf> = None;
-    let mut factor = 3.0f64;
-    let mut write = false;
+    let mut opts = GateRun::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => match args.next() {
-                Some(p) => baseline = Some(PathBuf::from(p)),
+                Some(p) => opts.thresholds = Some(PathBuf::from(p)),
                 None => usage("--baseline needs a value"),
             },
             "--factor" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(f) if f > 0.0 => factor = f,
+                Some(f) if f > 0.0 => opts.perf_factor = f,
                 _ => usage("--factor needs a positive number"),
             },
-            "--write-baseline" => write = true,
+            "--write-baseline" => opts.write = true,
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
-    let path = baseline
-        .unwrap_or_else(|| tl_bench::workspace_root().join("tests/gates/perf_baseline.json"));
-
-    let cfg = gates::perf_config();
-    println!(
-        "perf gate: matcher build at scale {} seed {} k {} ({} queries)",
-        cfg.scale, cfg.seed, cfg.k, cfg.queries
-    );
-    // One warm-up then the measured run, so first-touch costs (page cache,
-    // lazy allocations) do not count against the gate.
-    let _ = gates::measure_perf(&cfg);
-    let measured_ms = gates::measure_perf(&cfg);
-
-    if write {
-        let snap = gates::perf_baseline(measured_ms, &cfg);
-        if let Some(parent) = path.parent() {
-            let _ = std::fs::create_dir_all(parent);
-        }
-        if let Err(e) = std::fs::write(&path, snap.to_json()) {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        }
-        println!("wrote {} ({measured_ms:.1}ms)", path.display());
-        return;
-    }
-
-    let snapshot = gates::load_snapshot(&path).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let report = gates::check_perf(measured_ms, &snapshot, factor);
-    for line in &report.lines {
-        println!("{line}");
-    }
-    if !report.passed() {
-        eprintln!("perf gate FAILED");
-        std::process::exit(1);
-    }
-    println!("perf gate passed");
+    std::process::exit(run_gate(Gate::Perf, &opts));
 }
 
 fn usage(msg: &str) -> ! {

@@ -1,17 +1,17 @@
-//! Golden accuracy-regression gate; thin wrapper over
-//! `tl_bench::gate_runner` (the `gates` binary runs the same code path).
+//! CI server soak gate; see `tl_bench::gate_runner` and `tl_bench::gates`.
 //!
 //! ```text
-//! gate_golden [--thresholds <path>] [--write-thresholds] [--seed <N>]
+//! gate_server [--thresholds <path>] [--write-thresholds] [--seed <N>]
 //! ```
 //!
-//! Measures oracle-verified q-error/MRE envelopes for all four estimators
-//! over the dataset × seed matrix and compares against the committed
-//! thresholds (default `tests/gates/golden_accuracy.json`). Exits 1 on any
-//! regression. `--seed N` restricts the run to one seed (a CI matrix
-//! slot). `--write-thresholds` regenerates the thresholds file from the
-//! current build over the *full* matrix; it rejects `--seed`, because a
-//! partial store would silently uncover the other seeds.
+//! Boots the estimate server over the deterministic fixture, drives a
+//! closed-loop million-request mixed-tenant soak (writing
+//! `BENCH_server.json`), and enforces the committed contract (default
+//! `tests/gates/server.json`): soak size and tenant floors, p99 latency
+//! and shed-rate ceilings, bit-identity of every exact response against
+//! the in-process engine, and zero untyped errors. Exits 1 on any
+//! failure. `--seed N` selects a CI matrix slot; `--write-thresholds`
+//! regenerates the thresholds file (contract values, no soak needed).
 
 use std::path::PathBuf;
 
@@ -34,11 +34,11 @@ fn main() {
             other => usage(&format!("unknown flag `{other}`")),
         }
     }
-    std::process::exit(run_gate(Gate::Golden, &opts));
+    std::process::exit(run_gate(Gate::Server, &opts));
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: gate_golden [--thresholds <path>] [--write-thresholds] [--seed <N>]");
+    eprintln!("usage: gate_server [--thresholds <path>] [--write-thresholds] [--seed <N>]");
     std::process::exit(2);
 }

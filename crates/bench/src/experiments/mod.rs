@@ -12,6 +12,7 @@ pub mod harness;
 pub mod matcher;
 pub mod negative;
 pub mod scale_sweep;
+pub mod server;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -40,4 +41,5 @@ pub fn run_all(cfg: &ExpConfig) {
     matcher::run(cfg);
     decompose::run(&decompose::bench_config());
     corpus::run(&corpus::bench_config());
+    server::run(&server::bench_config());
 }

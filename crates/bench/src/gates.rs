@@ -24,6 +24,16 @@
 //!   sequentially and sharded, and fails unless every sharded build is
 //!   bit-identical to the sequential one and (on multi-core hosts) the
 //!   sharded build clears `gate.corpus.min_parallel_speedup`.
+//! * **Server** ([`check_server`]): drives the closed-loop
+//!   million-request mixed-tenant soak (`experiments::server`) and fails
+//!   unless it clears the committed contract — soak size and tenant
+//!   floors, `gate.server.max_p99_us` / `gate.server.max_shed_rate`
+//!   ceilings, bit-identity of every exact response against the
+//!   in-process engine, and zero untyped errors.
+//!
+//! Every gate runs through the one shared runner in [`crate::gate_runner`]
+//! — the `gates` umbrella binary and the per-gate `gate_*` wrappers are
+//! the same code path.
 //!
 //! Every quantity the gates measure is seeded and single-threaded, so the
 //! committed thresholds can be tight: reruns of the same build produce the
@@ -42,7 +52,7 @@ use treelattice::{
 };
 
 use crate::{
-    experiments::{corpus, decompose, matcher},
+    experiments::{corpus, decompose, matcher, server},
     ExpConfig,
 };
 
@@ -64,6 +74,21 @@ pub const MIN_PARALLEL_SPEEDUP: &str = "gate.corpus.min_parallel_speedup";
 /// (`1.0`). Carried in the thresholds file so the identity check is
 /// fail-closed like every other comparison: an empty file fails.
 pub const REQUIRE_MERGE_IDENTITY: &str = "gate.corpus.require_merge_identity";
+/// Threshold gauge name for the server soak's p99 latency ceiling (µs).
+pub const MAX_P99_US: &str = "gate.server.max_p99_us";
+/// Threshold gauge name for the server soak's shed-rate ceiling.
+pub const MAX_SHED_RATE: &str = "gate.server.max_shed_rate";
+/// Threshold gauge name for the soak's minimum completed wire requests.
+pub const MIN_REQUESTS: &str = "gate.server.min_requests";
+/// Threshold gauge name for the soak's minimum driven tenant count.
+pub const MIN_TENANTS: &str = "gate.server.min_tenants";
+/// Threshold gauge marking the server-vs-engine bit-identity check as
+/// required (`1.0`), fail-closed like [`REQUIRE_MERGE_IDENTITY`].
+pub const REQUIRE_SERVER_IDENTITY: &str = "gate.server.require_bit_identity";
+/// Threshold gauge marking the zero-untyped-errors check as required
+/// (`1.0`): every soak response must be an estimate, a degraded estimate
+/// with provenance, or a typed fault — never a bare transport error.
+pub const REQUIRE_ZERO_UNTYPED: &str = "gate.server.require_zero_untyped";
 
 /// The fixed configuration the accuracy gate runs with. Changing it
 /// invalidates `tests/gates/accuracy.json`; regenerate with
@@ -494,6 +519,118 @@ pub fn check_corpus(b: &corpus::CorpusBench, thresholds: &Snapshot) -> GateRepor
     report
 }
 
+/// The configuration the server gate soaks with: the full one-million
+/// request mixed-tenant load at a CI-matrix seed. Changing anything but
+/// the seed invalidates `tests/gates/server.json`; regenerate with
+/// `gate_server --write-thresholds`.
+pub fn server_gate_config(seed: u64) -> server::ServerBenchConfig {
+    server::ServerBenchConfig {
+        seed,
+        ..server::bench_config()
+    }
+}
+
+/// Renders server-gate thresholds. Like the corpus gate, most of these
+/// are fixed contract values rather than measured fractions: the soak
+/// size and tenant floor restate the gate's definition, the identity and
+/// typed-error requirements are carried as `1.0` gauges so an empty
+/// thresholds file fails closed, and only the latency/shed ceilings are
+/// judgement calls — generous enough for throttled shared runners, tight
+/// enough that a pathological server (lock convoy, queue leak, busy
+/// retry loop) cannot pass.
+pub fn server_thresholds(cfg: &server::ServerBenchConfig) -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "server".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("scale".into(), cfg.scale.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.meta.insert("workers".into(), cfg.workers.to_string());
+    snap.gauges.insert(MAX_P99_US.into(), 50_000.0);
+    snap.gauges.insert(MAX_SHED_RATE.into(), 0.25);
+    snap.gauges.insert(MIN_REQUESTS.into(), cfg.requests as f64);
+    snap.gauges.insert(MIN_TENANTS.into(), 3.0);
+    snap.gauges.insert(REQUIRE_SERVER_IDENTITY.into(), 1.0);
+    snap.gauges.insert(REQUIRE_ZERO_UNTYPED.into(), 1.0);
+    snap
+}
+
+/// Compares a server soak against a thresholds snapshot. A missing
+/// threshold gauge is a failure.
+pub fn check_server(b: &server::ServerBench, thresholds: &Snapshot) -> GateReport {
+    let mut report = GateReport::default();
+    match thresholds.gauges.get(MIN_REQUESTS) {
+        Some(&min) => report.check(
+            b.requests as f64 >= min,
+            format!(
+                "soak: {} wire requests completed (min {min:.0})",
+                b.requests
+            ),
+        ),
+        None => report.check(false, format!("thresholds missing gauge `{MIN_REQUESTS}`")),
+    }
+    match thresholds.gauges.get(MIN_TENANTS) {
+        Some(&min) => report.check(
+            b.tenants.len() as f64 >= min,
+            format!(
+                "tenants: {} driven [{}] (min {min:.0})",
+                b.tenants.len(),
+                b.tenants.join(",")
+            ),
+        ),
+        None => report.check(false, format!("thresholds missing gauge `{MIN_TENANTS}`")),
+    }
+    match thresholds.gauges.get(MAX_P99_US) {
+        Some(&max) => report.check(
+            b.p99_us <= max,
+            format!(
+                "latency: p50 {:.0}µs p95 {:.0}µs p99 {:.0}µs (p99 max {max:.0}µs)",
+                b.p50_us, b.p95_us, b.p99_us
+            ),
+        ),
+        None => report.check(false, format!("thresholds missing gauge `{MAX_P99_US}`")),
+    }
+    match thresholds.gauges.get(MAX_SHED_RATE) {
+        Some(&max) => report.check(
+            b.shed_rate <= max,
+            format!(
+                "overload: {} sheds over {} requests = rate {:.4} (max {max:.2})",
+                b.shed, b.requests, b.shed_rate
+            ),
+        ),
+        None => report.check(false, format!("thresholds missing gauge `{MAX_SHED_RATE}`")),
+    }
+    match thresholds.gauges.get(REQUIRE_SERVER_IDENTITY) {
+        Some(&req) if req > 0.0 => report.check(
+            b.identity_checked > 0 && b.identity_mismatches == 0,
+            format!(
+                "identity: {}/{} exact responses bit-identical to the in-process engine",
+                b.identity_checked - b.identity_mismatches,
+                b.identity_checked
+            ),
+        ),
+        Some(_) => report.check(false, "server identity requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_SERVER_IDENTITY}`"),
+        ),
+    }
+    match thresholds.gauges.get(REQUIRE_ZERO_UNTYPED) {
+        Some(&req) if req > 0.0 => report.check(
+            b.untyped_errors == 0,
+            format!(
+                "contract: {} untyped errors ({} typed faults, {} degraded-with-provenance)",
+                b.untyped_errors, b.faults, b.degraded
+            ),
+        ),
+        Some(_) => report.check(false, "zero-untyped requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_ZERO_UNTYPED}`"),
+        ),
+    }
+    report
+}
+
 /// Loads a thresholds/baseline snapshot from disk.
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -689,6 +826,57 @@ mod tests {
         assert!(waived.lines.iter().any(|l| l.contains("waived")));
         // Fail-closed on an empty thresholds file.
         let report = check_corpus(&good, &Snapshot::default());
+        assert!(!report.passed());
+        assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
+    }
+
+    #[test]
+    fn server_gate_checks_contract_and_ceilings() {
+        let bench = |p99: f64, shed: u64, untyped: u64, mismatches: u64| {
+            let requests = 1_000_000u64;
+            crate::experiments::server::ServerBench {
+                cfg: server_gate_config(42),
+                tenants: vec![
+                    "gold".into(),
+                    "silver".into(),
+                    "bronze".into(),
+                    "strict".into(),
+                ],
+                requests,
+                queries: requests + 50_000,
+                wall_s: 10.0,
+                throughput_rps: requests as f64 / 10.0,
+                p50_us: 100.0,
+                p95_us: 500.0,
+                p99_us: p99,
+                shed,
+                degraded: 10_000,
+                faults: 0,
+                untyped_errors: untyped,
+                identity_checked: 800_000 - mismatches,
+                identity_mismatches: mismatches,
+                shed_rate: shed as f64 / requests as f64,
+            }
+        };
+        let good = bench(2_000.0, 100, 0, 0);
+        let thresholds = server_thresholds(&good.cfg);
+        assert_eq!(thresholds.gauges[MIN_REQUESTS], 1_000_000.0);
+        assert!(check_server(&good, &thresholds).passed());
+        // Each ceiling and contract fails independently...
+        assert!(!check_server(&bench(60_000.0, 100, 0, 0), &thresholds).passed());
+        assert!(!check_server(&bench(2_000.0, 300_000, 0, 0), &thresholds).passed());
+        assert!(!check_server(&bench(2_000.0, 100, 1, 0), &thresholds).passed());
+        assert!(!check_server(&bench(2_000.0, 100, 0, 1), &thresholds).passed());
+        // ...a too-small soak fails...
+        let mut short = bench(2_000.0, 100, 0, 0);
+        short.requests = 999;
+        assert!(!check_server(&short, &thresholds).passed());
+        // ...too few tenants fails...
+        let mut narrow = bench(2_000.0, 100, 0, 0);
+        narrow.tenants.truncate(2);
+        assert!(!check_server(&narrow, &thresholds).passed());
+        // ...and an empty thresholds file fails closed.
+        let report = check_server(&good, &Snapshot::default());
         assert!(!report.passed());
         assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
     }

@@ -24,6 +24,7 @@
 pub mod config;
 pub mod data;
 pub mod experiments;
+pub mod gate_runner;
 pub mod gates;
 pub mod golden;
 pub mod report;

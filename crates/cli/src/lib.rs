@@ -65,8 +65,8 @@ use tl_fault::failpoints;
 use tl_twig::parse_twig;
 use tl_xml::{parse_document_observed, DocIndex, ParseOptions, ValueMode};
 use treelattice::{
-    Budget, BuildConfig, Catalog as _, CorpusConfig, EngineConfig, EstimateOptions,
-    EstimationEngine, Estimator, Fault, MmapCatalog, ResilientEstimate, TreeLattice,
+    exit_code, Budget, BuildConfig, Catalog as _, CorpusConfig, EngineConfig, EstimateOptions,
+    EstimationEngine, Estimator, Fault, MmapCatalog, Outcome, ResilientEstimate, TreeLattice,
 };
 
 /// A CLI failure: message plus suggested exit code.
@@ -82,17 +82,20 @@ impl CliError {
     fn usage(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
-            code: 2,
+            code: exit_code(Outcome::UsageError),
         }
     }
 
     /// A pipeline fault: missing or corrupt input, a parse failure, or an
     /// injected/real fault surfaced by the estimation stack. Exit code 3,
     /// distinct from usage errors (2) and degraded-but-successful runs (0).
+    /// The numbers come from the one shared table in
+    /// [`tl_fault::exit_code`], which the server's request-level status
+    /// codes use too.
     fn fault(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
-            code: 3,
+            code: exit_code(Outcome::Fault),
         }
     }
 }

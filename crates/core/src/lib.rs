@@ -77,7 +77,7 @@ pub use interval::{estimate_interval, IntervalEstimate};
 pub use online::{TunedLattice, TunerStats};
 pub use pruning::{prune_derivable, PruneReport};
 pub use reference::ReferenceEngine;
-pub use resilient::{markov_estimate, ResilientEstimate};
+pub use resilient::{markov_estimate, markov_estimate_store, ResilientEstimate};
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
 // Corpus mining's config/report are part of the build API surface:
@@ -86,7 +86,7 @@ pub use tl_miner::{CorpusConfig, CorpusReport};
 // The fault vocabulary is part of this crate's public API surface: budgets
 // ride in `EstimateOptions`/`BuildConfig`, resilient results are tagged
 // with `Degradation`, and fallible paths report `Fault`.
-pub use tl_fault::{Budget, Degradation, Fault, FaultKind};
+pub use tl_fault::{exit_code, Budget, Degradation, Fault, FaultKind, Outcome};
 
 /// Configuration for [`TreeLattice::build`].
 #[derive(Clone, Copy, Debug)]

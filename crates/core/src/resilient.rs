@@ -27,6 +27,7 @@ use tl_twig::canonical::key_of;
 use tl_twig::{Twig, TwigKey};
 use tl_xml::FxHashMap;
 
+use crate::catalog::PatternStore;
 use crate::estimator::{
     try_estimate_fixed_at, try_estimate_with_cache_depth, EstimateOptions, Estimator, SubtwigCache,
 };
@@ -112,8 +113,18 @@ pub(crate) fn estimate_resilient_with_cache<C: SubtwigCache>(
 /// result must be bit-for-bit reproducible by calling this directly, and
 /// the test suite asserts exactly that.
 pub fn markov_estimate(summary: &Summary, twig: &Twig) -> f64 {
+    markov_estimate_store(summary, twig)
+}
+
+/// [`markov_estimate`] against any [`PatternStore`] backend.
+///
+/// The closed form only touches levels 1–2, which every backend serves by
+/// key bytes, so the server can answer overload sheds with the same rung-3
+/// value whether its summary is in memory, file-loaded, or mmapped —
+/// bit-for-bit equal across backends by the store-identity contract.
+pub fn markov_estimate_store<S: PatternStore + ?Sized>(store: &S, twig: &Twig) -> f64 {
     let count = |key: &TwigKey| -> f64 {
-        match summary.lookup(key) {
+        match store.lookup_bytes(key.as_bytes()) {
             Lookup::Exact(c) => c as f64,
             // Levels 1-2 are never pruned; anything else means absent.
             Lookup::Derivable | Lookup::TooLarge => 0.0,

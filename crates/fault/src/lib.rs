@@ -190,6 +190,40 @@ impl Budget {
     }
 }
 
+/// The outcome classes every entry point of the pipeline reports — the
+/// single vocabulary behind the CLI's process exit codes and the server's
+/// request-level status codes.
+///
+/// The mapping is part of the external contract (scripts branch on it, the
+/// wire protocol carries it), so it lives here — next to [`Fault`] and
+/// [`Degradation`] — and both `tl-cli` and `tl-server` call [`exit_code`]
+/// instead of hard-coding numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The request succeeded on the exact path.
+    Success,
+    /// The request succeeded on a degraded rung of the ladder (the caller
+    /// is told which via [`Degradation`]); still a success to scripts.
+    DegradedOk,
+    /// The caller's input was malformed (bad flags, bad query syntax, a
+    /// query the exact kernel refuses).
+    UsageError,
+    /// A typed pipeline [`Fault`]: missing/corrupt input, parse failure,
+    /// budget trip surfaced as an error, injected fault.
+    Fault,
+}
+
+/// The one exit-code table: success and degraded-ok are `0` (a degraded
+/// estimate is still an estimate — the provenance note goes to stderr, not
+/// the exit code), usage errors are `2`, faults are `3`.
+pub const fn exit_code(outcome: Outcome) -> i32 {
+    match outcome {
+        Outcome::Success | Outcome::DegradedOk => 0,
+        Outcome::UsageError => 2,
+        Outcome::Fault => 3,
+    }
+}
+
 /// Provenance of a resilient estimate: how far down the degradation ladder
 /// the estimator had to climb to produce a number.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -271,6 +305,17 @@ mod tests {
         assert!(b.check_mem(100).is_ok());
         let err = b.check_mem(101).unwrap_err();
         assert_eq!(err.kind, FaultKind::BudgetExhausted);
+    }
+
+    /// Pins the exit-code table. These numbers are an external contract
+    /// (CI scripts and the wire protocol both branch on them); changing
+    /// any row is a breaking change and must fail loudly here.
+    #[test]
+    fn exit_code_table_is_pinned() {
+        assert_eq!(exit_code(Outcome::Success), 0);
+        assert_eq!(exit_code(Outcome::DegradedOk), 0);
+        assert_eq!(exit_code(Outcome::UsageError), 2);
+        assert_eq!(exit_code(Outcome::Fault), 3);
     }
 
     #[test]

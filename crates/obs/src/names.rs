@@ -66,6 +66,33 @@ pub const QUERY_LATENCY_US: &str = "engine.query.latency_us";
 /// Histogram: maximum decomposition recursion depth per query.
 pub const DECOMP_DEPTH: &str = "engine.decomposition.depth";
 
+/// Requests admitted by the server and answered through the full path
+/// (queue + worker + requested estimator).
+pub const SERVER_ACCEPTED: &str = "server.requests.accepted";
+/// Admitted requests that had to wait behind other work (queue depth was
+/// non-zero at enqueue time). Always ≤ `server.requests.accepted`.
+pub const SERVER_QUEUED: &str = "server.requests.queued";
+/// Requests rejected by admission control (tenant queue full or shutdown
+/// draining) and answered degraded-with-provenance instead of queued.
+pub const SERVER_SHED: &str = "server.requests.shed";
+/// Client connections accepted by the listener.
+pub const SERVER_CONNECTIONS: &str = "server.connections";
+/// Server responses tagged with a non-`None` degradation (budget trips on
+/// the worker path plus admission-control sheds).
+pub const SERVER_RESP_DEGRADED: &str = "server.responses.degraded";
+/// Server responses carrying a typed fault or usage error.
+pub const SERVER_RESP_FAULT: &str = "server.responses.fault";
+/// Gauge: queue depth sampled after each enqueue/dequeue.
+pub const SERVER_QUEUE_DEPTH: &str = "server.queue.depth";
+/// Histogram: server-side request latency (enqueue to response written),
+/// microseconds. Per-tenant variants are `server.tenant.<name>.latency_us`.
+pub const SERVER_LATENCY_US: &str = "server.latency_us";
+
+/// The per-tenant latency histogram name for `tenant`.
+pub fn server_tenant_latency(tenant: &str) -> String {
+    format!("server.tenant.{tenant}.latency_us")
+}
+
 /// Typed faults surfaced to callers (parse failures, corrupt summaries,
 /// contained worker panics — injected or organic).
 pub const FAULT_TOTAL: &str = "fault.total";
@@ -123,6 +150,12 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
     ENGINE_INTERNER_KEYS,
     ENGINE_KEY_CLONE_BYTES,
     ENGINE_DEGRADED,
+    SERVER_ACCEPTED,
+    SERVER_QUEUED,
+    SERVER_SHED,
+    SERVER_CONNECTIONS,
+    SERVER_RESP_DEGRADED,
+    SERVER_RESP_FAULT,
     FAULT_TOTAL,
     FAULT_WORKER_PANICS,
     FAULT_INJECTED,
@@ -131,7 +164,12 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
 ];
 
 /// Histograms pre-registered by [`crate::MetricsRecorder::with_schema`].
-pub const SCHEMA_HISTOGRAMS: &[&str] = &[TWIG_MATCH_M_ENTRIES, QUERY_LATENCY_US, DECOMP_DEPTH];
+pub const SCHEMA_HISTOGRAMS: &[&str] = &[
+    TWIG_MATCH_M_ENTRIES,
+    QUERY_LATENCY_US,
+    DECOMP_DEPTH,
+    SERVER_LATENCY_US,
+];
 
 /// Spans pre-registered by [`crate::MetricsRecorder::with_schema`].
 pub const SCHEMA_SPANS: &[&str] = &[

@@ -1,0 +1,164 @@
+//! Blocking client for the tl-wire/1 protocol.
+//!
+//! One request in flight per connection: `request` writes a frame and
+//! blocks for the response frame. This is the closed-loop shape the load
+//! harness and the smoke tests drive; open many clients for concurrency.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tl_fault::Fault;
+use treelattice::Estimator;
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, WireEstimate};
+
+/// Client-side failure: transport trouble or a typed protocol fault.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(io::Error),
+    /// The response frame or body failed validation (checksum, decode).
+    Protocol(Fault),
+    /// The peer closed the connection before answering.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(fault) => write!(f, "protocol: {fault}"),
+            ClientError::Closed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+pub struct Client {
+    stream: TcpStream,
+    tenant: String,
+}
+
+impl Client {
+    /// Connects and pins every request from this client to `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A generous transport deadline so a wedged server surfaces as an
+        // error instead of hanging the caller forever.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Self {
+            stream,
+            tenant: tenant.into(),
+        })
+    }
+
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let body = match read_frame(&mut self.stream) {
+            Ok(body) => body,
+            Err(FrameError::Eof) => return Err(ClientError::Closed),
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::Corrupt(f)) => return Err(ClientError::Protocol(f)),
+        };
+        Response::decode(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Estimates one query; faults come back as `Err(ClientError::Protocol)`
+    /// carrying the server's typed fault.
+    pub fn estimate(
+        &mut self,
+        estimator: Estimator,
+        query: &str,
+    ) -> Result<WireEstimate, ClientError> {
+        let resp = self.request(&Request::Estimate {
+            tenant: self.tenant.clone(),
+            estimator,
+            query: query.to_owned(),
+        })?;
+        match resp {
+            Response::Estimate(e) => Ok(e),
+            Response::Error { fault, .. } => Err(ClientError::Protocol(fault)),
+            other => Err(ClientError::Protocol(Fault::parse(format!(
+                "unexpected response to estimate: {other:?}"
+            )))),
+        }
+    }
+
+    pub fn estimate_batch(
+        &mut self,
+        estimator: Estimator,
+        queries: &[String],
+    ) -> Result<Vec<Result<WireEstimate, Fault>>, ClientError> {
+        let resp = self.request(&Request::EstimateBatch {
+            tenant: self.tenant.clone(),
+            estimator,
+            queries: queries.to_vec(),
+        })?;
+        match resp {
+            Response::Batch(items) => Ok(items),
+            Response::Error { fault, .. } => Err(ClientError::Protocol(fault)),
+            other => Err(ClientError::Protocol(Fault::parse(format!(
+                "unexpected response to estimate-batch: {other:?}"
+            )))),
+        }
+    }
+
+    pub fn truth(&mut self, query: &str) -> Result<Option<u64>, ClientError> {
+        let resp = self.request(&Request::Truth {
+            tenant: self.tenant.clone(),
+            query: query.to_owned(),
+        })?;
+        match resp {
+            Response::Truth { stored } => Ok(stored),
+            Response::Error { fault, .. } => Err(ClientError::Protocol(fault)),
+            other => Err(ClientError::Protocol(Fault::parse(format!(
+                "unexpected response to truth: {other:?}"
+            )))),
+        }
+    }
+
+    /// Feeds back an executed query's true count; returns the summary
+    /// generation after the observation.
+    pub fn update(&mut self, query: &str, true_count: u64) -> Result<u64, ClientError> {
+        let resp = self.request(&Request::Update {
+            tenant: self.tenant.clone(),
+            query: query.to_owned(),
+            true_count,
+        })?;
+        match resp {
+            Response::Updated { generation } => Ok(generation),
+            Response::Error { fault, .. } => Err(ClientError::Protocol(fault)),
+            other => Err(ClientError::Protocol(Fault::parse(format!(
+                "unexpected response to update: {other:?}"
+            )))),
+        }
+    }
+
+    /// Fetches the tl-metrics/1 snapshot JSON.
+    pub fn scrape(&mut self) -> Result<String, ClientError> {
+        let resp = self.request(&Request::Scrape {
+            tenant: self.tenant.clone(),
+        })?;
+        match resp {
+            Response::Scrape { json } => Ok(json),
+            Response::Error { fault, .. } => Err(ClientError::Protocol(fault)),
+            other => Err(ClientError::Protocol(Fault::parse(format!(
+                "unexpected response to scrape: {other:?}"
+            )))),
+        }
+    }
+}

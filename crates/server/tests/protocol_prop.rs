@@ -1,0 +1,216 @@
+//! Property tests for the tl-wire/1 frame and body codecs: round trips
+//! are lossless (estimate values bit-for-bit), and any single-bit flip or
+//! truncation of a frame surfaces as a typed parse [`Fault`] — never a
+//! panic, never a silently wrong message. Mirrors the summary-frame
+//! checksum suite.
+
+use proptest::prelude::*;
+
+use tl_fault::{Degradation, Fault, FaultKind, Outcome};
+use tl_server::protocol::{read_frame, write_frame, FrameError, Request, Response, WireEstimate};
+use treelattice::Estimator;
+
+fn arb_estimator() -> impl Strategy<Value = Estimator> {
+    prop_oneof![
+        Just(Estimator::Recursive),
+        Just(Estimator::RecursiveVoting),
+        Just(Estimator::FixSized),
+        Just(Estimator::FixSizedVoting),
+    ]
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    // Mixed ASCII and multi-byte code points so length-prefixed UTF-8
+    // encoding is exercised beyond the single-byte case.
+    proptest::collection::vec(any::<u16>(), 0..24).prop_map(|cs| {
+        cs.into_iter()
+            .map(|c| char::from_u32(u32::from(c)).unwrap_or('\u{fffd}'))
+            .collect()
+    })
+}
+
+fn arb_option_fault() -> impl Strategy<Value = Option<Fault>> {
+    prop_oneof![Just(None), arb_fault().prop_map(Some),]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    let est = arb_estimator();
+    prop_oneof![
+        (arb_string(), arb_estimator(), arb_string()).prop_map(|(tenant, estimator, query)| {
+            Request::Estimate {
+                tenant,
+                estimator,
+                query,
+            }
+        }),
+        (
+            arb_string(),
+            est,
+            proptest::collection::vec(arb_string(), 0..8)
+        )
+            .prop_map(|(tenant, estimator, queries)| Request::EstimateBatch {
+                tenant,
+                estimator,
+                queries,
+            }),
+        (arb_string(), arb_string()).prop_map(|(tenant, query)| Request::Truth { tenant, query }),
+        (arb_string(), arb_string(), any::<u64>()).prop_map(|(tenant, query, true_count)| {
+            Request::Update {
+                tenant,
+                query,
+                true_count,
+            }
+        }),
+        arb_string().prop_map(|tenant| Request::Scrape { tenant }),
+    ]
+}
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    let kind = prop_oneof![
+        Just(FaultKind::Parse),
+        Just(FaultKind::BudgetExhausted),
+        Just(FaultKind::GroupTooLarge),
+        Just(FaultKind::CorruptSummary),
+        Just(FaultKind::WorkerPanic),
+        Just(FaultKind::Timeout),
+    ];
+    (kind, arb_string()).prop_map(|(kind, message)| Fault::new(kind, message))
+}
+
+fn arb_estimate() -> impl Strategy<Value = WireEstimate> {
+    let degradation = prop_oneof![
+        Just(Degradation::None),
+        (2usize..64).prop_map(|k| Degradation::ReducedK { k }),
+        Just(Degradation::Markov),
+    ];
+    (any::<u64>(), degradation, arb_option_fault()).prop_map(|(bits, degradation, cause)| {
+        WireEstimate {
+            value: f64::from_bits(bits),
+            degradation,
+            cause,
+        }
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        arb_estimate().prop_map(Response::Estimate),
+        proptest::collection::vec(
+            prop_oneof![arb_estimate().prop_map(Ok), arb_fault().prop_map(Err)],
+            0..6
+        )
+        .prop_map(Response::Batch),
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)]
+            .prop_map(|stored| Response::Truth { stored }),
+        any::<u64>().prop_map(|generation| Response::Updated { generation }),
+        arb_string().prop_map(|json| Response::Scrape { json }),
+        arb_fault().prop_map(|fault| Response::Error {
+            outcome: Outcome::UsageError,
+            fault
+        }),
+        arb_fault().prop_map(|fault| Response::Error {
+            outcome: Outcome::Fault,
+            fault
+        }),
+    ]
+}
+
+/// Value equality that treats NaN bit patterns as equal by bits — the
+/// wire carries `f64::to_bits`, so NaN payloads round-trip exactly even
+/// though `==` on NaN is false.
+fn responses_equal(a: &Response, b: &Response) -> bool {
+    fn est_eq(x: &WireEstimate, y: &WireEstimate) -> bool {
+        x.value.to_bits() == y.value.to_bits()
+            && x.degradation == y.degradation
+            && x.cause == y.cause
+    }
+    match (a, b) {
+        (Response::Estimate(x), Response::Estimate(y)) => est_eq(x, y),
+        (Response::Batch(xs), Response::Batch(ys)) => {
+            xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| match (x, y) {
+                    (Ok(x), Ok(y)) => est_eq(x, y),
+                    (Err(x), Err(y)) => x == y,
+                    _ => false,
+                })
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip(req in arb_request()) {
+        let body = req.encode();
+        let back = Request::decode(&body).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn response_round_trip(resp in arb_response()) {
+        let body = resp.encode();
+        let back = Response::decode(&body).unwrap();
+        prop_assert!(responses_equal(&back, &resp));
+    }
+
+    #[test]
+    fn framed_round_trip(req in arb_request()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let body = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    /// Any single flipped bit anywhere in the frame — length prefix,
+    /// body, or checksum — is detected as a typed parse fault.
+    #[test]
+    fn bit_flip_is_a_typed_fault(req in arb_request(), byte_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let idx = ((wire.len() - 1) as f64 * byte_frac) as usize;
+        wire[idx] ^= 1 << bit;
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Corrupt(f)) => prop_assert_eq!(f.kind, FaultKind::Parse),
+            Ok(_) => prop_assert!(false, "flipped bit at {} accepted", idx),
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+
+    /// Truncating the frame at any point is either a clean EOF (cut at a
+    /// frame boundary, i.e. nothing sent) or a typed parse fault.
+    #[test]
+    fn truncation_is_typed(req in arb_request(), keep_frac in 0.0f64..1.0) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let keep = ((wire.len() - 1) as f64 * keep_frac) as usize;
+        match read_frame(&mut &wire[..keep]) {
+            Err(FrameError::Eof) => prop_assert_eq!(keep, 0),
+            Err(FrameError::Corrupt(f)) => prop_assert_eq!(f.kind, FaultKind::Parse),
+            Ok(_) => prop_assert!(false, "truncated frame accepted"),
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+
+    /// Arbitrary garbage fed to the body decoders never panics; it
+    /// either decodes or comes back as a typed fault.
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// A flipped bit in the *body* of a valid frame, re-framed with a
+    /// fresh checksum, must still never panic the body decoder (it may
+    /// decode to a different valid message or fault — both are typed).
+    #[test]
+    fn body_decoder_survives_reframed_corruption(
+        req in arb_request(),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut body = req.encode();
+        let idx = ((body.len() - 1) as f64 * byte_frac) as usize;
+        body[idx] ^= 1 << bit;
+        let _ = Request::decode(&body);
+    }
+}
