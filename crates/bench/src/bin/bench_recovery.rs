@@ -1,0 +1,11 @@
+//! Injected-crash recovery matrix; see `tl_bench::experiments::recovery`.
+//!
+//! Sweeps every durability fail-point site under every injection rule,
+//! comparing each recovery bit-for-bit against a never-crashed replica,
+//! and writes `BENCH_recovery.json`.
+
+use tl_bench::experiments::recovery;
+
+fn main() {
+    recovery::run(&recovery::bench_config());
+}

@@ -1,0 +1,46 @@
+//! CI crash-recovery gate; see `tl_bench::gate_runner` and `tl_bench::gates`.
+//!
+//! ```text
+//! gate_recovery [--thresholds <path>] [--write-thresholds] [--seed <N>]
+//! ```
+//!
+//! Sweeps the injected-crash matrix — every durability fail-point site
+//! under every injection rule — recovering each crash over its own
+//! directory and comparing the result bit-for-bit against a
+//! never-crashed replica of the acknowledged prefix (writing
+//! `BENCH_recovery.json`). Enforces the committed contract (default
+//! `tests/gates/recovery.json`): full matrix coverage, bit-identity at
+//! every crash point, typed mid-log corruption, a cleanly sealed torn
+//! tail, and a byte-identical drain round trip. Exits 1 on any failure.
+//! `--seed N` selects a CI matrix slot; `--write-thresholds` regenerates
+//! the thresholds file (contract values, no sweep needed).
+
+use std::path::PathBuf;
+
+use tl_bench::gate_runner::{run_gate, Gate, GateRun};
+
+fn main() {
+    let mut opts = GateRun::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(p) => opts.thresholds = Some(PathBuf::from(p)),
+                None => usage("--thresholds needs a value"),
+            },
+            "--write-thresholds" => opts.write = true,
+            "--seed" => match args.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => opts.seed = Some(s),
+                _ => usage("--seed needs an integer value"),
+            },
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    std::process::exit(run_gate(Gate::Recovery, &opts));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: gate_recovery [--thresholds <path>] [--write-thresholds] [--seed <N>]");
+    std::process::exit(2);
+}

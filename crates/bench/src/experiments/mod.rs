@@ -11,6 +11,7 @@ pub mod fig9;
 pub mod harness;
 pub mod matcher;
 pub mod negative;
+pub mod recovery;
 pub mod scale_sweep;
 pub mod server;
 pub mod table1;
@@ -41,5 +42,6 @@ pub fn run_all(cfg: &ExpConfig) {
     matcher::run(cfg);
     decompose::run(&decompose::bench_config());
     corpus::run(&corpus::bench_config());
+    recovery::run(&recovery::bench_config());
     server::run(&server::bench_config());
 }

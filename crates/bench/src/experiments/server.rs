@@ -323,7 +323,7 @@ pub fn build(cfg: &ServerBenchConfig) -> ServerBench {
             .copied()
             .unwrap_or(0)
     };
-    handle.shutdown();
+    handle.shutdown().expect("server drain");
     std::fs::remove_dir_all(&dir).ok();
 
     let mut latency_us: Vec<u64> = Vec::new();

@@ -11,7 +11,7 @@
 
 use std::path::PathBuf;
 
-use crate::experiments::{corpus, decompose, server};
+use crate::experiments::{corpus, decompose, recovery, server};
 use crate::gates::{self, GateReport};
 use crate::golden::{self, GoldenConfig};
 
@@ -29,6 +29,8 @@ pub enum Gate {
     Decompose,
     /// Sharded-mining bit-identity and parallel speedup.
     Corpus,
+    /// Injected-crash matrix: recovery bit-identity at every fail point.
+    Recovery,
     /// Million-request mixed-tenant soak of the estimate server.
     Server,
 }
@@ -36,11 +38,12 @@ pub enum Gate {
 impl Gate {
     /// All gates, in canonical execution order (cheap smokes first, the
     /// long soaks last).
-    pub const ALL: [Gate; 6] = [
+    pub const ALL: [Gate; 7] = [
         Gate::Accuracy,
         Gate::Perf,
         Gate::Decompose,
         Gate::Corpus,
+        Gate::Recovery,
         Gate::Golden,
         Gate::Server,
     ];
@@ -53,6 +56,7 @@ impl Gate {
             Gate::Perf => "perf",
             Gate::Decompose => "decompose",
             Gate::Corpus => "corpus",
+            Gate::Recovery => "recovery",
             Gate::Server => "server",
         }
     }
@@ -73,6 +77,7 @@ impl Gate {
                 Gate::Perf => "perf_baseline.json",
                 Gate::Decompose => "decompose.json",
                 Gate::Corpus => "corpus.json",
+                Gate::Recovery => "recovery.json",
                 Gate::Server => "server.json",
             })
     }
@@ -81,7 +86,7 @@ impl Gate {
     /// slot). The other gates run one fixed fixture; passing them a seed
     /// is a usage error, not a silent no-op.
     pub fn accepts_seed(self) -> bool {
-        matches!(self, Gate::Golden | Gate::Server)
+        matches!(self, Gate::Golden | Gate::Recovery | Gate::Server)
     }
 }
 
@@ -280,6 +285,33 @@ pub fn run_gate(gate: Gate, opts: &GateRun) -> i32 {
             };
             finish(gate, &gates::check_corpus(&measured, &snapshot))
         }
+        Gate::Recovery => {
+            let cfg = gates::recovery_gate_config(opts.seed.unwrap_or(42));
+            if opts.write {
+                // The recovery thresholds are contract values, not measured
+                // fractions: writing them does not need a sweep.
+                return write_snapshot(&path, &gates::recovery_thresholds(&cfg));
+            }
+            println!(
+                "recovery gate: {} crash points ({} sites x {} rules), seed {}, {} updates/point",
+                recovery::matrix_size(),
+                recovery::CRASH_SITES.len(),
+                recovery::CRASH_RULES.len(),
+                cfg.seed,
+                cfg.updates
+            );
+            // `recovery::run` also prints the crash matrix and writes
+            // BENCH_recovery.json, which CI uploads as an artifact.
+            let measured = recovery::run(&cfg);
+            let snapshot = match gates::load_snapshot(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            finish(gate, &gates::check_recovery(&measured, &snapshot))
+        }
         Gate::Server => {
             let cfg = gates::server_gate_config(opts.seed.unwrap_or(42));
             if opts.write {
@@ -343,6 +375,18 @@ mod tests {
             ..GateRun::default()
         };
         assert_eq!(run_gate(Gate::Golden, &write_seeded), 2);
+    }
+
+    #[test]
+    fn recovery_threshold_write_round_trips_through_the_committed_file() {
+        let cfg = gates::recovery_gate_config(42);
+        let snap = gates::recovery_thresholds(&cfg);
+        let committed = gates::load_snapshot(&Gate::Recovery.default_thresholds())
+            .expect("committed recovery thresholds load");
+        assert_eq!(
+            committed, snap,
+            "tests/gates/recovery.json is stale; regenerate with gate_recovery --write-thresholds"
+        );
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //!   floors, `gate.server.max_p99_us` / `gate.server.max_shed_rate`
 //!   ceilings, bit-identity of every exact response against the
 //!   in-process engine, and zero untyped errors.
+//! * **Recovery** ([`check_recovery`]): sweeps the injected-crash matrix
+//!   (`experiments::recovery`) — every durability fail-point site under
+//!   every rule — and fails unless each crash point recovers bit-identical
+//!   to a never-crashed replica of the acknowledged prefix, mid-log
+//!   corruption surfaces as a typed fault, a torn tail seals cleanly, and
+//!   a drain round-trips the state byte-for-byte.
 //!
 //! Every gate runs through the one shared runner in [`crate::gate_runner`]
 //! — the `gates` umbrella binary and the per-gate `gate_*` wrappers are
@@ -52,7 +58,7 @@ use treelattice::{
 };
 
 use crate::{
-    experiments::{corpus, decompose, matcher, server},
+    experiments::{corpus, decompose, matcher, recovery, server},
     ExpConfig,
 };
 
@@ -89,6 +95,19 @@ pub const REQUIRE_SERVER_IDENTITY: &str = "gate.server.require_bit_identity";
 /// (`1.0`): every soak response must be an estimate, a degraded estimate
 /// with provenance, or a typed fault — never a bare transport error.
 pub const REQUIRE_ZERO_UNTYPED: &str = "gate.server.require_zero_untyped";
+/// Threshold gauge marking crash-recovery bit-identity as required
+/// (`1.0`): every injected crash point must recover byte-identical to a
+/// never-crashed replica of the acknowledged prefix. Fail-closed.
+pub const REQUIRE_RECOVERY_IDENTITY: &str = "gate.recovery.require_bit_identity";
+/// Threshold gauge for the minimum crash points the matrix must sweep.
+pub const MIN_CRASH_POINTS: &str = "gate.recovery.min_crash_points";
+/// Threshold gauge marking the typed-corruption check as required
+/// (`1.0`): a byte flipped mid-log must surface as a typed fault.
+pub const REQUIRE_TYPED_CORRUPTION: &str = "gate.recovery.require_typed_corruption";
+/// Threshold gauge marking the torn-tail seal check as required (`1.0`).
+pub const REQUIRE_TORN_TAIL_SEAL: &str = "gate.recovery.require_torn_tail_seal";
+/// Threshold gauge marking the drain round-trip check as required (`1.0`).
+pub const REQUIRE_DRAIN_ROUND_TRIP: &str = "gate.recovery.require_drain_round_trip";
 
 /// The fixed configuration the accuracy gate runs with. Changing it
 /// invalidates `tests/gates/accuracy.json`; regenerate with
@@ -631,6 +650,130 @@ pub fn check_server(b: &server::ServerBench, thresholds: &Snapshot) -> GateRepor
     report
 }
 
+/// The configuration the recovery gate sweeps with: the full crash
+/// matrix at a CI-matrix seed (the seed varies the workload, the
+/// fail-point coin, and the crash timing — the contract does not).
+/// Changing anything but the seed invalidates `tests/gates/recovery.json`;
+/// regenerate with `gate_recovery --write-thresholds`.
+pub fn recovery_gate_config(seed: u64) -> recovery::RecoveryBenchConfig {
+    recovery::RecoveryBenchConfig {
+        seed,
+        ..recovery::bench_config()
+    }
+}
+
+/// Renders recovery-gate thresholds. All contract values: the crash-point
+/// floor restates the matrix the sweep drives, and the four requirement
+/// gauges are carried as `1.0` so an empty thresholds file fails closed.
+pub fn recovery_thresholds(cfg: &recovery::RecoveryBenchConfig) -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.meta.insert("gate".into(), "recovery".into());
+    snap.meta.insert("dataset".into(), "xmark".into());
+    snap.meta.insert("scale".into(), cfg.scale.to_string());
+    snap.meta.insert("k".into(), cfg.k.to_string());
+    snap.meta
+        .insert("updates_per_point".into(), cfg.updates.to_string());
+    snap.gauges
+        .insert(MIN_CRASH_POINTS.into(), recovery::matrix_size() as f64);
+    snap.gauges.insert(REQUIRE_RECOVERY_IDENTITY.into(), 1.0);
+    snap.gauges.insert(REQUIRE_TYPED_CORRUPTION.into(), 1.0);
+    snap.gauges.insert(REQUIRE_TORN_TAIL_SEAL.into(), 1.0);
+    snap.gauges.insert(REQUIRE_DRAIN_ROUND_TRIP.into(), 1.0);
+    snap
+}
+
+/// Compares a crash-matrix sweep against a thresholds snapshot. A missing
+/// threshold gauge is a failure.
+pub fn check_recovery(b: &recovery::RecoveryBench, thresholds: &Snapshot) -> GateReport {
+    let mut report = GateReport::default();
+    match thresholds.gauges.get(MIN_CRASH_POINTS) {
+        Some(&min) => report.check(
+            b.crash_points() as f64 >= min,
+            format!(
+                "matrix: {} crash points swept ({} sites x {} rules, min {min:.0})",
+                b.crash_points(),
+                recovery::CRASH_SITES.len(),
+                recovery::CRASH_RULES.len()
+            ),
+        ),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{MIN_CRASH_POINTS}`"),
+        ),
+    }
+    match thresholds.gauges.get(REQUIRE_RECOVERY_IDENTITY) {
+        Some(&req) if req > 0.0 => {
+            let diverged: Vec<String> = b
+                .rows
+                .iter()
+                .filter(|r| !r.bit_identical)
+                .map(|r| format!("{}={}", r.site, r.rule))
+                .collect();
+            report.check(
+                b.crash_points() > 0 && diverged.is_empty(),
+                format!(
+                    "identity: {}/{} crash points recovered bit-identical to the replica{}",
+                    b.identical_points,
+                    b.crash_points(),
+                    if diverged.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (diverged: {})", diverged.join(", "))
+                    }
+                ),
+            );
+        }
+        Some(_) => report.check(false, "recovery identity requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_RECOVERY_IDENTITY}`"),
+        ),
+    }
+    match thresholds.gauges.get(REQUIRE_TYPED_CORRUPTION) {
+        Some(&req) if req > 0.0 => report.check(
+            b.corruption_typed,
+            format!(
+                "corruption: mid-log byte flip surfaced as a typed fault: {}",
+                b.corruption_typed
+            ),
+        ),
+        Some(_) => report.check(false, "typed-corruption requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_TYPED_CORRUPTION}`"),
+        ),
+    }
+    match thresholds.gauges.get(REQUIRE_TORN_TAIL_SEAL) {
+        Some(&req) if req > 0.0 => report.check(
+            b.torn_tail_sealed,
+            format!(
+                "torn tail: sheared final record sealed as clean end-of-log: {}",
+                b.torn_tail_sealed
+            ),
+        ),
+        Some(_) => report.check(false, "torn-tail requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_TORN_TAIL_SEAL}`"),
+        ),
+    }
+    match thresholds.gauges.get(REQUIRE_DRAIN_ROUND_TRIP) {
+        Some(&req) if req > 0.0 => report.check(
+            b.drain_round_trip,
+            format!(
+                "drain: flush + snapshot + reopen reproduced the state byte-for-byte: {}",
+                b.drain_round_trip
+            ),
+        ),
+        Some(_) => report.check(false, "drain round-trip requirement disabled".into()),
+        None => report.check(
+            false,
+            format!("thresholds missing gauge `{REQUIRE_DRAIN_ROUND_TRIP}`"),
+        ),
+    }
+    report
+}
+
 /// Loads a thresholds/baseline snapshot from disk.
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -879,6 +1022,57 @@ mod tests {
         let report = check_server(&good, &Snapshot::default());
         assert!(!report.passed());
         assert!(report.failures.iter().all(|f| f.contains("missing gauge")));
+    }
+
+    #[test]
+    fn recovery_gate_checks_contract() {
+        let row = |identical: bool| recovery::CrashRow {
+            site: "wal.append.torn",
+            rule: "always",
+            acked: 0,
+            recovered_seq: 0,
+            replayed: 0,
+            injected: 6,
+            bit_identical: identical,
+        };
+        let bench = |identical: bool, corrupt: bool, torn: bool, drain: bool| {
+            let rows: Vec<recovery::CrashRow> = (0..recovery::matrix_size())
+                .map(|_| row(identical))
+                .collect();
+            let identical_points = rows.iter().filter(|r| r.bit_identical).count() as u64;
+            recovery::RecoveryBench {
+                cfg: recovery_gate_config(42),
+                rows,
+                identical_points,
+                corruption_typed: corrupt,
+                torn_tail_sealed: torn,
+                drain_round_trip: drain,
+            }
+        };
+        let good = bench(true, true, true, true);
+        let thresholds = recovery_thresholds(&good.cfg);
+        assert_eq!(
+            thresholds.gauges[MIN_CRASH_POINTS],
+            recovery::matrix_size() as f64
+        );
+        assert!(check_recovery(&good, &thresholds).passed());
+        // Each contract fails independently...
+        assert!(!check_recovery(&bench(false, true, true, true), &thresholds).passed());
+        assert!(!check_recovery(&bench(true, false, true, true), &thresholds).passed());
+        assert!(!check_recovery(&bench(true, true, false, true), &thresholds).passed());
+        assert!(!check_recovery(&bench(true, true, true, false), &thresholds).passed());
+        // ...a diverged point is named in the failure line...
+        let report = check_recovery(&bench(false, true, true, true), &thresholds);
+        assert!(report.failures.iter().any(|f| f.contains("diverged")));
+        // ...a too-small matrix fails...
+        let mut narrow = bench(true, true, true, true);
+        narrow.rows.truncate(2);
+        narrow.identical_points = 2;
+        assert!(!check_recovery(&narrow, &thresholds).passed());
+        // ...and an empty thresholds file fails closed.
+        let empty = check_recovery(&good, &Snapshot::default());
+        assert!(!empty.passed());
+        assert!(empty.failures.iter().all(|f| f.contains("missing gauge")));
     }
 
     #[test]

@@ -122,6 +122,8 @@ USAGE:
   treelattice build <input.xml> -o <summary.tlat> [--k N] [--delta D] [--threads N] [--values MODE]
   treelattice mine <corpus-dir> -o <summary.tlat> [--k N] [--shards N] [--threads N] [--delta D] [--values MODE]
   treelattice summary merge <a.tlat> <b.tlat> [more.tlat ...] -o <out.tlat> [--delta D]
+  treelattice summary recover <wal-dir> -o <out.tlat> [--base <base.tlat>] [--online-budget N]
+  treelattice summary snapshot <wal-dir> [--base <base.tlat>] [--online-budget N]
   treelattice estimate <summary.tlat|input.xml> <query> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--mmap] [--threads N] [--k N]
   treelattice workload <summary.tlat> <queries.txt> [--estimator recursive|voting|fixed] [--values MODE] [--engine-cache] [--threads N]
   treelattice explain <summary.tlat> <query>
@@ -152,7 +154,13 @@ TL_CHAOS_SEED) activate the deterministic fail-point harness.
 (0 = all cores); results are bit-identical for every shard count.
 `summary merge` folds existing summaries into one: counts add, label
 universes union. With --delta, pruning runs once after the final merge
-(delta-pruning does not commute with merging). `estimate --mmap` serves
+(delta-pruning does not commute with merging). `summary recover` runs
+tl-server's startup recovery offline over a --wal-dir durability
+directory (newest valid snapshot + write-ahead-log tail; a torn final
+record is a clean end-of-log, mid-log corruption exits 3) and writes the
+recovered state as a plain summary; `summary snapshot` additionally
+publishes an atomic snapshot there and truncates the WAL.
+`estimate --mmap` serves
 pattern lookups zero-copy from the on-disk frame through a
 checksum-validated memory map instead of loading the summary.
 Exit codes: 0 = success or degraded, 2 = usage error, 3 = fault.
@@ -644,10 +652,15 @@ fn cmd_mine(rest: &[String], out: &mut String, obs: &Obs) -> Result<(), CliError
 fn cmd_summary(rest: &[String], out: &mut String) -> Result<(), CliError> {
     let mut args = Args::new(rest);
     let action = args.positional("merge")?.to_owned();
-    if action != "merge" {
-        return Err(CliError::usage(format!(
-            "unknown summary action `{action}` (expected merge)"
-        )));
+    match action.as_str() {
+        "merge" => {}
+        "recover" => return cmd_summary_recover(args, out),
+        "snapshot" => return cmd_summary_snapshot(args, out),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown summary action `{other}` (expected merge|recover|snapshot)"
+            )))
+        }
     }
     let output = args
         .flag_value("-o")?
@@ -688,6 +701,61 @@ fn cmd_summary(rest: &[String], out: &mut String) -> Result<(), CliError> {
         merged.summary().len(),
         merged.summary_bytes(),
     );
+    Ok(())
+}
+
+/// `summary recover <wal-dir> --base <base.tlat> -o <out.tlat>`: offline
+/// recovery — newest valid snapshot plus WAL-tail replay — materialized
+/// as a plain summary frame. The durability directory is not modified.
+fn cmd_summary_recover(mut args: Args<'_>, out: &mut String) -> Result<(), CliError> {
+    let wal_dir = args.positional("wal-dir")?.to_owned();
+    let base = args.flag_value("--base")?.map(str::to_owned);
+    let output = args
+        .flag_value("-o")?
+        .ok_or_else(|| CliError::usage("summary recover needs -o <out.tlat>"))?
+        .to_owned();
+    let online_budget: Option<usize> = args.numeric("--online-budget")?;
+    args.finish()?;
+
+    let base_lattice = base.as_deref().map(load_summary).transpose()?;
+    let opts = treelattice::DurableOptions {
+        online_budget: online_budget.unwrap_or(1 << 20),
+        ..treelattice::DurableOptions::default()
+    };
+    let recovered = treelattice::recover(
+        std::path::Path::new(&wal_dir),
+        base_lattice.as_ref(),
+        &opts,
+        &tl_obs::NOOP,
+    )?;
+    write_file(&output, &recovered.tuned.lattice().to_bytes())?;
+    let _ = writeln!(out, "{} -> {output}", recovered.report);
+    Ok(())
+}
+
+/// `summary snapshot <wal-dir> --base <base.tlat>`: recover, then force
+/// an atomic snapshot into the durability directory and truncate the
+/// WAL — the operator-driven compaction path.
+fn cmd_summary_snapshot(mut args: Args<'_>, out: &mut String) -> Result<(), CliError> {
+    let wal_dir = args.positional("wal-dir")?.to_owned();
+    let base = args.flag_value("--base")?.map(str::to_owned);
+    let online_budget: Option<usize> = args.numeric("--online-budget")?;
+    args.finish()?;
+
+    let base_lattice = base.as_deref().map(load_summary).transpose()?;
+    let opts = treelattice::DurableOptions {
+        online_budget: online_budget.unwrap_or(1 << 20),
+        ..treelattice::DurableOptions::default()
+    };
+    let (mut durable, report) = treelattice::DurableLattice::open(
+        std::path::Path::new(&wal_dir),
+        base_lattice.as_ref(),
+        &opts,
+        &tl_obs::NOOP,
+    )?;
+    let _ = writeln!(out, "{report}");
+    let seq = durable.snapshot(&tl_obs::NOOP)?;
+    let _ = writeln!(out, "snapshot published at seq {seq}, wal truncated");
     Ok(())
 }
 
@@ -2110,6 +2178,104 @@ mod tests {
         assert_eq!(err.code, 2);
         let err = call(&["summary", "split", parts[0].to_str().unwrap()]).unwrap_err();
         assert_eq!(err.code, 2);
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn summary_recover_and_snapshot_round_trip_a_wal_dir() {
+        let dir = tempdir();
+        let xml = dir.join("r.xml");
+        let tlat = dir.join("r.tlat");
+        call(&[
+            "gen",
+            "xmark",
+            "-o",
+            xml.to_str().unwrap(),
+            "--scale",
+            "1500",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        call(&[
+            "build",
+            xml.to_str().unwrap(),
+            "-o",
+            tlat.to_str().unwrap(),
+            "--k",
+            "3",
+        ])
+        .unwrap();
+
+        // Seed a durability directory the way a crashed server would
+        // leave it: WAL records, no final snapshot.
+        let base = load_summary(tlat.to_str().unwrap()).unwrap();
+        let wal_dir = dir.join("wal");
+        let query = {
+            let mut labels = base.labels().clone();
+            tl_twig::parse_twig("site/regions", &mut labels).unwrap()
+        };
+        {
+            let opts = treelattice::DurableOptions::default();
+            let (mut durable, _) =
+                treelattice::DurableLattice::open(&wal_dir, Some(&base), &opts, &tl_obs::NOOP)
+                    .unwrap();
+            for (i, count) in [3u64, 9, 27].iter().enumerate() {
+                durable
+                    .apply(&query, *count, i as u64 + 1, &tl_obs::NOOP)
+                    .unwrap();
+            }
+            // No drain: the WAL alone carries the observations.
+        }
+        assert!(std::fs::metadata(wal_dir.join("wal.log")).unwrap().len() > 0);
+
+        let recovered_path = dir.join("recovered.tlat");
+        let out = call(&[
+            "summary",
+            "recover",
+            wal_dir.to_str().unwrap(),
+            "--base",
+            tlat.to_str().unwrap(),
+            "-o",
+            recovered_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("replayed 3"), "{out}");
+        let recovered = load_summary(recovered_path.to_str().unwrap()).unwrap();
+        use tl_twig::canonical::key_of;
+        assert_eq!(
+            recovered.summary().stored(&key_of(&query)),
+            Some(27),
+            "recovery must land on the last applied count"
+        );
+
+        // Snapshot compacts: WAL truncated, snapshot file published, and
+        // offline recovery still produces the same summary bytes.
+        let out = call(&[
+            "summary",
+            "snapshot",
+            wal_dir.to_str().unwrap(),
+            "--base",
+            tlat.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot published at seq 3"), "{out}");
+        assert_eq!(std::fs::metadata(wal_dir.join("wal.log")).unwrap().len(), 0);
+        let again = dir.join("again.tlat");
+        call(&[
+            "summary",
+            "recover",
+            wal_dir.to_str().unwrap(),
+            "-o",
+            again.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&recovered_path).unwrap(),
+            std::fs::read(&again).unwrap(),
+            "snapshot-then-recover must be bit-identical to wal-replay recovery"
+        );
 
         let _ = std::fs::remove_dir_all(dir);
     }

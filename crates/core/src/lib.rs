@@ -60,6 +60,7 @@ pub mod resilient;
 pub mod serialize;
 pub mod summary;
 pub mod trie;
+pub mod wal;
 
 use tl_miner::{mine_with_index_budgeted, MineConfig};
 use tl_twig::canonical::KeyEncoder;
@@ -80,6 +81,10 @@ pub use reference::ReferenceEngine;
 pub use resilient::{markov_estimate, markov_estimate_store, ResilientEstimate};
 pub use serialize::ReadError;
 pub use summary::{Lookup, Summary};
+pub use wal::{
+    recover, Applied, DurabilityPolicy, DurableLattice, DurableOptions, IdemCache, Recovered,
+    RecoveryReport,
+};
 // Corpus mining's config/report are part of the build API surface:
 // `TreeLattice::build_corpus` takes the former and summarizes the latter.
 pub use tl_miner::{CorpusConfig, CorpusReport};

@@ -78,6 +78,41 @@ impl TunedLattice {
         &self.lattice
     }
 
+    /// Durable-state view for crash-consistent snapshots: the LRU clock
+    /// plus the `(key, heat, last-touch)` rows of the online layer,
+    /// sorted by key bytes so the encoding is canonical. Together with
+    /// the serialized summary this is everything replay determinism
+    /// depends on; [`TunerStats`] is process-local diagnostics and
+    /// deliberately excluded.
+    pub fn online_state(&self) -> (u64, Vec<(TwigKey, u64, u64)>) {
+        let mut rows: Vec<(TwigKey, u64, u64)> = self
+            .heat
+            .iter()
+            .map(|(k, &h)| (k.clone(), h, self.touched.get(k).copied().unwrap_or(0)))
+            .collect();
+        rows.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+        (self.clock, rows)
+    }
+
+    /// Rebuilds a tuner with the exact online-layer state captured by
+    /// [`TunedLattice::online_state`]. `online_bytes` is recomputed from
+    /// the keys; stats restart at zero.
+    pub fn restore_online_state(
+        lattice: TreeLattice,
+        online_budget: usize,
+        clock: u64,
+        rows: Vec<(TwigKey, u64, u64)>,
+    ) -> Self {
+        let mut tuned = Self::new(lattice, online_budget);
+        tuned.clock = clock;
+        for (key, heat, touched) in rows {
+            tuned.online_bytes += key.heap_bytes();
+            tuned.touched.insert(key.clone(), touched);
+            tuned.heat.insert(key, heat);
+        }
+        tuned
+    }
+
     /// Tuning statistics so far.
     pub fn stats(&self) -> TunerStats {
         self.stats

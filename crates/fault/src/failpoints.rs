@@ -43,6 +43,23 @@ pub mod sites {
     /// Between mining levels: simulates deadline expiry, forcing an
     /// early stop at a lower order.
     pub const MINER_DEADLINE: &str = "miner.deadline";
+    /// Inside `WalWriter::append`: the record frame is torn mid-body (a
+    /// partial prefix reaches the file) and the append fails.
+    pub const WAL_APPEND_TORN: &str = "wal.append.torn";
+    /// Inside `WalWriter::append`: the frame lands short of its trailing
+    /// checksum bytes and the append fails.
+    pub const WAL_APPEND_SHORT: &str = "wal.append.short";
+    /// Inside `WalWriter`: fsync reports an I/O error after the record
+    /// bytes were written; the writer must undo the record before
+    /// surfacing the fault so the file never holds an unacknowledged
+    /// complete record.
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// Inside the snapshot protocol: crash after the temp file is
+    /// durable but before the rename publishes it.
+    pub const SNAPSHOT_BEFORE_RENAME: &str = "snapshot.before_rename";
+    /// Inside the snapshot protocol: crash after the rename publishes
+    /// the snapshot but before the WAL is truncated.
+    pub const SNAPSHOT_AFTER_RENAME: &str = "snapshot.after_rename";
 
     /// Every site the pipeline defines, for exhaustive chaos sweeps.
     pub const ALL: &[&str] = &[
@@ -52,6 +69,11 @@ pub mod sites {
         BUDGET_MEM,
         ENGINE_WORKER,
         MINER_DEADLINE,
+        WAL_APPEND_TORN,
+        WAL_APPEND_SHORT,
+        WAL_FSYNC,
+        SNAPSHOT_BEFORE_RENAME,
+        SNAPSHOT_AFTER_RENAME,
     ];
 }
 

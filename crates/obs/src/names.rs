@@ -88,10 +88,37 @@ pub const SERVER_QUEUE_DEPTH: &str = "server.queue.depth";
 /// microseconds. Per-tenant variants are `server.tenant.<name>.latency_us`.
 pub const SERVER_LATENCY_US: &str = "server.latency_us";
 
+/// Socket-option failures (`set_nodelay`/`set_read_timeout`) on accepted
+/// connections — surfaced, never silently swallowed.
+pub const SERVER_SOCKOPT_ERRORS: &str = "server.sockopt_errors";
+/// Connections closed by the server's idle deadline (`--idle-timeout-ms`):
+/// half-open or slow-loris peers shed deterministically.
+pub const SERVER_IDLE_CLOSED: &str = "server.conn.idle_closed";
+
 /// The per-tenant latency histogram name for `tenant`.
 pub fn server_tenant_latency(tenant: &str) -> String {
     format!("server.tenant.{tenant}.latency_us")
 }
+
+/// WAL records appended (each one gates an update acknowledgement).
+pub const WAL_APPENDS: &str = "wal.appends";
+/// Bytes appended to the WAL (frames, including length/checksum).
+pub const WAL_APPEND_BYTES: &str = "wal.append.bytes";
+/// fsync(2) calls issued by the WAL writer (policy-dependent).
+pub const WAL_FSYNCS: &str = "wal.fsyncs";
+/// Appends that failed (torn/short write, fsync error, poisoned log);
+/// each one is a typed fault to the caller, never an ack.
+pub const WAL_APPEND_FAILURES: &str = "wal.append.failures";
+/// WAL records replayed by startup recovery.
+pub const WAL_REPLAYED: &str = "wal.replayed";
+/// WAL truncations after a snapshot became durable.
+pub const WAL_TRUNCATIONS: &str = "wal.truncations";
+/// Atomic snapshots published (temp-file → fsync → rename).
+pub const SNAPSHOT_WRITES: &str = "snapshot.writes";
+/// Bytes written across all published snapshots.
+pub const SNAPSHOT_BYTES: &str = "snapshot.bytes";
+/// Snapshot attempts that failed (the WAL keeps covering the tail).
+pub const SNAPSHOT_FAILURES: &str = "snapshot.failures";
 
 /// Typed faults surfaced to callers (parse failures, corrupt summaries,
 /// contained worker panics — injected or organic).
@@ -156,6 +183,17 @@ pub const SCHEMA_COUNTERS: &[&str] = &[
     SERVER_CONNECTIONS,
     SERVER_RESP_DEGRADED,
     SERVER_RESP_FAULT,
+    SERVER_SOCKOPT_ERRORS,
+    SERVER_IDLE_CLOSED,
+    WAL_APPENDS,
+    WAL_APPEND_BYTES,
+    WAL_FSYNCS,
+    WAL_APPEND_FAILURES,
+    WAL_REPLAYED,
+    WAL_TRUNCATIONS,
+    SNAPSHOT_WRITES,
+    SNAPSHOT_BYTES,
+    SNAPSHOT_FAILURES,
     FAULT_TOTAL,
     FAULT_WORKER_PANICS,
     FAULT_INJECTED,

@@ -26,7 +26,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use protocol::{Request, Response, WireEstimate};
 pub use queue::{FairQueue, Refusal, TenantConfig};
 pub use server::{serve, BudgetSpec, ServerConfig, ServerHandle, TenantSpec, DEFAULT_TENANT};

@@ -4,15 +4,21 @@
 //! tl-server serve <summary.tlat> [--mmap] [--port N] [--port-file PATH]
 //!                 [--workers N] [--tenant name=weight[:cap][:ms]]...
 //!                 [--budget-ms N] [--budget-mem BYTES] [--max-k K]
-//!                 [--online-budget BYTES]
+//!                 [--online-budget BYTES] [--wal-dir DIR]
+//!                 [--durability none|batch|strict] [--snapshot-every N]
+//!                 [--idle-timeout-ms N]
 //! tl-server probe <addr> <query> [--tenant T] [--estimator E]
 //! tl-server scrape <addr> [--tenant T]
 //! ```
 //!
 //! `serve` runs until SIGTERM/SIGINT, then drains queued work and exits
-//! 0. `--port 0` binds an ephemeral port; `--port-file` writes the bound
-//! `host:port` for scripts (the CI smoke test uses both). Exit codes
-//! follow the shared table: usage errors are 2, faults are 3.
+//! 0. With `--wal-dir` every accepted update is write-ahead logged
+//! before its ack, startup replays the newest snapshot + WAL tail, and
+//! the drain publishes a final snapshot — a failed final snapshot exits
+//! 3 with the previous snapshot and WAL left intact. `--port 0` binds an
+//! ephemeral port; `--port-file` writes the bound `host:port` for
+//! scripts (the CI smoke test uses both). Exit codes follow the shared
+//! table: usage errors are 2, faults are 3.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,7 +32,9 @@ const USAGE: &str = "usage:
   tl-server serve <summary.tlat> [--mmap] [--port N] [--port-file PATH]
                   [--workers N] [--tenant name=weight[:cap][:ms]]...
                   [--budget-ms N] [--budget-mem BYTES] [--max-k K]
-                  [--online-budget BYTES]
+                  [--online-budget BYTES] [--wal-dir DIR]
+                  [--durability none|batch|strict] [--snapshot-every N]
+                  [--idle-timeout-ms N]
   tl-server probe <addr> <query> [--tenant T] [--estimator E]
   tl-server scrape <addr> [--tenant T]";
 
@@ -113,6 +121,10 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut tenants = Vec::new();
     let mut budget = BudgetSpec::default();
     let mut online_budget = 1usize << 20;
+    let mut wal_dir: Option<String> = None;
+    let mut durability = treelattice::DurabilityPolicy::Batch;
+    let mut snapshot_every = 512u64;
+    let mut idle_timeout_ms = 60_000u64;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -168,6 +180,28 @@ fn cmd_serve(args: &[String]) -> i32 {
                 Ok(b) => online_budget = b,
                 Err(e) => return usage_err(&e),
             },
+            "--wal-dir" => match value("--wal-dir") {
+                Ok(v) => wal_dir = Some(v.to_owned()),
+                Err(e) => return usage_err(&e),
+            },
+            "--durability" => match value("--durability").and_then(|v| {
+                treelattice::DurabilityPolicy::parse(v).map_err(|e| format!("--durability: {e}"))
+            }) {
+                Ok(p) => durability = p,
+                Err(e) => return usage_err(&e),
+            },
+            "--snapshot-every" => match value("--snapshot-every")
+                .and_then(|v| v.parse().map_err(|e| format!("--snapshot-every: {e}")))
+            {
+                Ok(n) => snapshot_every = n,
+                Err(e) => return usage_err(&e),
+            },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms")
+                .and_then(|v| v.parse().map_err(|e| format!("--idle-timeout-ms: {e}")))
+            {
+                Ok(ms) => idle_timeout_ms = ms,
+                Err(e) => return usage_err(&e),
+            },
             other if !other.starts_with('-') && summary.is_none() => {
                 summary = Some(other.to_owned())
             }
@@ -185,6 +219,18 @@ fn cmd_serve(args: &[String]) -> i32 {
     config.tenants = tenants;
     config.default_budget = budget;
     config.online_budget_bytes = online_budget;
+    config.wal_dir = wal_dir.map(Into::into);
+    config.durability = durability;
+    config.snapshot_every = snapshot_every;
+    config.idle_timeout_ms = idle_timeout_ms;
+    if config.mmap && config.wal_dir.is_some() {
+        return usage_err("--wal-dir is incompatible with --mmap");
+    }
+    // Chaos harnesses inject faults into the spawned server via the same
+    // TL_CHAOS/TL_CHAOS_SEED contract the CLI honors.
+    if let Err(e) = tl_fault::failpoints::activate_from_env() {
+        return usage_err(&format!("TL_CHAOS: {e}"));
+    }
 
     let handle = match serve(config) {
         Ok(h) => h,
@@ -197,7 +243,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let addr = handle.addr();
     if let Some(path) = &port_file {
         if let Err(e) = std::fs::write(path, addr.to_string()) {
-            handle.shutdown();
+            let _ = handle.shutdown();
             return fault_err(format!("{path}: {e}"));
         }
     }
@@ -207,8 +253,13 @@ fn cmd_serve(args: &[String]) -> i32 {
         std::thread::sleep(Duration::from_millis(25));
     }
     eprintln!("tl-server: signal received, draining");
-    handle.shutdown();
-    exit_code(Outcome::Success)
+    match handle.shutdown() {
+        Ok(()) => exit_code(Outcome::Success),
+        // A failed durable drain (e.g. the final snapshot hit a fault)
+        // must not look like a clean exit: the previous snapshot and the
+        // WAL are intact on disk, and the operator needs to know.
+        Err(fault) => fault_err(format!("drain: {fault}")),
+    }
 }
 
 fn parse_estimator(name: &str) -> Result<Estimator, String> {

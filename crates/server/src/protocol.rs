@@ -61,11 +61,15 @@ pub enum Request {
     /// if the summary holds one.
     Truth { tenant: String, query: String },
     /// Feed back the true cardinality of an executed query (the online
-    /// tuning path; memory backend only).
+    /// tuning path; memory backend only). `idem` is a client-chosen
+    /// idempotency key (`0` = none): a retried update with the same key
+    /// is acknowledged without re-applying, so an ack lost in flight
+    /// cannot double-apply.
     Update {
         tenant: String,
         query: String,
         true_count: u64,
+        idem: u64,
     },
     /// Fetch the tl-metrics/1 snapshot JSON.
     Scrape { tenant: String },
@@ -452,11 +456,13 @@ impl Request {
                 tenant,
                 query,
                 true_count,
+                idem,
             } => {
                 enc.u8(OP_UPDATE);
                 enc.string(tenant);
                 enc.string(query);
                 enc.u64(*true_count);
+                enc.u64(*idem);
             }
             Request::Scrape { tenant } => {
                 enc.u8(OP_SCRAPE);
@@ -503,6 +509,7 @@ impl Request {
                 tenant,
                 query: dec.string("query")?,
                 true_count: dec.u64("true count")?,
+                idem: dec.u64("idempotency key")?,
             },
             OP_SCRAPE => Request::Scrape { tenant },
             other => return Err(Fault::parse(format!("unknown op code {other}"))),
@@ -649,6 +656,7 @@ mod tests {
                 tenant: String::new(),
                 query: "a".into(),
                 true_count: u64::MAX,
+                idem: 0xdead_beef,
             },
             Request::Scrape {
                 tenant: "ops".into(),

@@ -36,8 +36,9 @@ use tl_obs::{names, MetricsRecorder, Recorder};
 use tl_twig::canonical::key_of;
 use tl_twig::{parse_twig, Twig};
 use treelattice::{
-    markov_estimate_store, Catalog, EngineConfig, EstimateOptions, EstimationEngine, Estimator,
-    Lookup, MmapCatalog, PatternStore, ResilientEstimate, TreeLattice, TunedLattice,
+    markov_estimate_store, Catalog, DurabilityPolicy, DurableLattice, DurableOptions, EngineConfig,
+    EstimateOptions, EstimationEngine, Estimator, Lookup, MmapCatalog, PatternStore,
+    ResilientEstimate, TreeLattice, TunedLattice,
 };
 
 use crate::protocol::{read_frame, write_frame, FrameError, Request, Response, WireEstimate};
@@ -107,6 +108,20 @@ pub struct ServerConfig {
     pub default_budget: BudgetSpec,
     /// Byte budget of the online feedback layer (`update` requests).
     pub online_budget_bytes: usize,
+    /// Durability directory. When set, every accepted `update` is
+    /// appended to a write-ahead log here before it is acknowledged, and
+    /// startup recovers from the newest valid snapshot plus the WAL
+    /// tail. Incompatible with `mmap` (read-only backend).
+    pub wal_dir: Option<PathBuf>,
+    /// fsync policy for WAL appends (only meaningful with `wal_dir`).
+    pub durability: DurabilityPolicy,
+    /// Publish an atomic snapshot (and truncate the WAL) every N
+    /// acknowledged updates; `0` disables count-triggered snapshots
+    /// (drain still writes a final one).
+    pub snapshot_every: u64,
+    /// Close connections idle longer than this many milliseconds;
+    /// `0` keeps half-open peers forever (the pre-durability behavior).
+    pub idle_timeout_ms: u64,
 }
 
 impl ServerConfig {
@@ -119,6 +134,10 @@ impl ServerConfig {
             tenants: Vec::new(),
             default_budget: BudgetSpec::default(),
             online_budget_bytes: 1 << 20,
+            wal_dir: None,
+            durability: DurabilityPolicy::Batch,
+            snapshot_every: 512,
+            idle_timeout_ms: 60_000,
         }
     }
 }
@@ -127,10 +146,26 @@ impl ServerConfig {
 pub const DEFAULT_TENANT: &str = "default";
 const DEFAULT_QUEUE_CAP: usize = 256;
 
+/// The in-memory store behind `update`: a plain tuned lattice (loss on
+/// crash) or a [`DurableLattice`] whose WAL append gates every ack.
+enum Store {
+    Plain(TunedLattice),
+    Durable(DurableLattice),
+}
+
+impl Store {
+    fn tuned(&self) -> &TunedLattice {
+        match self {
+            Store::Plain(t) => t,
+            Store::Durable(d) => d.tuned(),
+        }
+    }
+}
+
 enum Backend {
     Memory {
         // Boxed so the enum stays near the size of its mmap variant.
-        tuned: Box<RwLock<TunedLattice>>,
+        store: Box<RwLock<Store>>,
         engine: EstimationEngine,
     },
     Mmap {
@@ -144,27 +179,29 @@ impl Backend {
     /// the store-identity contract.
     fn markov(&self, twig: &Twig) -> f64 {
         match self {
-            Backend::Memory { tuned, .. } => markov_estimate_store(tuned.read().lattice(), twig),
+            Backend::Memory { store, .. } => {
+                markov_estimate_store(store.read().tuned().lattice(), twig)
+            }
             Backend::Mmap { catalog } => markov_estimate_store(catalog, twig),
         }
     }
 
     fn labels(&self) -> tl_xml::LabelInterner {
         match self {
-            Backend::Memory { tuned, .. } => tuned.read().lattice().labels().clone(),
+            Backend::Memory { store, .. } => store.read().tuned().lattice().labels().clone(),
             Backend::Mmap { catalog } => catalog.labels().clone(),
         }
     }
 
     fn estimate(&self, twig: &Twig, estimator: Estimator, budget: Budget) -> Response {
         match self {
-            Backend::Memory { tuned, engine } => {
+            Backend::Memory { store, engine } => {
                 let opts = EstimateOptions {
                     budget,
                     ..EstimateOptions::default()
                 };
-                let guard = tuned.read();
-                match engine.estimate_resilient(guard.lattice(), twig, estimator, &opts) {
+                let guard = store.read();
+                match engine.estimate_resilient(guard.tuned().lattice(), twig, estimator, &opts) {
                     Ok(est) => Response::Estimate(wire(est)),
                     Err(fault) => Response::fault(fault),
                 }
@@ -194,7 +231,7 @@ impl Backend {
     fn truth(&self, twig: &Twig) -> Response {
         let key = key_of(twig);
         let stored = match self {
-            Backend::Memory { tuned, .. } => tuned.read().lattice().summary().stored(&key),
+            Backend::Memory { store, .. } => store.read().tuned().lattice().summary().stored(&key),
             Backend::Mmap { catalog } => match catalog.lookup_bytes(key.as_bytes()) {
                 Lookup::Exact(c) => Some(c),
                 Lookup::Derivable | Lookup::TooLarge => None,
@@ -203,13 +240,26 @@ impl Backend {
         Response::Truth { stored }
     }
 
-    fn update(&self, twig: &Twig, true_count: u64) -> Response {
+    fn update(&self, twig: &Twig, true_count: u64, idem: u64, rec: &dyn Recorder) -> Response {
         match self {
-            Backend::Memory { tuned, .. } => {
-                let mut guard = tuned.write();
-                guard.observe(twig, true_count);
-                Response::Updated {
-                    generation: guard.lattice().generation(),
+            Backend::Memory { store, .. } => {
+                let mut guard = store.write();
+                match &mut *guard {
+                    Store::Plain(tuned) => {
+                        tuned.observe(twig, true_count);
+                        Response::Updated {
+                            generation: tuned.lattice().generation(),
+                        }
+                    }
+                    // The WAL append gates the ack: an append failure is a
+                    // typed fault and the observation is NOT applied, so a
+                    // client never holds an ack the log cannot replay.
+                    Store::Durable(durable) => match durable.apply(twig, true_count, idem, rec) {
+                        Ok(applied) => Response::Updated {
+                            generation: applied.generation,
+                        },
+                        Err(fault) => Response::fault(fault),
+                    },
                 }
             }
             Backend::Mmap { .. } => Response::usage(Fault::parse(
@@ -243,6 +293,7 @@ enum Work {
     Update {
         twig: Twig,
         true_count: u64,
+        idem: u64,
     },
 }
 
@@ -259,6 +310,8 @@ struct Shared {
     budgets: Vec<BudgetSpec>,
     rec: Arc<MetricsRecorder>,
     shutting_down: AtomicBool,
+    /// Per-connection idle deadline; zero disables shedding.
+    idle_timeout: Duration,
 }
 
 impl Shared {
@@ -312,6 +365,14 @@ impl Shared {
             self.rec.add(names::SERVER_ACCEPTED, 1);
             self.rec
                 .gauge(names::SERVER_QUEUE_DEPTH, self.queue.depth() as f64);
+            if let Backend::Memory { store, .. } = &self.backend {
+                if let Store::Durable(durable) = &*store.read() {
+                    self.rec
+                        .gauge("server.wal.last_seq", durable.last_seq() as f64);
+                    self.rec
+                        .gauge("server.snapshot.seq", durable.snapshot_seq() as f64);
+                }
+            }
             return Response::Scrape {
                 json: self.rec.snapshot().to_json(),
             };
@@ -378,10 +439,14 @@ impl Shared {
                 twig: self.parse(&query)?,
             },
             Request::Update {
-                query, true_count, ..
+                query,
+                true_count,
+                idem,
+                ..
             } => Work::Update {
                 twig: self.parse(&query)?,
                 true_count,
+                idem,
             },
             Request::Scrape { .. } => unreachable!("scrape handled inline"),
         })
@@ -401,7 +466,13 @@ impl Shared {
                     .collect(),
             ),
             Work::Truth { twig } => self.backend.truth(twig),
-            Work::Update { twig, true_count } => self.backend.update(twig, *true_count),
+            Work::Update {
+                twig,
+                true_count,
+                idem,
+            } => self
+                .backend
+                .update(twig, *true_count, *idem, self.rec.as_ref()),
         }
     }
 
@@ -468,8 +539,12 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, refuse new admissions, drain
-    /// queued work, join the listener and workers.
-    pub fn shutdown(mut self) {
+    /// queued work, join the listener and workers, then — on a durable
+    /// backend — flush the WAL and publish a final snapshot. An error
+    /// from the durable drain is a typed fault (the previous snapshot
+    /// and WAL are left intact on disk); the threads are already joined
+    /// either way.
+    pub fn shutdown(mut self) -> Result<(), Fault> {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         self.shared.queue.begin_drain();
         let drain_deadline = Instant::now() + Duration::from_secs(10);
@@ -480,6 +555,12 @@ impl ServerHandle {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        if let Backend::Memory { store, .. } = &self.shared.backend {
+            if let Store::Durable(durable) = &mut *store.write() {
+                durable.drain(self.shared.rec.as_ref())?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -494,6 +575,11 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, Fault> {
     );
 
     let backend = if config.mmap {
+        if config.wal_dir.is_some() {
+            return Err(Fault::parse(
+                "--wal-dir is incompatible with the read-only --mmap backend",
+            ));
+        }
         let catalog =
             MmapCatalog::open_observed(&config.summary_path, rec.as_ref()).map_err(|e| {
                 Fault::corrupt_summary(format!("{}: {e}", config.summary_path.display()))
@@ -507,11 +593,25 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, Fault> {
             Fault::corrupt_summary(format!("{}: {e}", config.summary_path.display()))
         })?;
         let engine = EstimationEngine::with_recorder(EngineConfig::default(), rec.clone());
+        let store = match &config.wal_dir {
+            Some(dir) => {
+                let opts = DurableOptions {
+                    online_budget: config.online_budget_bytes,
+                    policy: config.durability,
+                    snapshot_every: config.snapshot_every,
+                    ..DurableOptions::default()
+                };
+                let (durable, report) =
+                    DurableLattice::open(dir, Some(&lattice), &opts, rec.as_ref())?;
+                rec.set_meta("server.wal_dir", dir.display().to_string());
+                rec.set_meta("server.durability", config.durability.to_string());
+                rec.set_meta("server.recovery", report.to_string());
+                Store::Durable(durable)
+            }
+            None => Store::Plain(TunedLattice::new(lattice, config.online_budget_bytes)),
+        };
         Backend::Memory {
-            tuned: Box::new(RwLock::new(TunedLattice::new(
-                lattice,
-                config.online_budget_bytes,
-            ))),
+            store: Box::new(RwLock::new(store)),
             engine,
         }
     };
@@ -538,6 +638,7 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, Fault> {
         budgets,
         rec,
         shutting_down: AtomicBool::new(false),
+        idle_timeout: Duration::from_millis(config.idle_timeout_ms),
     });
 
     let listener = TcpListener::bind(("127.0.0.1", config.port))
@@ -606,13 +707,25 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // Socket-option failures are surfaced, never silently swallowed:
+    // a connection that cannot poll (no read timeout) would pin a thread
+    // through shutdown, so it is dropped instead of served blind.
+    if stream.set_nodelay(true).is_err() {
+        shared.rec.add(names::SERVER_SOCKOPT_ERRORS, 1);
+    }
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        shared.rec.add(names::SERVER_SOCKOPT_ERRORS, 1);
+        return;
+    }
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut writer = stream;
+    let mut last_activity = Instant::now();
     loop {
         let body = match read_frame(&mut reader) {
             Ok(body) => body,
@@ -621,6 +734,13 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Idle deadline: shed half-open / slow-loris peers
+                // deterministically instead of holding a thread forever.
+                if !shared.idle_timeout.is_zero() && last_activity.elapsed() >= shared.idle_timeout
+                {
+                    shared.rec.add(names::SERVER_IDLE_CLOSED, 1);
                     return;
                 }
                 continue;
@@ -635,6 +755,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
                 return;
             }
         };
+        last_activity = Instant::now();
         let resp = shared.process(&body);
         if write_frame(&mut writer, &resp.encode()).is_err() {
             return;

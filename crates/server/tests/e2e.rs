@@ -64,7 +64,7 @@ fn estimates_are_bit_identical_to_in_process_engine() {
             );
         }
     }
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -84,7 +84,7 @@ fn batch_matches_singles() {
         let item = item.as_ref().unwrap();
         assert_eq!(item.value.to_bits(), single.value.to_bits(), "{q}");
     }
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -111,7 +111,7 @@ fn truth_update_and_generation_bump() {
     let g2 = client.update("a[b][e]", 124).unwrap();
     assert!(g2 > g1, "each observation bumps the generation");
     assert_eq!(client.truth("a[b][e]").unwrap(), Some(124));
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -128,7 +128,7 @@ fn bad_query_is_usage_not_fault() {
     }
     // The connection survives a usage error.
     assert!(client.estimate(Estimator::Recursive, "a").is_ok());
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -156,7 +156,7 @@ fn drained_server_sheds_with_markov_provenance() {
     // Scrape bypasses admission control and still works while draining.
     let snap = tl_obs::Snapshot::from_json(&client.scrape().unwrap()).unwrap();
     assert!(snap.counters["server.requests.shed"] >= 1);
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -176,7 +176,7 @@ fn scrape_exposes_server_metrics() {
     assert!(snap.histograms["server.latency_us"].count >= 5);
     // Unconfigured tenant names ride the default lane.
     assert!(snap.histograms["server.tenant.default.latency_us"].count >= 5);
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -209,7 +209,7 @@ fn mmap_backend_serves_and_refuses_update() {
         }
         other => panic!("expected typed refusal, got {other}"),
     }
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]
@@ -241,7 +241,7 @@ fn per_tenant_deadline_budget_degrades_with_provenance() {
         .estimate(Estimator::RecursiveVoting, "a[b[c][d]][e]")
         .unwrap();
     assert_eq!(exact.degradation, Degradation::None);
-    handle.shutdown();
+    handle.shutdown().expect("clean drain");
 }
 
 #[test]

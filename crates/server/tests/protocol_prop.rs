@@ -54,13 +54,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 queries,
             }),
         (arb_string(), arb_string()).prop_map(|(tenant, query)| Request::Truth { tenant, query }),
-        (arb_string(), arb_string(), any::<u64>()).prop_map(|(tenant, query, true_count)| {
-            Request::Update {
+        (arb_string(), arb_string(), any::<u64>(), any::<u64>()).prop_map(
+            |(tenant, query, true_count, idem)| Request::Update {
                 tenant,
                 query,
                 true_count,
-            }
-        }),
+                idem,
+            },
+        ),
         arb_string().prop_map(|tenant| Request::Scrape { tenant }),
     ]
 }

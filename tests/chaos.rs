@@ -9,8 +9,8 @@ use tl_fault::failpoints::{self, sites};
 use tl_workload::{average_relative_error_pct, positive_workload};
 use tl_xml::{parse_document, Document, ParseOptions};
 use treelattice::{
-    Budget, BuildConfig, Degradation, EngineConfig, EstimateOptions, EstimationEngine, Estimator,
-    FaultKind, TreeLattice,
+    Budget, BuildConfig, Degradation, DurabilityPolicy, DurableLattice, DurableOptions,
+    EngineConfig, EstimateOptions, EstimationEngine, Estimator, FaultKind, TreeLattice,
 };
 
 fn dataset() -> Document {
@@ -91,6 +91,56 @@ fn drive_site(site: &str, doc: &Document, lattice: &TreeLattice, twig: &tl_twig:
             // Either way the summary answers queries without panicking.
             let est = built.estimate_resilient(twig, Estimator::Recursive, &opts);
             assert!(est.value.is_finite() && est.value >= 0.0);
+        }
+        "wal.append.torn"
+        | "wal.append.short"
+        | "wal.fsync"
+        | "snapshot.before_rename"
+        | "snapshot.after_rename" => {
+            // The durability contract under injection: an append failure
+            // is a typed fault and never an ack; a snapshot failure
+            // leaves the WAL authoritative; recovery always lands on
+            // exactly the acknowledged prefix.
+            let dir = std::env::temp_dir().join(format!(
+                "tl-chaos-{}-{}-{}",
+                site.replace('.', "-"),
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| d.subsec_nanos())
+            ));
+            let opts = DurableOptions {
+                policy: DurabilityPolicy::Strict,
+                snapshot_every: 1,
+                ..DurableOptions::default()
+            };
+            let mut acked = 0u64;
+            {
+                let (mut durable, _) =
+                    DurableLattice::open(&dir, Some(lattice), &opts, &tl_obs::NOOP)
+                        .expect("open on a fresh dir never faults");
+                for idem in 1..=2u64 {
+                    match durable.apply(twig, 5, idem, &tl_obs::NOOP) {
+                        Ok(applied) => {
+                            acked += 1;
+                            assert!(!applied.deduped);
+                            if let Some(fault) = applied.snapshot_fault {
+                                assert_eq!(fault.kind, FaultKind::CorruptSummary);
+                            }
+                        }
+                        Err(fault) => assert_eq!(fault.kind, FaultKind::CorruptSummary),
+                    }
+                }
+            }
+            // Recovery must see every acknowledged update — injection
+            // active or not — and must itself be injection-proof here
+            // (the sites under test only guard the write path).
+            let (recovered, report) =
+                DurableLattice::open(&dir, Some(lattice), &opts, &tl_obs::NOOP)
+                    .expect("recovery after injected write faults");
+            assert_eq!(report.last_seq, acked, "recovered prefix != acked prefix");
+            assert_eq!(recovered.last_seq(), acked);
+            std::fs::remove_dir_all(&dir).ok();
         }
         other => panic!("chaos sweep does not know site `{other}`"),
     }

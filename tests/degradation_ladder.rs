@@ -344,6 +344,56 @@ fn every_injection_site_preserves_attribution_or_types_its_fault() {
                     &spec,
                 );
             }
+            "wal.append.torn" | "wal.append.short" | "wal.fsync" => {
+                // Durability write sites: an always-firing append path
+                // must refuse the ack with a typed CorruptSummary-family
+                // fault — never a wrong generation, never a panic.
+                let dir = std::env::temp_dir().join(format!(
+                    "tl-ladder-{}-{}",
+                    site.replace('.', "-"),
+                    std::process::id()
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                let opts = treelattice::DurableOptions {
+                    policy: treelattice::DurabilityPolicy::Strict,
+                    ..treelattice::DurableOptions::default()
+                };
+                let (mut durable, _) =
+                    treelattice::DurableLattice::open(&dir, Some(&lattice), &opts, &tl_obs::NOOP)
+                        .expect("open durable dir");
+                let err =
+                    failpoints::with_active(&spec, 5, || durable.apply(twig, 9, 1, &tl_obs::NOOP))
+                        .unwrap_err();
+                assert_eq!(err.kind, FaultKind::CorruptSummary, "{site}");
+                std::fs::remove_dir_all(&dir).ok();
+            }
+            "snapshot.before_rename" | "snapshot.after_rename" => {
+                // Snapshot sites: the explicit snapshot call faults typed,
+                // and the WAL stays authoritative for recovery.
+                let dir = std::env::temp_dir().join(format!(
+                    "tl-ladder-{}-{}",
+                    site.replace('.', "-"),
+                    std::process::id()
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                let opts = treelattice::DurableOptions::default();
+                let (mut durable, _) =
+                    treelattice::DurableLattice::open(&dir, Some(&lattice), &opts, &tl_obs::NOOP)
+                        .expect("open durable dir");
+                durable
+                    .apply(twig, 9, 1, &tl_obs::NOOP)
+                    .expect("append without injection");
+                let err = failpoints::with_active(&spec, 5, || durable.snapshot(&tl_obs::NOOP))
+                    .unwrap_err();
+                assert_eq!(err.kind, FaultKind::CorruptSummary, "{site}");
+                let _guard = failpoints::exclusive();
+                let (recovered, report) =
+                    treelattice::DurableLattice::open(&dir, Some(&lattice), &opts, &tl_obs::NOOP)
+                        .expect("recovery after snapshot fault");
+                assert_eq!(report.last_seq, 1, "{site}: acked update lost");
+                assert_eq!(recovered.last_seq(), 1);
+                std::fs::remove_dir_all(&dir).ok();
+            }
             other => panic!("new fail-point site {other} has no ladder coverage"),
         }
     }
